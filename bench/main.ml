@@ -1,0 +1,155 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (Section VI) plus the ablations of DESIGN.md,
+   and runs Bechamel micro-benchmarks of the substrate costs.
+
+   Usage:
+     dune exec bench/main.exe             -- everything, full windows
+     dune exec bench/main.exe -- --quick  -- everything, short windows
+     dune exec bench/main.exe -- --only fig7a,fig12
+     dune exec bench/main.exe -- --skip-micro | --only-micro
+*)
+
+open Bftharness
+
+let micro_benchmarks () =
+  let open Bechamel in
+  let payload_4k = String.make 4096 'x' in
+  let keys = Bftcrypto.Keys.create ~master:"bench" in
+  let src = Bftcrypto.Principal.client 0 and dst = Bftcrypto.Principal.node 0 in
+  let tests =
+    [
+      Test.make ~name:"sha256-8B"
+        (Staged.stage (fun () -> ignore (Bftcrypto.Sha256.digest_string "12345678")));
+      Test.make ~name:"sha256-4kB"
+        (Staged.stage (fun () -> ignore (Bftcrypto.Sha256.digest_string payload_4k)));
+      Test.make ~name:"hmac-sha256-64B"
+        (Staged.stage (fun () ->
+             ignore (Bftcrypto.Hmac.mac ~key:"key" (String.sub payload_4k 0 64))));
+      Test.make ~name:"wire-mac-tag"
+        (Staged.stage (fun () -> ignore (Bftcrypto.Keys.mac keys ~src ~dst "payload")));
+      Test.make ~name:"wire-codec-roundtrip"
+        (Staged.stage (fun () ->
+             let w = Bftnet.Wire.Writer.create () in
+             Bftnet.Wire.Writer.varint w 123456;
+             Bftnet.Wire.Writer.string w "hello world";
+             let r = Bftnet.Wire.Reader.of_string (Bftnet.Wire.Writer.contents w) in
+             ignore (Bftnet.Wire.Reader.varint r);
+             ignore (Bftnet.Wire.Reader.string r)));
+      Test.make ~name:"engine-1k-events"
+        (Staged.stage (fun () ->
+             let e = Dessim.Engine.create () in
+             for i = 1 to 1000 do
+               ignore (Dessim.Engine.after e (Dessim.Time.us i) (fun () -> ()))
+             done;
+             Dessim.Engine.run e));
+      Test.make ~name:"pbft-order-100-requests"
+        (Staged.stage (fun () ->
+             let e = Dessim.Engine.create () in
+             let delivered = ref 0 in
+             let replicas = Array.make 4 None in
+             let get i = match replicas.(i) with Some r -> r | None -> assert false in
+             for i = 0 to 3 do
+               let cfg = Pbftcore.Replica.default_config ~n:4 ~f:1 ~replica_id:i in
+               let send dst m =
+                 ignore
+                   (Dessim.Engine.after e (Dessim.Time.us 50) (fun () ->
+                        Pbftcore.Replica.receive (get dst) ~from:i m))
+               in
+               let broadcast m =
+                 for d = 0 to 3 do
+                   if d <> i then send d m
+                 done
+               in
+               replicas.(i) <-
+                 Some
+                   (Pbftcore.Replica.create e cfg
+                      {
+                        Pbftcore.Replica.send;
+                        broadcast;
+                        deliver =
+                          (fun _ descs -> delivered := !delivered + List.length descs);
+                        on_view_change = (fun _ -> ());
+                      })
+             done;
+             for rid = 1 to 100 do
+               let d = Pbftcore.Types.desc_of_op ~client:0 ~rid "op" in
+               Array.iter
+                 (function Some r -> Pbftcore.Replica.submit r d | None -> ())
+                 replicas
+             done;
+             Dessim.Engine.run e));
+    ]
+  in
+  print_endline "\n== Micro-benchmarks (Bechamel, ns per operation) ==";
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.4) ~kde:None () in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg [ instance ] test in
+      let results = Analyze.all ols instance raw in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "  %-28s %12.1f ns/op\n%!" name est
+          | Some _ | None -> Printf.printf "  %-28s (no estimate)\n%!" name)
+        results)
+    tests
+
+let want only id = match only with [] -> true | ids -> List.mem id ids
+
+let () =
+  let quick = ref false in
+  let skip_micro = ref false in
+  let only_micro = ref false in
+  let only = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+      quick := true;
+      parse rest
+    | "--skip-micro" :: rest ->
+      skip_micro := true;
+      parse rest
+    | "--only-micro" :: rest ->
+      only_micro := true;
+      parse rest
+    | "--only" :: ids :: rest ->
+      only := String.split_on_char ',' ids;
+      parse rest
+    | _ :: rest -> parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let quick = !quick in
+  Printf.printf "RBFT reproduction benchmarks (%s mode)\n"
+    (if quick then "quick" else "full");
+  if not !only_micro then begin
+    let t0 = Unix.gettimeofday () in
+    let groups =
+      [
+        ( "fig1/2/3+table1",
+          [ "fig1"; "fig2"; "fig3"; "table1" ],
+          fun () -> Experiments.robustness_of_baselines ~quick );
+        ("fig7", [ "fig7a"; "fig7b" ], fun () -> Experiments.fig7 ~quick);
+        ("fig8/9", [ "fig8"; "fig9" ], fun () -> Experiments.fig8_9 ~quick);
+        ("fig10/11", [ "fig10"; "fig11" ], fun () -> Experiments.fig10_11 ~quick);
+        ("fig12", [ "fig12" ], fun () -> [ Experiments.fig12 ~quick ]);
+        ( "ablations",
+          [ "ablation-ordering"; "ablation-viewchange"; "ablation-delta"; "ablation-recovery"; "ablation-closedloop" ],
+          fun () -> Experiments.ablations ~quick );
+      ]
+    in
+    List.iter
+      (fun (label, ids, run) ->
+        if List.exists (want !only) ids then begin
+          let t = Unix.gettimeofday () in
+          let tables = run () in
+          List.iter Report.print (List.filter (fun t -> want !only t.Report.id) tables);
+          Printf.printf "  (%s took %.1fs)\n%!" label (Unix.gettimeofday () -. t)
+        end)
+      groups;
+    Printf.printf "\nTotal experiment time: %.1fs\n%!" (Unix.gettimeofday () -. t0)
+  end;
+  if (not !skip_micro) && !only = [] then micro_benchmarks ()

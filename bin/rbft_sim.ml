@@ -1,0 +1,164 @@
+(* rbft-sim: command-line driver for the RBFT reproduction.
+
+   Subcommands:
+     run        simulate an RBFT cluster (fault-free or under attack)
+     compare    show calibrated peaks of the four protocols
+     experiment run one named experiment from the benchmark harness
+
+   Examples:
+     rbft_sim run --f 1 --clients 10 --rate 2000 --seconds 2
+     rbft_sim run --attack worst2 --payload 4096
+     rbft_sim experiment --id fig12 *)
+
+open Cmdliner
+open Dessim
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let run_cluster f clients rate seconds payload attack transport seed trace =
+  if trace then Dessim.Trace.set_sink (Some Dessim.Trace.console_sink);
+  let params = Rbft.Params.default ~f in
+  (* The unfair-primary attack is detected by the latency check, which
+     is disabled by default (it is workload-dependent, Sec. IV-C). *)
+  let params =
+    if attack = "unfair" then
+      {
+        params with
+        Rbft.Params.lambda = Dessim.Time.of_us_f 1500.0;
+        batch_delay = Dessim.Time.of_us_f 200.0;
+      }
+    else params
+  in
+  let transport =
+    match transport with "udp" -> Bftnet.Network.Udp | _ -> Bftnet.Network.Tcp
+  in
+  let cluster =
+    Rbft.Cluster.create ~seed:(Int64.of_int seed) ~transport ~clients
+      ~payload_size:payload params
+  in
+  (match attack with
+   | "none" -> ()
+   | "worst1" -> Rbft.Attacks.worst_attack_1 cluster
+   | "worst2" -> Rbft.Attacks.worst_attack_2 cluster
+   | "unfair" ->
+     Rbft.Attacks.unfair_primary cluster ~node:0 ~target_client:0 ~after_requests:100
+       ~hold:(Time.ms 1)
+   | other -> failwith ("unknown attack: " ^ other));
+  Array.iter (fun c -> Rbft.Client.set_rate c rate) (Rbft.Cluster.clients cluster);
+  let duration = Time.of_sec_f seconds in
+  Rbft.Cluster.run_for cluster duration;
+  let faulty =
+    match attack with
+    | "worst1" -> List.init f (fun i -> (3 * f) - i)
+    | "worst2" | "unfair" -> List.init f (fun i -> i)
+    | _ -> []
+  in
+  Printf.printf "simulated %.1fs: executed %d requests (%.1f kreq/s)\n" seconds
+    (Rbft.Cluster.total_executed cluster)
+    (Rbft.Cluster.throughput_between cluster (Time.ms 200) duration /. 1e3);
+  Array.iter
+    (fun node ->
+      Printf.printf "  node %d: executed %d, instance changes %d%s\n"
+        (Rbft.Node.id node) (Rbft.Node.executed_count node)
+        (Rbft.Node.instance_changes node)
+        (if List.mem (Rbft.Node.id node) faulty then "  [faulty]" else ""))
+    (Rbft.Cluster.nodes cluster);
+  Printf.printf "agreement among correct nodes: %b\n"
+    (Rbft.Cluster.agreement_ok cluster ~faulty);
+  Printf.printf "events simulated: %d\n"
+    (Engine.events_processed (Rbft.Cluster.engine cluster))
+
+let run_cmd =
+  let f =
+    Arg.(
+      value & opt int 1
+      & info [ "f"; "faults" ] ~doc:"Faults tolerated (n = 3f+1 nodes).")
+  in
+  let clients = Arg.(value & opt int 10 & info [ "clients" ] ~doc:"Client count.") in
+  let rate =
+    Arg.(value & opt float 2000.0 & info [ "rate" ] ~doc:"Requests/s per client.")
+  in
+  let seconds =
+    Arg.(value & opt float 2.0 & info [ "seconds" ] ~doc:"Virtual seconds to simulate.")
+  in
+  let payload =
+    Arg.(value & opt int 8 & info [ "payload" ] ~doc:"Request payload bytes.")
+  in
+  let attack =
+    Arg.(
+      value & opt string "none"
+      & info [ "attack" ] ~doc:"none | worst1 | worst2 | unfair.")
+  in
+  let transport =
+    Arg.(value & opt string "tcp" & info [ "transport" ] ~doc:"tcp | udp.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Simulation seed.") in
+  let trace =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Print protocol events (view/instance changes, NIC closings, blacklists).")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Simulate an RBFT cluster")
+    Term.(
+      const run_cluster $ f $ clients $ rate $ seconds $ payload $ attack $ transport
+      $ seed $ trace)
+
+(* ------------------------------------------------------------------ *)
+(* experiment                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let run_experiment id quick =
+  let tables =
+    match id with
+    | "fig1" | "fig2" | "fig3" | "table1" ->
+      Bftharness.Experiments.robustness_of_baselines ~quick
+    | "fig7" | "fig7a" | "fig7b" -> Bftharness.Experiments.fig7 ~quick
+    | "fig8" | "fig9" -> Bftharness.Experiments.fig8_9 ~quick
+    | "fig10" | "fig11" -> Bftharness.Experiments.fig10_11 ~quick
+    | "fig12" -> [ Bftharness.Experiments.fig12 ~quick ]
+    | "ablations" -> Bftharness.Experiments.ablations ~quick
+    | other -> failwith ("unknown experiment: " ^ other)
+  in
+  List.iter Bftharness.Report.print tables
+
+let experiment_cmd =
+  let id =
+    Arg.(
+      value & opt string "fig12"
+      & info [ "id" ]
+          ~doc:"fig1|fig2|fig3|table1|fig7|fig8|fig9|fig10|fig11|fig12|ablations.")
+  in
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Short windows.") in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Run one experiment from the harness")
+    Term.(const run_experiment $ id $ quick)
+
+(* ------------------------------------------------------------------ *)
+(* compare                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let compare_protocols payload =
+  let open Bftharness in
+  Printf.printf "calibrated peaks, %dB requests (f=1)\n" payload;
+  List.iter
+    (fun proto ->
+      Printf.printf "  %-10s %.1f kreq/s\n" (Calibrate.name proto)
+        (Calibrate.peak_rate proto ~size:payload /. 1e3))
+    [ Calibrate.Rbft; Calibrate.Rbft_udp; Calibrate.Aardvark; Calibrate.Spinning;
+      Calibrate.Prime ];
+  Printf.printf "(run examples/compare_protocols.exe for measured numbers)\n"
+
+let compare_cmd =
+  let payload =
+    Arg.(value & opt int 8 & info [ "payload" ] ~doc:"Request payload bytes.")
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Show calibrated peaks of all protocols")
+    Term.(const compare_protocols $ payload)
+
+let () =
+  let doc = "RBFT: Redundant Byzantine Fault Tolerance (ICDCS 2013) reproduction" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "rbft_sim" ~doc) [ run_cmd; experiment_cmd; compare_cmd ]))

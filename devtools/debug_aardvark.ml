@@ -1,0 +1,14 @@
+open Dessim
+let run ~f ~rate ~payload =
+  let params = Rbft.Params.default ~f in
+  let nc = 30 in
+  let cluster = Rbft.Cluster.create ~clients:nc ~payload_size:payload params in
+  Array.iter (fun c -> Rbft.Client.set_rate c (rate /. float_of_int nc)) (Rbft.Cluster.clients cluster);
+  Rbft.Cluster.run_for cluster (Time.ms 1200);
+  Rbft.Cluster.throughput_between cluster (Time.ms 400) (Time.ms 1200)
+let () =
+  List.iter (fun (f, payload, rates) ->
+      List.iter (fun rate ->
+          Printf.printf "f=%d size=%d offered=%.1fk achieved=%.1fk\n%!"
+            f payload (rate /. 1e3) (run ~f ~rate ~payload /. 1e3)) rates)
+    [ (1, 8, [32e3; 35e3; 38e3]); (1, 4096, [5e3; 6e3; 7e3]); (2, 8, [20e3; 23e3]); (2, 4096, [3e3; 3.6e3]) ]

@@ -1,0 +1,9 @@
+(** The Aardvark baseline (Clement et al., NSDI 2009), as analysed in
+    Section III-B of the RBFT paper: PBFT with regular view changes
+    driven by a ratcheting throughput requirement, signed client
+    requests, and full-request ordering. *)
+
+module Policy = Policy
+module Node = Node
+module Client = Client
+module Cluster = Cluster

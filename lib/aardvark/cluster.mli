@@ -1,0 +1,23 @@
+(** Assemble an Aardvark deployment. *)
+
+open Dessim
+
+type t
+
+val create :
+  ?seed:int64 ->
+  ?clients:int ->
+  ?payload_size:int ->
+  ?service:(unit -> Bftapp.Service.t) ->
+  Node.config ->
+  t
+
+val engine : t -> Engine.t
+val node : t -> int -> Node.t
+val nodes : t -> Node.t array
+val client : t -> int -> Client.t
+val clients : t -> Client.t array
+val run_for : t -> Time.t -> unit
+val total_executed : t -> int
+val throughput_between : t -> Time.t -> Time.t -> float
+val agreement_ok : t -> faulty:int list -> bool

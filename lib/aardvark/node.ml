@@ -1,0 +1,259 @@
+open Dessim
+open Bftcrypto
+open Bftnet
+open Bftapp
+open Pbftcore.Types
+
+type msg =
+  | Request of { desc : request_desc; sig_valid : bool }
+  | Order of Pbftcore.Messages.t
+  | Reply of { id : request_id; result : string; node : int }
+
+type config = {
+  f : int;
+  monitoring_period : Time.t;
+  policy : Policy.config;
+  batch_size : int;
+  batch_delay : Time.t;
+  post_vc_quiet : Time.t;
+  exec_cost : Time.t;
+  costs : Costmodel.t;
+  order_identifiers_only : bool;
+  body_copy_factor : float;
+}
+
+let default_config ~f =
+  {
+    f;
+    monitoring_period = Time.ms 100;
+    policy = Policy.default_config ~n:((3 * f) + 1);
+    batch_size = 64;
+    batch_delay = Time.ms 1;
+    post_vc_quiet = Time.ms 400;
+    exec_cost = Time.us 1;
+    costs = Costmodel.default;
+    order_identifiers_only = false;
+    body_copy_factor = 6.0;
+  }
+
+type faults = { mutable track_required : bool; mutable attack_margin : float }
+
+type t = {
+  engine : Engine.t;
+  net : msg Network.t;
+  cfg : config;
+  id : int;
+  service : Service.t;
+  verification : Resource.t;
+  ordering : Resource.t;
+  execution : Resource.t;
+  mutable replica : Pbftcore.Replica.t option;
+  policy : Policy.t;
+  faults : faults;
+  sig_checked : unit Request_id_table.t;
+  executed : string Request_id_table.t;
+  exec_counter : Bftmetrics.Throughput.t;
+  mutable exec_count : int;
+  mutable exec_digest : string;
+  mutable attack_delay : Time.t;
+  mutable started : bool;
+}
+
+let id t = t.id
+let faults t = t.faults
+let replica t = match t.replica with Some r -> r | None -> assert false
+let policy t = t.policy
+let executed_count t = t.exec_count
+let executed_counter t = t.exec_counter
+let execution_digest t = t.exec_digest
+let view_changes t = Pbftcore.Replica.view_changes_completed (replica t)
+
+let n_nodes t = (3 * t.cfg.f) + 1
+
+let msg_size t m =
+  match m with
+  | Request { desc; _ } ->
+    16 + desc.op_size + Keys.signature_size + (n_nodes t * Keys.mac_tag_size)
+  | Order om ->
+    16
+    + Pbftcore.Messages.wire_size ~n:(n_nodes t)
+        ~order_full_requests:(not t.cfg.order_identifiers_only) om
+  | Reply { result; _ } -> 16 + String.length result + Keys.mac_tag_size
+
+(* The prototype this baseline models copies full request bodies
+   several times along the ordering path (assembly, log insertion,
+   per-destination buffers); identifiers-only messages are cheap.
+   [cost_bytes] inflates the CPU accounting of body-carrying ordering
+   messages accordingly — the wire size is unaffected. *)
+let cost_bytes t m =
+  let size = msg_size t m in
+  match m with
+  | Order (Pbftcore.Messages.Pre_prepare _) when not t.cfg.order_identifiers_only ->
+    int_of_float (float_of_int size *. t.cfg.body_copy_factor)
+  | Order _ | Request _ | Reply _ -> size
+
+let send_from t thread ~dst m =
+  let size = msg_size t m in
+  Resource.charge thread (Costmodel.send t.cfg.costs ~bytes:(cost_bytes t m));
+  Network.send t.net ~src:(Principal.node t.id) ~dst ~size m
+
+let broadcast_nodes t thread m =
+  let size = msg_size t m in
+  Resource.charge thread
+    (Costmodel.authenticator_gen t.cfg.costs ~bytes:size ~count:(n_nodes t));
+  for dst = 0 to n_nodes t - 1 do
+    if dst <> t.id then begin
+      Resource.charge thread (Costmodel.send t.cfg.costs ~bytes:(cost_bytes t m));
+      Network.send t.net ~src:(Principal.node t.id) ~dst:(Principal.node dst) ~size m
+    end
+  done
+
+let reply_to t (id : request_id) result =
+  send_from t t.execution ~dst:(Principal.client id.client)
+    (Reply { id; result; node = t.id })
+
+let execute_batch t descs =
+  List.iter
+    (fun (desc : request_desc) ->
+      if not (Request_id_table.mem t.executed desc.id) then begin
+        let cost =
+          Time.max t.cfg.exec_cost (t.service.Service.exec_cost desc.op)
+        in
+        Resource.submit t.execution ~cost (fun () ->
+            if not (Request_id_table.mem t.executed desc.id) then begin
+              let result = t.service.Service.execute desc.op in
+              Request_id_table.replace t.executed desc.id result;
+              t.exec_count <- t.exec_count + 1;
+              Bftmetrics.Throughput.record t.exec_counter ~now:(Engine.now t.engine);
+              t.exec_digest <- Sha256.digest_string (t.exec_digest ^ desc.digest);
+              Resource.charge t.execution
+                (Costmodel.mac_gen t.cfg.costs ~bytes:(String.length result + 16));
+              reply_to t desc.id result
+            end)
+      end)
+    descs
+
+let make_replica t =
+  let cfg =
+    {
+      (Pbftcore.Replica.default_config ~n:(n_nodes t) ~f:t.cfg.f ~replica_id:t.id) with
+      Pbftcore.Replica.batch_size = t.cfg.batch_size;
+      batch_delay = t.cfg.batch_delay;
+      order_full_requests = not t.cfg.order_identifiers_only;
+      post_vc_quiet = t.cfg.post_vc_quiet;
+    }
+  in
+  let send dst m = send_from t t.ordering ~dst:(Principal.node dst) (Order m) in
+  let broadcast m = broadcast_nodes t t.ordering (Order m) in
+  let deliver _seq descs =
+    Policy.note_ordered t.policy ~count:(List.length descs);
+    execute_batch t descs
+  in
+  let on_view_change _v = Policy.on_view_start t.policy ~now:(Engine.now t.engine) in
+  Pbftcore.Replica.create t.engine cfg
+    { Pbftcore.Replica.send; broadcast; deliver; on_view_change }
+
+let handle_request t (desc : request_desc) ~sig_valid =
+  if Request_id_table.mem t.executed desc.id then begin
+    match Request_id_table.find_opt t.executed desc.id with
+    | Some result -> reply_to t desc.id result
+    | None -> ()
+  end
+  else if Request_id_table.mem t.sig_checked desc.id then
+    Resource.submit t.ordering ~cost:(Time.ns 200) (fun () ->
+        Pbftcore.Replica.submit (replica t) desc)
+  else begin
+    Resource.charge t.verification
+      (Costmodel.sig_verify t.cfg.costs ~bytes:desc.op_size);
+    if sig_valid then begin
+      Request_id_table.replace t.sig_checked desc.id ();
+      Resource.submit t.ordering ~cost:(Time.ns 200) (fun () ->
+          Pbftcore.Replica.submit (replica t) desc)
+    end
+  end
+
+let on_delivery t (d : msg Network.delivery) =
+  let bytes = cost_bytes t d.Network.payload in
+  let base =
+    Time.add
+      (Costmodel.recv t.cfg.costs ~bytes)
+      (Costmodel.mac_verify t.cfg.costs ~bytes:d.Network.size)
+  in
+  match d.Network.payload with
+  | Request { desc; sig_valid } ->
+    Resource.submit t.verification ~cost:base (fun () ->
+        handle_request t desc ~sig_valid)
+  | Order m ->
+    let from =
+      match d.Network.src with Principal.Node i -> i | Principal.Client _ -> -1
+    in
+    if from >= 0 then
+      Resource.submit t.ordering ~cost:base (fun () ->
+          Pbftcore.Replica.receive (replica t) ~from m)
+  | Reply _ -> ()
+
+(* The Figure 2 adversary: when this node is the primary, it caps its
+   ordering rate just above the (known, because the faulty node runs
+   the same policy) requirement. *)
+let update_attack_delay t =
+  let r = replica t in
+  let adversary = Pbftcore.Replica.adversary r in
+  if t.faults.track_required && Pbftcore.Replica.is_primary r then begin
+    let required = Policy.required_rate t.policy in
+    let target = required *. t.faults.attack_margin in
+    adversary.Pbftcore.Replica.pp_rate_limit <- (fun () -> target)
+  end
+  else adversary.Pbftcore.Replica.pp_rate_limit <- (fun () -> 0.0)
+
+let monitoring_tick t =
+  let r = replica t in
+  let verdict =
+    Policy.tick t.policy ~now:(Engine.now t.engine)
+      ~pending:(Pbftcore.Replica.pending_count r)
+  in
+  update_attack_delay t;
+  match verdict with
+  | Policy.Demand_view_change when not (Pbftcore.Replica.in_view_change r) ->
+    Pbftcore.Replica.force_view_change r
+  | Policy.Demand_view_change | Policy.Ok -> ()
+
+let rec arm_monitoring t =
+  ignore
+    (Engine.after t.engine t.cfg.monitoring_period (fun () ->
+         Resource.submit t.ordering ~cost:(Time.us 2) (fun () -> monitoring_tick t);
+         arm_monitoring t))
+
+let create engine net cfg ~id ~service =
+  let mk name = Resource.create engine ~name:(Printf.sprintf "av%d.%s" id name) in
+  let t =
+    {
+      engine;
+      net;
+      cfg;
+      id;
+      service;
+      verification = mk "verification";
+      ordering = mk "ordering";
+      execution = mk "execution";
+      replica = None;
+      policy = Policy.create cfg.policy;
+      faults = { track_required = false; attack_margin = 1.10 };
+      sig_checked = Request_id_table.create 4096;
+      executed = Request_id_table.create 4096;
+      exec_counter = Bftmetrics.Throughput.create ();
+      exec_count = 0;
+      exec_digest = "genesis";
+      attack_delay = Time.zero;
+      started = false;
+    }
+  in
+  t.replica <- Some (make_replica t);
+  Network.register_node net id (fun d -> on_delivery t d);
+  t
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    Policy.on_view_start t.policy ~now:(Engine.now t.engine);
+    arm_monitoring t
+  end

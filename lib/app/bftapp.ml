@@ -1,0 +1,7 @@
+(** Replicated applications: the service interface plus the concrete
+    services used by examples and benchmarks. *)
+
+module Service = Service
+module Kvstore = Kvstore
+module Counter = Counter
+module Null_service = Null_service

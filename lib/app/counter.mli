@@ -1,0 +1,11 @@
+(** A minimal replicated counter used by the quickstart example. *)
+
+type t
+
+val create : unit -> t
+
+val service : t -> Service.t
+(** Operations: ["inc"] increments and returns the new value; ["get"]
+    returns the current value; anything else returns ["error"]. *)
+
+val value : t -> int

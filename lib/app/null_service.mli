@@ -1,0 +1,16 @@
+(** The benchmark service: requests carry an opaque payload of the
+    configured size and execution costs a fixed virtual time. This is
+    the workload of the paper's evaluation (request sizes 8 B – 4 kB;
+    execution costs 0.1 ms for normal and 1 ms for "heavy" requests in
+    the Prime attack of Section III-A). *)
+
+val create : ?exec_cost:Dessim.Time.t -> unit -> Service.t
+(** [create ~exec_cost ()] makes a service whose operations all cost
+    [exec_cost] (default 1 us) and return a constant reply. Operations
+    prefixed with ["heavy:"] cost ten times more, letting faulty
+    clients submit expensive requests. *)
+
+val heavy_op : payload:string -> string
+(** Build a heavy operation with the given payload. *)
+
+val normal_op : payload:string -> string

@@ -1,0 +1,157 @@
+open Dessim
+open Bftcrypto
+open Bftnet
+open Pbftcore.Types
+
+type behaviour = {
+  mutable sig_valid : bool;
+  mutable mac_invalid_for : int list;
+  mutable heavy : bool;
+  mutable send_only_to : int list;
+}
+
+type pending = {
+  sent_at : Time.t;
+  mutable replies : (int * string) list;  (* node, result *)
+  mutable done_ : bool;
+}
+
+type t = {
+  engine : Engine.t;
+  net : Messages.t Network.t;
+  params : Params.t;
+  id : int;
+  payload_size : int;
+  behaviour : behaviour;
+  mutable rid : int;
+  mutable rate : float;
+  mutable rate_epoch : int;
+  mutable closed_loop : int;  (* outstanding-request window; 0 = open loop *)
+  pending : pending Request_id_table.t;
+  mutable sent : int;
+  mutable completed : int;
+  latencies : Bftmetrics.Hist.t;
+  completions : Bftmetrics.Throughput.t;
+  rng : Rng.t;
+}
+
+let id t = t.id
+let behaviour t = t.behaviour
+let sent t = t.sent
+let completed t = t.completed
+let latencies t = t.latencies
+let completion_counter t = t.completions
+
+let rec on_reply t (id : request_id) ~node ~result =
+  match Request_id_table.find_opt t.pending id with
+  | None -> ()
+  | Some p when p.done_ -> ()
+  | Some p ->
+    if not (List.mem_assoc node p.replies) then begin
+      p.replies <- (node, result) :: p.replies;
+      let matching =
+        List.length (List.filter (fun (_, r) -> String.equal r result) p.replies)
+      in
+      if matching >= t.params.Params.f + 1 then begin
+        p.done_ <- true;
+        t.completed <- t.completed + 1;
+        let now = Engine.now t.engine in
+        Bftmetrics.Hist.add t.latencies (Time.to_sec_f (Time.sub now p.sent_at));
+        Bftmetrics.Throughput.record t.completions ~now;
+        Request_id_table.remove t.pending id;
+        (* Closed loop: each completion funds the next request. *)
+        if t.closed_loop > 0 then send_one t
+      end
+    end
+
+and send_one t =
+  let req = make_request t in
+  let msg = Messages.Request req in
+  let size = Messages.request_wire_size req ~n:(Params.n t.params) in
+  Request_id_table.replace t.pending req.Messages.desc.id
+    { sent_at = Engine.now t.engine; replies = []; done_ = false };
+  t.sent <- t.sent + 1;
+  let targets =
+    match t.behaviour.send_only_to with
+    | [] -> List.init (Params.n t.params) (fun i -> i)
+    | subset -> subset
+  in
+  List.iter
+    (fun node ->
+      Network.send t.net ~src:(Principal.client t.id) ~dst:(Principal.node node)
+        ~size msg)
+    targets
+
+and make_request t =
+  t.rid <- t.rid + 1;
+  let payload = String.make t.payload_size 'x' in
+  let op =
+    if t.behaviour.heavy then Bftapp.Null_service.heavy_op ~payload
+    else Bftapp.Null_service.normal_op ~payload
+  in
+  let desc = desc_of_op ~client:t.id ~rid:t.rid op in
+  {
+    Messages.desc;
+    sig_valid = t.behaviour.sig_valid;
+    mac_invalid_for = t.behaviour.mac_invalid_for;
+  }
+
+let set_closed_loop t ~outstanding =
+  t.rate <- 0.0;
+  t.rate_epoch <- t.rate_epoch + 1;
+  t.closed_loop <- outstanding;
+  (* Top up to the window, counting requests already in flight. *)
+  let in_flight = Request_id_table.length t.pending in
+  for _ = 1 to Stdlib.max 0 (outstanding - in_flight) do
+    send_one t
+  done
+
+let create engine net params ~id ?(payload_size = 8) () =
+  let t =
+    {
+      engine;
+      net;
+      params;
+      id;
+      payload_size;
+      behaviour =
+        { sig_valid = true; mac_invalid_for = []; heavy = false; send_only_to = [] };
+      rid = 0;
+      rate = 0.0;
+      rate_epoch = 0;
+      closed_loop = 0;
+      pending = Request_id_table.create 256;
+      sent = 0;
+      completed = 0;
+      latencies = Bftmetrics.Hist.create ();
+      completions = Bftmetrics.Throughput.create ();
+      rng = Engine.fresh_rng engine;
+    }
+  in
+  Network.register_client net id (fun d ->
+      match d.Network.payload with
+      | Messages.Reply { id; result; node } -> on_reply t id ~node ~result
+      | Messages.Request _ | Messages.Propagate _ | Messages.Instance _
+      | Messages.Instance_change _ ->
+        ());
+  t
+
+let set_rate t r =
+  t.closed_loop <- 0;
+  t.rate <- r;
+  t.rate_epoch <- t.rate_epoch + 1;
+  let epoch = t.rate_epoch in
+  if r > 0.0 then begin
+    let rec loop () =
+      if t.rate_epoch = epoch && t.rate > 0.0 then begin
+        let gap = Rng.exponential t.rng ~mean:(1.0 /. t.rate) in
+        ignore
+          (Engine.after t.engine (Time.of_sec_f gap) (fun () ->
+               if t.rate_epoch = epoch && t.rate > 0.0 then begin
+                 send_one t;
+                 loop ()
+               end))
+      end
+    in
+    loop ()
+  end

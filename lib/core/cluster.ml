@@ -1,0 +1,80 @@
+open Dessim
+open Bftapp
+
+type t = {
+  engine : Engine.t;
+  net : Messages.t Bftnet.Network.t;
+  params : Params.t;
+  nodes : Node.t array;
+  clients : Client.t array;
+}
+
+let create ?(seed = 42L) ?(transport = Bftnet.Network.Tcp)
+    ?(service = fun () -> Null_service.create ()) ?(clients = 0)
+    ?(payload_size = 8) params =
+  let engine = Engine.create ~seed () in
+  let n = Params.n params in
+  let cfg = { (Bftnet.Network.default_config ~nodes:n) with transport } in
+  let net = Bftnet.Network.create engine cfg in
+  let nodes =
+    Array.init n (fun id -> Node.create engine net params ~id ~service:(service ()))
+  in
+  let clients =
+    Array.init clients (fun id ->
+        Client.create engine net params ~id ~payload_size ())
+  in
+  Array.iter Node.start nodes;
+  { engine; net; params; nodes; clients }
+
+let engine t = t.engine
+let network t = t.net
+let params t = t.params
+let node t i = t.nodes.(i)
+let nodes t = t.nodes
+let client t i = t.clients.(i)
+let clients t = t.clients
+
+let run_for t d =
+  let target = Dessim.Time.add (Engine.now t.engine) d in
+  Engine.run ~until:target t.engine
+
+(* Measure system progress at the most advanced node: a Byzantine or
+   lagging node must not distort throughput readings. *)
+let most_advanced t =
+  Array.fold_left
+    (fun best node ->
+      if Node.executed_count node > Node.executed_count best then node else best)
+    t.nodes.(0) t.nodes
+
+let total_executed t = Node.executed_count (most_advanced t)
+
+let throughput_between t start stop =
+  Bftmetrics.Throughput.rate_between
+    (Node.executed_counter (most_advanced t))
+    start stop
+
+let agreement_ok t ~faulty =
+  let correct =
+    Array.to_list t.nodes
+    |> List.filter (fun node ->
+           (not (List.mem (Node.id node) faulty))
+           (* A node that state-transferred its master instance adopted
+              the checkpointed state wholesale instead of executing the
+              skipped batches; in a real deployment the application
+              snapshot travels with the checkpoint, so the node is
+              consistent but its local execution log is shorter. *)
+           && Pbftcore.Replica.state_transfers
+                (Node.replica node ~instance:(Node.master_instance node))
+              = 0)
+  in
+  match correct with
+  | [] -> true
+  | first :: rest ->
+    (* Digests must agree up to the shortest execution prefix; since
+       executions advance together in quiescent states, compare counts
+       first and digests when equal. *)
+    List.for_all
+      (fun node ->
+        Node.executed_count node = Node.executed_count first
+        && String.equal (Node.execution_digest node) (Node.execution_digest first))
+      rest

@@ -1,0 +1,43 @@
+(** Assemble a full RBFT deployment: engine, network, 3f+1 nodes and a
+    set of clients. The entry point used by examples, tests and the
+    benchmark harness. *)
+
+open Dessim
+open Bftapp
+
+type t
+
+val create :
+  ?seed:int64 ->
+  ?transport:Bftnet.Network.transport ->
+  ?service:(unit -> Service.t) ->
+  ?clients:int ->
+  ?payload_size:int ->
+  Params.t ->
+  t
+(** [create params] builds the system. [service] is instantiated once
+    per node (defaults to {!Bftapp.Null_service}); [clients] endpoints
+    are created (default 0 — add load later via {!client}). Nodes are
+    started (monitoring armed). *)
+
+val engine : t -> Engine.t
+val network : t -> Messages.t Bftnet.Network.t
+val params : t -> Params.t
+
+val node : t -> int -> Node.t
+val nodes : t -> Node.t array
+val client : t -> int -> Client.t
+val clients : t -> Client.t array
+
+val run_for : t -> Time.t -> unit
+(** Advance virtual time by the given duration. *)
+
+val total_executed : t -> int
+(** Sum of requests executed by node 0 (all correct nodes execute the
+    same sequence). *)
+
+val throughput_between : t -> Time.t -> Time.t -> float
+(** Executed requests per second at node 0 over a window. *)
+
+val agreement_ok : t -> faulty:int list -> bool
+(** All non-faulty nodes have identical execution digests. *)

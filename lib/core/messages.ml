@@ -1,0 +1,37 @@
+open Pbftcore.Types
+
+type request = {
+  desc : request_desc;
+  sig_valid : bool;
+  mac_invalid_for : int list;
+}
+
+type t =
+  | Request of request
+  | Propagate of { req : request; from : int; junk : bool }
+  | Instance of { instance : int; msg : Pbftcore.Messages.t }
+  | Instance_change of { cpi : int; node : int }
+  | Reply of { id : request_id; result : string; node : int }
+
+let header = 16
+
+let request_wire_size r ~n =
+  header + r.desc.op_size + Bftcrypto.Keys.signature_size
+  + (n * Bftcrypto.Keys.mac_tag_size)
+
+let wire_size msg ~n ~order_full_requests =
+  match msg with
+  | Request r -> request_wire_size r ~n
+  | Propagate { req; _ } -> header + request_wire_size req ~n
+  | Instance { msg; _ } ->
+    header + Pbftcore.Messages.wire_size ~n ~order_full_requests msg
+  | Instance_change _ -> header + 8 + (n * Bftcrypto.Keys.mac_tag_size)
+  | Reply { result; _ } ->
+    header + String.length result + Bftcrypto.Keys.mac_tag_size
+
+let type_tag = function
+  | Request _ -> "request"
+  | Propagate _ -> "propagate"
+  | Instance { msg; _ } -> "instance." ^ Pbftcore.Messages.type_tag msg
+  | Instance_change _ -> "instance-change"
+  | Reply _ -> "reply"

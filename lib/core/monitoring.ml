@@ -1,0 +1,129 @@
+open Dessim
+
+(* Per-client latency averages use an exponential moving average so
+   that a long-lived client reflects recent primary behaviour. *)
+let ema_alpha = 0.2
+
+type t = {
+  params : Params.t;
+  mutable master : int;  (* current master instance *)
+  counters : int array;  (* nbreqs, one per instance *)
+  mutable window_start : Time.t;
+  (* client -> per-instance EMA latency in seconds *)
+  client_lat : (int, float array) Hashtbl.t;
+  mutable measurements : (Time.t * float array) list;
+  mutable recent : float array list;  (* last few windows, for the Δ verdict *)
+}
+
+let create params =
+  {
+    params;
+    master = Params.master_instance;
+    counters = Array.make (Params.instances params) 0;
+    window_start = Time.zero;
+    client_lat = Hashtbl.create 64;
+    measurements = [];
+    recent = [];
+  }
+
+let note_ordered t ~instance ~count =
+  t.counters.(instance) <- t.counters.(instance) + count
+
+let client_slot t client =
+  match Hashtbl.find_opt t.client_lat client with
+  | Some arr -> arr
+  | None ->
+    let arr = Array.make (Params.instances t.params) nan in
+    Hashtbl.add t.client_lat client arr;
+    arr
+
+let note_latency t ~instance ~client lat =
+  let arr = client_slot t client in
+  let l = Time.to_sec_f lat in
+  arr.(instance) <-
+    (if Float.is_nan arr.(instance) then l
+     else ((1.0 -. ema_alpha) *. arr.(instance)) +. (ema_alpha *. l))
+
+type verdict = {
+  rates : float array;
+  master_rate : float;
+  backup_rate : float;
+  suspicious : bool;
+}
+
+(* Below this backup throughput (req/s) the Δ test is not applied:
+   with no meaningful traffic the ratio is noise. *)
+let min_meaningful_rate = 50.0
+
+let tick t ~now =
+  let window = Time.to_sec_f (Time.sub now t.window_start) in
+  let rates =
+    Array.map
+      (fun c -> if window <= 0.0 then 0.0 else float_of_int c /. window)
+      t.counters
+  in
+  Array.fill t.counters 0 (Array.length t.counters) 0;
+  t.window_start <- now;
+  t.measurements <- (now, rates) :: t.measurements;
+  (* The Δ verdict uses a short moving average: single 100 ms windows
+     carry several percent of sampling noise at moderate rates, which
+     would make any Δ close to 1 fire spuriously. *)
+  t.recent <- rates :: (match t.recent with a :: b :: _ -> [ a; b ] | l -> l);
+  let n_inst = Array.length rates in
+  let averaged = Array.make n_inst 0.0 in
+  List.iter (fun r -> Array.iteri (fun i v -> averaged.(i) <- averaged.(i) +. v) r) t.recent;
+  let k = float_of_int (List.length t.recent) in
+  Array.iteri (fun i v -> averaged.(i) <- v /. k) averaged;
+  let master_rate = averaged.(t.master) in
+  let backups = n_inst - 1 in
+  let backup_rate =
+    if backups = 0 then 0.0
+    else begin
+      let sum = ref 0.0 in
+      Array.iteri (fun i r -> if i <> t.master then sum := !sum +. r) averaged;
+      !sum /. float_of_int backups
+    end
+  in
+  let suspicious =
+    backup_rate >= min_meaningful_rate
+    && master_rate < t.params.Params.delta *. backup_rate
+  in
+  { rates; master_rate; backup_rate; suspicious }
+
+let lambda_violation t ~latency =
+  t.params.Params.lambda > Time.zero && latency > t.params.Params.lambda
+
+let omega_violation t ~client =
+  if t.params.Params.omega = Time.zero then false
+  else
+    match Hashtbl.find_opt t.client_lat client with
+    | None -> false
+    | Some arr ->
+      let master = arr.(t.master) in
+      if Float.is_nan master then false
+      else begin
+        let sum = ref 0.0 and count = ref 0 in
+        Array.iteri
+          (fun i l ->
+            if i <> t.master && not (Float.is_nan l) then begin
+              sum := !sum +. l;
+              incr count
+            end)
+          arr;
+        if !count = 0 then false
+        else
+          let backup_avg = !sum /. float_of_int !count in
+          master -. backup_avg > Time.to_sec_f t.params.Params.omega
+      end
+
+let client_avg_latency t ~instance ~client =
+  match Hashtbl.find_opt t.client_lat client with
+  | None -> None
+  | Some arr ->
+    if Float.is_nan arr.(instance) then None else Some (Time.of_sec_f arr.(instance))
+
+let set_master t instance = t.master <- instance
+
+let history t = List.rev t.measurements
+
+let latest t = match t.measurements with [] -> None | m :: _ -> Some m

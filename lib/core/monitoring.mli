@@ -1,0 +1,58 @@
+(** The monitoring mechanism of Section IV-C.
+
+    Each node counts, per protocol instance, the requests ordered by
+    its local replica ([nbreqs]) and periodically turns the counters
+    into throughputs. If the ratio between the master instance's
+    throughput and the average backup throughput drops below Δ, the
+    primary of the master instance is suspected. The same module
+    tracks per-request ordering latency for the Λ (absolute) and Ω
+    (cross-instance difference per client) fairness checks. *)
+
+open Dessim
+
+type t
+
+val create : Params.t -> t
+
+val set_master : t -> int -> unit
+(** Tell the monitoring which instance is currently master (only moves
+    under the [Switch_master] recovery extension). *)
+
+val note_ordered : t -> instance:int -> count:int -> unit
+(** The local replica of [instance] ordered [count] requests. *)
+
+val note_latency : t -> instance:int -> client:int -> Time.t -> unit
+(** One request from [client] was ordered by [instance] with the given
+    ordering latency (dispatch → delivery); feeds the per-client
+    averages used by the Ω check. *)
+
+type verdict = {
+  rates : float array;  (** per-instance raw throughput over the window, req/s *)
+  master_rate : float;
+  backup_rate : float;  (** average of the backup instances *)
+  suspicious : bool;
+      (** true when the Δ test fires: the master primary looks slow *)
+}
+
+val tick : t -> now:Time.t -> verdict
+(** Close the current window, compute throughputs, reset the counters
+    and remember the measurement (for {!history}). The Δ test is only
+    applied when the backups show meaningful traffic (idle systems
+    are never suspicious). *)
+
+val lambda_violation : t -> latency:Time.t -> bool
+(** Λ check for a request ordered by the master instance. *)
+
+val omega_violation : t -> client:int -> bool
+(** Ω check: the client's average latency on the master exceeds its
+    average on the backups by more than Ω. *)
+
+val client_avg_latency : t -> instance:int -> client:int -> Time.t option
+(** Current average ordering latency of [client] on [instance]. *)
+
+val history : t -> (Time.t * float array) list
+(** Measurements recorded by {!tick}, oldest first — what Figures 9
+    and 11 plot. *)
+
+val latest : t -> (Time.t * float array) option
+(** The most recent measurement, if any. *)

@@ -1,0 +1,557 @@
+open Dessim
+open Bftcrypto
+open Bftnet
+open Bftapp
+open Pbftcore.Types
+
+type faults = {
+  mutable flood_targets : int list;
+  mutable flood_size : int;
+  mutable flood_rate : float;
+  mutable no_propagate : bool;
+  mutable drop_client_requests : bool;
+}
+
+(* Book-keeping for one request on its way through the node. *)
+type request_state = {
+  mutable req : Messages.request option;  (* full request, once known *)
+  mutable senders : int list;  (* distinct PROPAGATE senders (incl. self) *)
+  mutable propagated : bool;  (* we sent our own PROPAGATE *)
+  mutable sig_checked : bool;
+  mutable sig_inflight : bool;  (* a verification job is pending *)
+  mutable dispatched : bool;
+  mutable dispatch_time : Time.t;
+}
+
+type t = {
+  engine : Engine.t;
+  net : Messages.t Network.t;
+  params : Params.t;
+  id : int;
+  service : Service.t;
+  (* Module threads (Figure 6), each on its own core. *)
+  verification : Resource.t;
+  propagation : Resource.t;
+  dispatch : Resource.t;
+  execution : Resource.t;
+  replica_threads : Resource.t array;
+  mutable replicas : Pbftcore.Replica.t array;
+  faults : faults;
+  monitoring : Monitoring.t;
+  requests : request_state Request_id_table.t;
+  executed : string Request_id_table.t;  (* results, for re-replies *)
+  exec_counter : Bftmetrics.Throughput.t;
+  mutable exec_count : int;
+  mutable exec_digest : string;
+  mutable blacklist : int list;  (* clients *)
+  (* Protocol instance change state. *)
+  mutable cpi : int;
+  mutable suspicious : bool;  (* current monitoring verdict *)
+  mutable ic_votes : (int * int) list;  (* (node, cpi) votes seen *)
+  mutable ic_sent_for : int;  (* last cpi we voted for; -1 = none *)
+  mutable instance_changes : int;
+  mutable last_change_at : Time.t;
+  mutable master_instance : int;
+  (* Flood defence: invalid messages per peer in the current window. *)
+  invalid_counts : int array;
+  mutable latency_probe : (instance:int -> client:int -> Time.t -> unit) option;
+  mutable started : bool;
+}
+
+let id t = t.id
+let params t = t.params
+let faults t = t.faults
+let replica t ~instance = t.replicas.(instance)
+let monitoring t = t.monitoring
+let master_instance t = t.master_instance
+let executed_count t = t.exec_count
+let executed_counter t = t.exec_counter
+let execution_digest t = t.exec_digest
+let cpi t = t.cpi
+let instance_changes t = t.instance_changes
+let blacklisted_clients t = t.blacklist
+let is_blacklisted t ~client = List.mem client t.blacklist
+
+let costs t = t.params.Params.costs
+let n_nodes t = Params.n t.params
+let instance_count t = Params.instances t.params
+
+let self t = Principal.node t.id
+
+(* ------------------------------------------------------------------ *)
+(* Outbound helpers: charge the sending thread, then hit the network. *)
+(* ------------------------------------------------------------------ *)
+
+let msg_size t msg =
+  Messages.wire_size msg ~n:(n_nodes t)
+    ~order_full_requests:t.params.Params.order_full_requests
+
+(* CPU byte-accounting per message class:
+   - client REQUESTs are copied several times on the verification path
+     (NIC buffer, verification pass, hand-off to propagation) — the
+     dominant per-byte cost at large request sizes, matching the
+     paper's crypto-bound Verification module;
+   - PROPAGATEs are forwarded by reference once verified (the
+     Propagation module enqueues, it does not re-serialize bodies);
+   - with the order-full-requests ablation, PRE-PREPAREs carry whole
+     bodies that get copied repeatedly (compare the Aardvark
+     baseline); identifiers-only RBFT never pays this. *)
+let cost_bytes t msg =
+  let size = msg_size t msg in
+  match msg with
+  | Messages.Request { desc; _ } ->
+    (* Headers and authenticators are read once; the operation body is
+       what gets copied across buffers. *)
+    size + (3 * desc.op_size)
+  | Messages.Propagate _ -> (2 * size) / 5
+  | Messages.Instance { msg = Pbftcore.Messages.Pre_prepare _; _ }
+    when t.params.Params.order_full_requests ->
+    6 * size
+  | Messages.Instance _ | Messages.Instance_change _ | Messages.Reply _ -> size
+
+let send_from t thread ~dst msg =
+  let size = msg_size t msg in
+  Resource.charge thread (Costmodel.send (costs t) ~bytes:(cost_bytes t msg));
+  Network.send t.net ~src:(self t) ~dst ~size msg
+
+let broadcast_nodes_from t thread msg =
+  let size = msg_size t msg in
+  (* One MAC authenticator covers all destinations. *)
+  Resource.charge thread
+    (Costmodel.authenticator_gen (costs t) ~bytes:size ~count:(n_nodes t));
+  for dst = 0 to n_nodes t - 1 do
+    if dst <> t.id then begin
+      Resource.charge thread (Costmodel.send (costs t) ~bytes:(cost_bytes t msg));
+      Network.send t.net ~src:(self t) ~dst:(Principal.node dst) ~size msg
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Request tracking                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let request_state t rid =
+  match Request_id_table.find_opt t.requests rid with
+  | Some state -> state
+  | None ->
+    let state =
+      {
+        req = None;
+        senders = [];
+        propagated = false;
+        sig_checked = false;
+        sig_inflight = false;
+        dispatched = false;
+        dispatch_time = Time.zero;
+      }
+    in
+    Request_id_table.add t.requests rid state;
+    state
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch: hand a request to the f+1 local replicas (step 2 end).   *)
+(* ------------------------------------------------------------------ *)
+
+let dispatch_request t (req : Messages.request) =
+  let state = request_state t req.desc.id in
+  if not state.dispatched then begin
+    state.dispatched <- true;
+    state.dispatch_time <- Engine.now t.engine;
+    Array.iteri
+      (fun i replica_thread ->
+        let replica = t.replicas.(i) in
+        Resource.submit replica_thread ~cost:(Time.ns 200) (fun () ->
+            Pbftcore.Replica.submit replica req.desc))
+      t.replica_threads
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Propagation module (step 2)                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Hand over to the replicas once the f+1 PROPAGATE guard holds and
+   the signature is known-good. *)
+let maybe_dispatch t (state : request_state) =
+  match state.req with
+  | Some r
+    when state.sig_checked && (not state.dispatched)
+         && List.length state.senders >= t.params.Params.f + 1 ->
+    Resource.submit t.dispatch ~cost:(Time.ns 200) (fun () -> dispatch_request t r)
+  | Some _ | None -> ()
+
+let note_sender t (state : request_state) sender req =
+  (match (state.req, req) with
+   | None, Some r -> state.req <- Some r
+   | None, None | Some _, _ -> ());
+  if not (List.mem sender state.senders) then begin
+    state.senders <- sender :: state.senders;
+    maybe_dispatch t state
+  end
+
+let propagate_request t (req : Messages.request) =
+  let state = request_state t req.desc.id in
+  if not state.propagated then begin
+    state.propagated <- true;
+    if not t.faults.no_propagate then
+      broadcast_nodes_from t t.propagation
+        (Messages.Propagate { req; from = t.id; junk = false })
+  end;
+  note_sender t state t.id (Some req)
+
+(* ------------------------------------------------------------------ *)
+(* Flood defence                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let note_invalid_from t peer =
+  if peer >= 0 && peer < n_nodes t then begin
+    t.invalid_counts.(peer) <- t.invalid_counts.(peer) + 1;
+    if t.invalid_counts.(peer) > t.params.Params.flood_threshold then begin
+      t.invalid_counts.(peer) <- 0;
+      Trace.emitf t.engine Trace.Warn ~component:(Printf.sprintf "node%d" t.id)
+        "closing NIC of flooding node %d for %s" peer
+        (Time.to_string t.params.Params.flood_close_time);
+      Network.close_nic t.net ~node:t.id ~peer:(Principal.node peer)
+        ~for_:t.params.Params.flood_close_time
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Verification module (step 1)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let reply_to t (id : request_id) result =
+  send_from t t.execution ~dst:(Principal.client id.client)
+    (Messages.Reply { id; result; node = t.id })
+
+(* Schedule the (single) signature verification for a request on the
+   verification thread, then resume on the propagation thread. Runs at
+   most once per request: concurrent callers find [sig_inflight]. *)
+let verify_signature_once t (req : Messages.request) =
+  let state = request_state t req.desc.id in
+  if (not state.sig_checked) && not state.sig_inflight then begin
+    state.sig_inflight <- true;
+    Resource.submit t.verification
+      ~cost:(Costmodel.sig_verify (costs t) ~bytes:req.desc.op_size)
+      (fun () ->
+        state.sig_inflight <- false;
+        if req.sig_valid then begin
+          state.sig_checked <- true;
+          Resource.submit t.propagation ~cost:(Time.ns 200) (fun () ->
+              propagate_request t req;
+              maybe_dispatch t state)
+        end
+        else if not (List.mem req.desc.id.client t.blacklist) then begin
+          (* Invalid signature: blacklist the client (Sec. IV-B, step 1). *)
+          Trace.emitf t.engine Trace.Warn ~component:(Printf.sprintf "node%d" t.id)
+            "blacklisting client %d (invalid signature)" req.desc.id.client;
+          t.blacklist <- req.desc.id.client :: t.blacklist
+        end)
+  end
+
+(* Runs on the verification thread (MAC cost already charged). *)
+let handle_client_request t (req : Messages.request) =
+  if t.faults.drop_client_requests then ()
+  else if List.mem req.desc.id.client t.blacklist then ()
+  else if List.mem t.id req.mac_invalid_for then
+    (* The authenticator entry for this node is broken: drop. *)
+    ()
+  else if Request_id_table.mem t.executed req.desc.id then begin
+    (* Already executed: resend the reply (Section IV-B, step 1). *)
+    match Request_id_table.find_opt t.executed req.desc.id with
+    | Some result -> reply_to t req.desc.id result
+    | None -> ()
+  end
+  else begin
+    let state = request_state t req.desc.id in
+    if state.sig_checked then
+      Resource.submit t.propagation ~cost:(Time.ns 200) (fun () ->
+          propagate_request t req)
+    else verify_signature_once t req
+  end
+
+(* Runs on the propagation thread (MAC cost already charged). *)
+let handle_propagate t ~from (req : Messages.request) ~junk =
+  if junk then note_invalid_from t from
+  else begin
+    let state = request_state t req.desc.id in
+    note_sender t state from (Some req);
+    if state.sig_checked then begin
+      if not state.propagated then propagate_request t req
+    end
+    else verify_signature_once t req
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Protocol instance change (Section IV-D)                            *)
+(* ------------------------------------------------------------------ *)
+
+let perform_instance_change t target_cpi =
+  Trace.emitf t.engine Trace.Info ~component:(Printf.sprintf "node%d" t.id)
+    "protocol instance change (cpi %d -> %d, recovery %s)" target_cpi (target_cpi + 1)
+    (match t.params.Params.recovery with
+     | Params.Change_primaries -> "change-primaries"
+     | Params.Switch_master -> "switch-master");
+  t.cpi <- target_cpi + 1;
+  t.instance_changes <- t.instance_changes + 1;
+  t.last_change_at <- Engine.now t.engine;
+  t.suspicious <- false;
+  t.ic_votes <- List.filter (fun (_, c) -> c >= t.cpi) t.ic_votes;
+  match t.params.Params.recovery with
+  | Params.Change_primaries ->
+    Array.iter (fun r -> Pbftcore.Replica.force_view_change r) t.replicas
+  | Params.Switch_master ->
+    t.master_instance <- (t.master_instance + 1) mod instance_count t;
+    Monitoring.set_master t.monitoring t.master_instance
+
+let check_ic_quorum t =
+  let votes_for_current =
+    List.filter (fun (_, c) -> c >= t.cpi) t.ic_votes
+    |> List.map fst |> List.sort_uniq compare
+  in
+  if List.length votes_for_current >= (2 * t.params.Params.f) + 1 then
+    perform_instance_change t t.cpi
+
+let send_instance_change t =
+  if t.ic_sent_for < t.cpi then begin
+    t.ic_sent_for <- t.cpi;
+    t.ic_votes <- (t.id, t.cpi) :: t.ic_votes;
+    broadcast_nodes_from t t.dispatch
+      (Messages.Instance_change { cpi = t.cpi; node = t.id });
+    check_ic_quorum t
+  end
+
+let handle_instance_change t ~from ~cpi =
+  if cpi >= t.cpi then begin
+    if not (List.exists (fun (node, c) -> node = from && c = cpi) t.ic_votes) then
+      t.ic_votes <- (from, cpi) :: t.ic_votes;
+    (* Vote along only if this node also observes the problem. *)
+    if t.suspicious then send_instance_change t;
+    check_ic_quorum t
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Ordered batches coming back from the replicas                      *)
+(* ------------------------------------------------------------------ *)
+
+let execute_request t (desc : request_desc) =
+  if not (Request_id_table.mem t.executed desc.id) then begin
+    let cost = Time.max t.params.Params.exec_cost (t.service.Service.exec_cost desc.op) in
+    Resource.submit t.execution ~cost (fun () ->
+        if not (Request_id_table.mem t.executed desc.id) then begin
+          let result = t.service.Service.execute desc.op in
+          Request_id_table.replace t.executed desc.id result;
+          t.exec_count <- t.exec_count + 1;
+          Bftmetrics.Throughput.record t.exec_counter ~now:(Engine.now t.engine);
+          t.exec_digest <-
+            Sha256.digest_string (t.exec_digest ^ desc.digest);
+          Resource.charge t.execution
+            (Costmodel.mac_gen (costs t) ~bytes:(String.length result + 16));
+          reply_to t desc.id result
+        end)
+  end
+
+let on_ordered t ~instance descs =
+  (* Runs on the dispatch & monitoring thread. *)
+  Monitoring.note_ordered t.monitoring ~instance ~count:(List.length descs);
+  let now = Engine.now t.engine in
+  let is_master = instance = t.master_instance in
+  List.iter
+    (fun (desc : request_desc) ->
+      (match Request_id_table.find_opt t.requests desc.id with
+       | Some state when state.dispatched ->
+         let latency = Time.sub now state.dispatch_time in
+         Monitoring.note_latency t.monitoring ~instance ~client:desc.id.client
+           latency;
+         (match t.latency_probe with
+          | Some probe -> probe ~instance ~client:desc.id.client latency
+          | None -> ());
+         (* Requests dispatched before the last instance change were
+            held by the previous primary; their latency says nothing
+            about the current one. *)
+         if is_master && state.dispatch_time >= t.last_change_at then begin
+           if
+             Monitoring.lambda_violation t.monitoring ~latency
+             || Monitoring.omega_violation t.monitoring ~client:desc.id.client
+           then begin
+             t.suspicious <- true;
+             send_instance_change t
+           end
+         end
+       | Some _ | None -> ());
+      if is_master then execute_request t desc)
+    descs
+
+(* ------------------------------------------------------------------ *)
+(* Replica hosting                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let make_replica t ~instance thread =
+  let cfg =
+    {
+      Pbftcore.Replica.n = n_nodes t;
+      f = t.params.Params.f;
+      replica_id = t.id;
+      primary_of_view = (fun view -> Params.primary_of t.params ~instance ~view);
+      batch_size = t.params.Params.batch_size;
+      batch_delay = t.params.Params.batch_delay;
+      checkpoint_interval = t.params.Params.checkpoint_interval;
+      watermark_window = t.params.Params.watermark_window;
+      order_full_requests = t.params.Params.order_full_requests;
+      post_vc_quiet = t.params.Params.post_vc_quiet;
+    }
+  in
+  let wrap msg = Messages.Instance { instance; msg } in
+  let send dst msg = send_from t thread ~dst:(Principal.node dst) (wrap msg) in
+  let broadcast msg = broadcast_nodes_from t thread (wrap msg) in
+  let deliver _seq descs =
+    Resource.submit t.dispatch ~cost:(Time.ns 500) (fun () ->
+        on_ordered t ~instance descs)
+  in
+  Pbftcore.Replica.create t.engine cfg
+    { Pbftcore.Replica.send; broadcast; deliver; on_view_change = (fun _ -> ()) }
+
+(* ------------------------------------------------------------------ *)
+(* Inbound routing                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let on_delivery t (d : Messages.t Network.delivery) =
+  let recv_cost = Costmodel.recv (costs t) ~bytes:(cost_bytes t d.Network.payload) in
+  let mac_cost = Costmodel.mac_verify (costs t) ~bytes:d.Network.size in
+  let base = Time.add recv_cost mac_cost in
+  match d.Network.payload with
+  | Messages.Request req ->
+    Resource.submit t.verification ~cost:base (fun () -> handle_client_request t req)
+  | Messages.Propagate { req; from; junk } ->
+    Resource.submit t.propagation ~cost:base (fun () ->
+        handle_propagate t ~from req ~junk)
+  | Messages.Instance { instance; msg } ->
+    if instance < instance_count t then begin
+      let thread = t.replica_threads.(instance) in
+      let from =
+        match d.Network.src with
+        | Principal.Node i -> i
+        | Principal.Client _ -> -1
+      in
+      if from >= 0 then
+        Resource.submit thread ~cost:base (fun () ->
+            Pbftcore.Replica.receive t.replicas.(instance) ~from msg)
+    end
+  | Messages.Instance_change { cpi; node } ->
+    Resource.submit t.dispatch ~cost:base (fun () ->
+        handle_instance_change t ~from:node ~cpi)
+  | Messages.Reply _ -> (* nodes never receive replies *) ()
+
+(* ------------------------------------------------------------------ *)
+(* Monitoring loop and flooding processes                             *)
+(* ------------------------------------------------------------------ *)
+
+let monitoring_tick t =
+  let verdict = Monitoring.tick t.monitoring ~now:(Engine.now t.engine) in
+  Array.fill t.invalid_counts 0 (Array.length t.invalid_counts) 0;
+  t.suspicious <- verdict.Monitoring.suspicious;
+  if t.suspicious then begin
+    (* Allow re-voting for the current cpi each period while the
+       problem persists. *)
+    if t.ic_sent_for >= t.cpi then t.ic_sent_for <- t.cpi - 1;
+    send_instance_change t
+  end
+
+let rec arm_monitoring t =
+  ignore
+    (Engine.after t.engine t.params.Params.monitoring_period (fun () ->
+         Resource.submit t.dispatch ~cost:(Time.us 2) (fun () -> monitoring_tick t);
+         arm_monitoring t))
+
+(* The flooding loop re-reads the fault configuration on every tick,
+   so attacks can be switched on and off at any virtual time. *)
+let start_flooding t =
+  let junk_msg target =
+    let desc = desc_of_op ~client:(-1) ~rid:target "junk" in
+    Messages.Propagate
+      {
+        req =
+          {
+            desc = { desc with op_size = t.faults.flood_size };
+            sig_valid = false;
+            mac_invalid_for = [];
+          };
+        from = t.id;
+        junk = true;
+      }
+  in
+  let rec loop () =
+    let rate = t.faults.flood_rate in
+    let period =
+      if rate > 0.0 then Time.of_sec_f (1.0 /. rate) else Time.ms 10
+    in
+    ignore
+      (Engine.after t.engine period (fun () ->
+           if t.faults.flood_rate > 0.0 then
+             List.iter
+               (fun target ->
+                 let msg = junk_msg target in
+                 let size = msg_size t msg in
+                 Network.send t.net ~src:(self t) ~dst:(Principal.node target)
+                   ~size msg)
+               t.faults.flood_targets;
+           loop ()))
+  in
+  loop ()
+
+let create engine net params ~id ~service =
+  let mk name = Resource.create engine ~name:(Printf.sprintf "n%d.%s" id name) in
+  let instances = Params.instances params in
+  let t =
+    {
+      engine;
+      net;
+      params;
+      id;
+      service;
+      verification = mk "verification";
+      propagation = mk "propagation";
+      dispatch = mk "dispatch";
+      execution = mk "execution";
+      replica_threads =
+        Array.init instances (fun i -> mk (Printf.sprintf "replica%d" i));
+      replicas = [||];
+      faults =
+        {
+          flood_targets = [];
+          flood_size = 9_000;
+          flood_rate = 0.0;
+          no_propagate = false;
+          drop_client_requests = false;
+        };
+      monitoring = Monitoring.create params;
+      requests = Request_id_table.create 4096;
+      executed = Request_id_table.create 4096;
+      exec_counter = Bftmetrics.Throughput.create ();
+      exec_count = 0;
+      exec_digest = "genesis";
+      blacklist = [];
+      cpi = 0;
+      suspicious = false;
+      ic_votes = [];
+      ic_sent_for = -1;
+      instance_changes = 0;
+      last_change_at = Time.zero;
+      master_instance = Params.master_instance;
+      invalid_counts = Array.make (Params.n params) 0;
+      latency_probe = None;
+      started = false;
+    }
+  in
+  t.replicas <-
+    Array.init instances (fun i -> make_replica t ~instance:i t.replica_threads.(i));
+  Network.register_node net id (fun d -> on_delivery t d);
+  t
+
+let set_latency_probe t probe = t.latency_probe <- Some probe
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    arm_monitoring t;
+    start_flooding t
+  end

@@ -1,0 +1,91 @@
+(** An RBFT node: one of the 3f+1 physical machines.
+
+    Mirrors the architecture of the paper's Figure 6. Each node runs
+    four module threads — Verification, Propagation, Dispatch &
+    Monitoring, Execution — plus one replica process per protocol
+    instance, each pinned to its own core (modelled as a
+    {!Dessim.Resource.t}). The node owns one NIC per peer node and one
+    client-facing NIC (provided by {!Bftnet.Network}).
+
+    Responsibilities, matching Section IV-B:
+    + verify client REQUESTs (MAC, then signature; invalid signatures
+      blacklist the client),
+    + PROPAGATE verified requests to all nodes and collect f+1 copies
+      before handing requests to the local replicas,
+    + host the f+1 protocol-instance replicas,
+    + monitor per-instance throughput and latency and run the
+      protocol-instance-change protocol of Section IV-D,
+    + execute master-ordered requests and REPLY to clients,
+    + defend against floods by closing the NIC of a peer that sends
+      too many invalid messages. *)
+
+open Dessim
+open Bftapp
+
+type t
+
+val create :
+  Engine.t -> Messages.t Bftnet.Network.t -> Params.t -> id:int -> service:Service.t -> t
+(** Registers the node's handler on the network. Call {!start} to arm
+    the monitoring timer (and the flooding processes of faulty
+    nodes). *)
+
+val start : t -> unit
+
+val id : t -> int
+val params : t -> Params.t
+
+(** {1 Fault injection}
+
+    Scripted Byzantine behaviours. All default to benign; attack
+    scenarios mutate the returned record and the per-replica
+    adversaries (via {!replica} and {!Pbftcore.Replica.adversary}). *)
+
+type faults = {
+  mutable flood_targets : int list;
+      (** peer nodes to flood with junk PROPAGATEs of maximal size *)
+  mutable flood_size : int;  (** bytes per junk message *)
+  mutable flood_rate : float;  (** junk messages per second, per target *)
+  mutable no_propagate : bool;
+      (** do not take part in the PROPAGATE phase (worst-attack-2) *)
+  mutable drop_client_requests : bool;
+      (** ignore REQUESTs arriving straight from clients *)
+}
+
+val faults : t -> faults
+
+val replica : t -> instance:int -> Pbftcore.Replica.t
+(** The local replica of a protocol instance ([0] = master). *)
+
+val monitoring : t -> Monitoring.t
+
+(** {1 Observability} *)
+
+val master_instance : t -> int
+(** Which instance is currently master (always [0] under
+    [Change_primaries]; moves under the [Switch_master] extension). *)
+
+val executed_count : t -> int
+(** Requests executed (master-ordered), the node-level throughput
+    counter used by the harness. *)
+
+val executed_counter : t -> Bftmetrics.Throughput.t
+(** Windowed view of executions, for measurement. *)
+
+val execution_digest : t -> string
+(** Chained digest of the executed sequence; equal across correct
+    nodes (safety check in tests). *)
+
+val cpi : t -> int
+(** Current protocol-instance-change counter (Section IV-D). *)
+
+val instance_changes : t -> int
+(** Completed protocol instance changes. *)
+
+val set_latency_probe : t -> (instance:int -> client:int -> Dessim.Time.t -> unit) -> unit
+(** Observe every per-request ordering latency the node measures
+    (instance, client, dispatch-to-delivery time) — used to draw the
+    paper's Figure 12. *)
+
+val blacklisted_clients : t -> int list
+val is_blacklisted : t -> client:int -> bool

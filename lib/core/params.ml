@@ -1,0 +1,48 @@
+open Dessim
+
+type recovery = Change_primaries | Switch_master
+
+type t = {
+  f : int;
+  monitoring_period : Time.t;
+  delta : float;
+  lambda : Time.t;
+  omega : Time.t;
+  batch_size : int;
+  batch_delay : Time.t;
+  checkpoint_interval : int;
+  watermark_window : int;
+  order_full_requests : bool;
+  flood_threshold : int;
+  flood_close_time : Time.t;
+  recovery : recovery;
+  post_vc_quiet : Time.t;
+  exec_cost : Time.t;
+  costs : Bftcrypto.Costmodel.t;
+}
+
+let default ~f =
+  {
+    f;
+    monitoring_period = Time.ms 100;
+    delta = 0.95;
+    lambda = Time.zero;
+    omega = Time.zero;
+    batch_size = 64;
+    batch_delay = Time.ms 1;
+    checkpoint_interval = 128;
+    watermark_window = 1024;
+    order_full_requests = false;
+    flood_threshold = 64;
+    flood_close_time = Time.ms 500;
+    recovery = Change_primaries;
+    post_vc_quiet = Time.zero;
+    exec_cost = Time.us 1;
+    costs = Bftcrypto.Costmodel.default;
+  }
+
+let n t = (3 * t.f) + 1
+let instances t = t.f + 1
+let master_instance = 0
+
+let primary_of t ~instance ~view = (view + instance) mod n t

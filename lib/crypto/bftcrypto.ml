@@ -1,0 +1,9 @@
+(** Cryptographic substrate: real SHA-256/HMAC primitives, key
+    management for nodes and clients, and the virtual-time cost model
+    the simulator charges for each operation. *)
+
+module Sha256 = Sha256
+module Hmac = Hmac
+module Principal = Principal
+module Keys = Keys
+module Costmodel = Costmodel

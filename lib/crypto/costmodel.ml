@@ -1,0 +1,60 @@
+module Time = Dessim.Time
+
+type t = {
+  mac_base : Time.t;
+  mac_per_byte : float;
+  sig_sign_base : Time.t;
+  sig_verify_base : Time.t;
+  digest_base : Time.t;
+  digest_per_byte : float;
+  handling : Time.t;
+  touch_per_byte : float;
+}
+
+(* Calibration targets (paper, Section VI-B, f = 1):
+   - RBFT peak ~35 kreq/s at 8 B: the Verification thread performs one
+     MAC verify + one signature verify per request; 1 us + 25 us plus
+     handling gives ~28 us/request.
+   - signatures "an order of magnitude more costly than MACs".
+   - at 4 kB the per-byte costs dominate and push RBFT towards the
+     ~5 kreq/s the paper reports. *)
+let default =
+  {
+    mac_base = Time.ns 1_000;
+    mac_per_byte = 0.4;
+    sig_sign_base = Time.us 50;
+    sig_verify_base = Time.us 25;
+    digest_base = Time.ns 300;
+    digest_per_byte = 1.5;
+    handling = Time.ns 2_000;
+    touch_per_byte = 8.0;
+  }
+
+let per_byte rate bytes = Time.ns (int_of_float (rate *. float_of_int bytes))
+
+let mac_gen t ~bytes = Time.add t.mac_base (per_byte t.mac_per_byte bytes)
+let mac_verify = mac_gen
+
+let authenticator_gen t ~bytes ~count =
+  Time.add (per_byte t.mac_per_byte bytes)
+    (Time.ns (count * t.mac_base))
+
+let digest t ~bytes = Time.add t.digest_base (per_byte t.digest_per_byte bytes)
+
+let sig_sign t ~bytes = Time.add (digest t ~bytes) t.sig_sign_base
+let sig_verify t ~bytes = Time.add (digest t ~bytes) t.sig_verify_base
+
+let recv t ~bytes = Time.add t.handling (per_byte t.touch_per_byte bytes)
+let send t ~bytes = Time.add t.handling (per_byte t.touch_per_byte bytes)
+
+let scale t k =
+  {
+    mac_base = Time.mul_f t.mac_base k;
+    mac_per_byte = t.mac_per_byte *. k;
+    sig_sign_base = Time.mul_f t.sig_sign_base k;
+    sig_verify_base = Time.mul_f t.sig_verify_base k;
+    digest_base = Time.mul_f t.digest_base k;
+    digest_per_byte = t.digest_per_byte *. k;
+    handling = Time.mul_f t.handling k;
+    touch_per_byte = t.touch_per_byte *. k;
+  }

@@ -1,0 +1,51 @@
+(** Virtual-time cost model for cryptography and message handling.
+
+    The paper (Section V) states that the bottleneck of BFT protocols
+    is cryptography, not network usage, and that signatures are an
+    order of magnitude more expensive than MACs. The simulator charges
+    these costs to the CPU thread performing each operation; the
+    constants below are calibrated so that fault-free peak throughputs
+    land in the range reported in Section VI-B (see EXPERIMENTS.md for
+    the calibration notes).
+
+    All costs are in virtual nanoseconds ({!Dessim.Time.t}). *)
+
+type t = {
+  mac_base : Dessim.Time.t;  (** fixed cost of one MAC generate/verify *)
+  mac_per_byte : float;  (** ns per authenticated byte *)
+  sig_sign_base : Dessim.Time.t;  (** fixed cost of signing a digest *)
+  sig_verify_base : Dessim.Time.t;  (** fixed cost of verifying a signature *)
+  digest_base : Dessim.Time.t;  (** fixed cost of a SHA-256 call *)
+  digest_per_byte : float;  (** ns per hashed byte *)
+  handling : Dessim.Time.t;  (** per-message fixed send/receive overhead *)
+  touch_per_byte : float;  (** ns per byte of payload copied through a stage *)
+}
+
+val default : t
+(** Calibration used by all experiments unless overridden. *)
+
+val mac_gen : t -> bytes:int -> Dessim.Time.t
+(** Cost of generating one MAC over [bytes]. *)
+
+val mac_verify : t -> bytes:int -> Dessim.Time.t
+
+val authenticator_gen : t -> bytes:int -> count:int -> Dessim.Time.t
+(** Cost of a MAC authenticator: one pass over the message plus
+    [count] keyed finalizations. *)
+
+val digest : t -> bytes:int -> Dessim.Time.t
+
+val sig_sign : t -> bytes:int -> Dessim.Time.t
+(** Digest the message, then sign the digest. *)
+
+val sig_verify : t -> bytes:int -> Dessim.Time.t
+
+val recv : t -> bytes:int -> Dessim.Time.t
+(** Per-message receive overhead: fixed handling plus byte touching. *)
+
+val send : t -> bytes:int -> Dessim.Time.t
+(** Per-message send overhead. *)
+
+val scale : t -> float -> t
+(** [scale t k] multiplies every constant by [k]; used by ablation
+    benchmarks to explore calibration sensitivity. *)

@@ -1,0 +1,25 @@
+let block_size = 64
+
+let normalize_key key =
+  let key =
+    if String.length key > block_size then Sha256.digest_string key else key
+  in
+  if String.length key = block_size then key
+  else key ^ String.make (block_size - String.length key) '\000'
+
+let xor_pad key byte =
+  String.init block_size (fun i -> Char.chr (Char.code key.[i] lxor byte))
+
+let mac ~key msg =
+  let key = normalize_key key in
+  let ipad = xor_pad key 0x36 and opad = xor_pad key 0x5c in
+  Sha256.digest_string (opad ^ Sha256.digest_string (ipad ^ msg))
+
+let mac_truncated ~key ~len msg =
+  let full = mac ~key msg in
+  assert (len > 0 && len <= String.length full);
+  String.sub full 0 len
+
+let verify ~key ~tag msg =
+  let expected = mac_truncated ~key ~len:(String.length tag) msg in
+  String.equal expected tag

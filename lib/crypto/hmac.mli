@@ -1,0 +1,15 @@
+(** HMAC-SHA-256 (RFC 2104), implemented from scratch and validated
+    against RFC 4231 test vectors. Used both as the real MAC for the
+    library's non-simulated API and as the key-derivation primitive of
+    {!Keys}. *)
+
+val mac : key:string -> string -> string
+(** [mac ~key msg] is the 32-byte HMAC-SHA-256 tag of [msg]. *)
+
+val mac_truncated : key:string -> len:int -> string -> string
+(** [mac_truncated ~key ~len msg] is the first [len] bytes of the tag,
+    matching the short UMAC-style tags BFT implementations put on the
+    wire. *)
+
+val verify : key:string -> tag:string -> string -> bool
+(** Constant-content comparison of a (possibly truncated) tag. *)

@@ -1,0 +1,20 @@
+(** SHA-256 (FIPS 180-4), implemented from scratch.
+
+    The simulation only needs digests for request identifiers and MACs,
+    but we implement the real function (validated against the standard
+    test vectors) so that the library is usable outside the simulator
+    and so that digests have realistic collision behaviour. *)
+
+type t = string
+(** A 32-byte binary digest. *)
+
+val digest_bytes : bytes -> t
+val digest_string : string -> t
+
+val digest_substring : string -> pos:int -> len:int -> t
+
+val to_hex : t -> string
+(** Lowercase hexadecimal rendering (64 characters). *)
+
+val size : int
+(** Digest size in bytes (32). *)

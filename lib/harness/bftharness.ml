@@ -1,0 +1,5 @@
+(** Experiment harness: per-figure runners and table rendering. *)
+
+module Report = Report
+module Calibrate = Calibrate
+module Experiments = Experiments

@@ -1,0 +1,20 @@
+(** Calibrated saturation points for the experiment harness.
+
+    Peak throughputs were measured once with the capacity probe
+    (bin/rbft_sim.exe in its probing configuration) and are anchored
+    here at the two request sizes the paper reports (8 B and 4 kB);
+    intermediate sizes interpolate the per-request cost (1/rate)
+    linearly in the request size, which matches how every per-byte
+    cost in the model scales. *)
+
+type protocol = Rbft | Rbft_udp | Aardvark | Spinning | Prime
+
+val peak_rate : ?f:int -> protocol -> size:int -> float
+(** Estimated peak throughput (req/s) at the given request size. *)
+
+val saturating_rate : ?f:int -> protocol -> size:int -> float
+(** Offered load used for "static, saturated" experiments: slightly
+    above the peak so queues stay full, but below the overload
+    collapse of the single-threaded baselines. *)
+
+val name : protocol -> string

@@ -1,0 +1,815 @@
+open Dessim
+open Bftworkload
+
+let request_sizes ~quick =
+  if quick then [ 8; 1024; 4096 ] else [ 8; 512; 1024; 2048; 4096 ]
+
+let scale ~quick t = if quick then Time.mul_f t 0.5 else t
+
+(* Aardvark's policy times, compressed for simulation (the paper's 5 s
+   grace period would make every figure run tens of simulated seconds;
+   ratios are unaffected because both the fault-free and the attacked
+   runs use the same compression). *)
+let aardvark_config ~f =
+  {
+    (Aardvark.Node.default_config ~f) with
+    Aardvark.Node.policy =
+      {
+        (Aardvark.Policy.default_config ~n:((3 * f) + 1)) with
+        Aardvark.Policy.grace = Time.of_sec_f 1.2;
+        view_warmup = Time.ms 500;
+      };
+    post_vc_quiet = Time.ms 120;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Generic static/dynamic runners per protocol                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Average executed throughput at a correct node over [from_, until]. *)
+let window_rate counter ~from_ ~until =
+  Bftmetrics.Throughput.rate_between counter from_ until
+
+let static_shape ~quick ~duration ~rate =
+  let clients = 20 in
+  Loadshape.static ~duration:(scale ~quick duration) ~clients
+    ~rate:(rate /. float_of_int clients)
+
+let dynamic_shape ~quick ~rate =
+  (* Per-client rate such that the 10-client plateau offers ~22 % of
+     the saturation rate and the 50-client spike slightly overloads
+     (1.1x): enough to expose a lazy primary without driving the
+     single-threaded baselines into ingest collapse, which would
+     corrupt the fault-free reference. *)
+  Loadshape.paper_dynamic
+    ~step:(scale ~quick (Time.ms 300))
+    ~rate:(0.022 *. rate) ()
+
+let run_shape_rbft ?(transport = Bftnet.Network.Tcp) ?(tweak = fun p -> p) ~f
+    ~payload ~shape ~attack () =
+  let params = tweak (Rbft.Params.default ~f) in
+  let cluster =
+    Rbft.Cluster.create ~transport ~clients:(Loadshape.max_clients shape)
+      ~payload_size:payload params
+  in
+  attack cluster;
+  let engine = Rbft.Cluster.engine cluster in
+  Loadshape.apply engine shape ~set_rate:(fun c r ->
+      Rbft.Client.set_rate (Rbft.Cluster.client cluster c) r);
+  let total = Loadshape.total_duration shape in
+  Rbft.Cluster.run_for cluster (Time.add total (Time.ms 200));
+  (* Measure at a correct node: under worst-attack-2, node 0 is
+     faulty. The highest-indexed node is correct in attack-2 (faulty =
+     node 0 ..) and faulty in attack-1 (faulty = last f nodes); node 1
+     is correct in both for f = 1; use node 1 and node 2 for f = 2
+     safety. *)
+  let correct_node = Rbft.Cluster.node cluster 1 in
+  let counter = Rbft.Node.executed_counter correct_node in
+  (window_rate counter ~from_:(Time.ms 200) ~until:total, cluster)
+
+let run_shape_aardvark ?(tweak = fun c -> c) ~f ~payload ~shape ~attack () =
+  let cfg = tweak (aardvark_config ~f) in
+  let cluster =
+    Aardvark.Cluster.create ~clients:(Loadshape.max_clients shape)
+      ~payload_size:payload cfg
+  in
+  attack cluster;
+  let engine = Aardvark.Cluster.engine cluster in
+  Loadshape.apply engine shape ~set_rate:(fun c r ->
+      Aardvark.Client.set_rate (Aardvark.Cluster.client cluster c) r);
+  let total = Loadshape.total_duration shape in
+  Aardvark.Cluster.run_for cluster (Time.add total (Time.ms 200));
+  let counter = Aardvark.Node.executed_counter (Aardvark.Cluster.node cluster 1) in
+  (window_rate counter ~from_:(Time.ms 200) ~until:total, cluster)
+
+let run_shape_spinning ~f ~payload ~shape ~attack () =
+  let cfg = Spinning.Node.default_config ~f in
+  let cluster =
+    Spinning.Cluster.create ~clients:(Loadshape.max_clients shape)
+      ~payload_size:payload cfg
+  in
+  attack cluster;
+  let engine = Spinning.Cluster.engine cluster in
+  Loadshape.apply engine shape ~set_rate:(fun c r ->
+      Spinning.Client.set_rate (Spinning.Cluster.client cluster c) r);
+  let total = Loadshape.total_duration shape in
+  Spinning.Cluster.run_for cluster (Time.add total (Time.ms 200));
+  let counter = Spinning.Node.executed_counter (Spinning.Cluster.node cluster 1) in
+  (window_rate counter ~from_:(Time.ms 200) ~until:total, cluster)
+
+let run_shape_prime ?(exec_cost = Time.us 100) ~f ~payload ~shape ~attack () =
+  let cfg = { (Prime.Node.default_config ~f) with Prime.Node.exec_cost = exec_cost } in
+  let cluster =
+    Prime.Cluster.create ~clients:(Loadshape.max_clients shape)
+      ~payload_size:payload cfg
+  in
+  attack cluster;
+  let engine = Prime.Cluster.engine cluster in
+  Loadshape.apply engine shape ~set_rate:(fun c r ->
+      Prime.Client.set_rate (Prime.Cluster.client cluster c) r);
+  let total = Loadshape.total_duration shape in
+  Prime.Cluster.run_for cluster (Time.add total (Time.ms 200));
+  let counter = Prime.Node.executed_counter (Prime.Cluster.node cluster 1) in
+  (window_rate counter ~from_:(Time.ms 200) ~until:total, cluster)
+
+(* ------------------------------------------------------------------ *)
+(* Figures 1-3 and Table I                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Prime's Figure 1 experiment uses the paper's 0.1 ms requests (1 ms
+   when heavy), which moves its saturation point well below the
+   crypto-bound peak. *)
+let prime_fig1_rate ~size =
+  let r8 = 4_200.0 and r4k = 1_800.0 in
+  let cost8 = 1.0 /. r8 and cost4k = 1.0 /. r4k in
+  let frac = float_of_int (Stdlib.max 0 (size - 8)) /. float_of_int (4096 - 8) in
+  1.0 /. (cost8 +. (frac *. (cost4k -. cost8)))
+
+let fig1 ~quick =
+  let sizes = request_sizes ~quick in
+  let attack_prime cluster =
+    (* The colluding client sends heavy (1 ms) requests — and, being
+       faulty, ignores the load shape and floods at its own rate; the
+       malicious primary stretches its ordering period to the
+       monitored limit. *)
+    let heavy = Prime.Cluster.client cluster 0 in
+    (Prime.Client.behaviour heavy).Prime.Client.heavy <- true;
+    Prime.Client.set_rate heavy 300.0;
+    (Prime.Node.faults (Prime.Cluster.node cluster 0)).Prime.Node.delay_to_limit <- true
+  in
+  let row size =
+    let rate = prime_fig1_rate ~size in
+    let static = static_shape ~quick ~duration:(Time.of_sec_f 4.0) ~rate in
+    (* Prime's dynamic load runs closer to saturation than the generic
+       shape: the attack caps capacity near the fault-free peak, so a
+       light plateau would hide it entirely. *)
+    let dynamic =
+      Loadshape.paper_dynamic ~step:(scale ~quick (Time.ms 300)) ~rate:(0.05 *. rate) ()
+    in
+    let measure shape attack =
+      fst (run_shape_prime ~f:1 ~payload:size ~shape ~attack ())
+    in
+    let rel shape =
+      let ff = measure shape (fun _ -> ()) in
+      let att = measure shape attack_prime in
+      if ff <= 0.0 then 0.0 else att /. ff
+    in
+    let rs = rel static and rd = rel dynamic in
+    ( [ string_of_int size; Report.pct rs; Report.pct rd ], Stdlib.min rs rd )
+  in
+  let rows = List.map row sizes in
+  ( {
+      Report.id = "fig1";
+      title = "Prime throughput under attack relative to fault-free (paper: 22-40%)";
+      columns = [ "size(B)"; "static"; "dynamic" ];
+      rows = List.map fst rows;
+      notes =
+        [
+          "paper: degradation up to 78% (relative throughput down to 22%)";
+          "attack: colluding heavy-request client inflates monitored RTT/exec; \
+           primary delays to the allowance";
+        ];
+    },
+    List.fold_left (fun acc (_, m) -> Stdlib.min acc m) 1.0 rows )
+
+let fig2 ~quick =
+  let sizes = request_sizes ~quick in
+  let attack cluster =
+    (Aardvark.Node.faults (Aardvark.Cluster.node cluster 0)).Aardvark.Node.track_required <-
+      true
+  in
+  let row size =
+    let rate = Calibrate.saturating_rate Calibrate.Aardvark ~size in
+    (* Static: measure during the malicious primary's reign (view 0:
+       grace plus the ratchet, ~2.2 s with the compressed policy
+       times). Below saturation an open-loop system catches the backlog
+       up after the eviction, which would hide the damage from a
+       whole-run average; the paper's saturated testbed had no such
+       slack. *)
+    let static = static_shape ~quick:false ~duration:(Time.of_sec_f 3.0) ~rate in
+    (* The spike must land inside the primary's grace period, as in the
+       paper, where the 5 s grace dwarfed the load spike; with the
+       compressed 1.2 s grace the 150 ms steps put the 50-client spike
+       at 0.9-1.2 s. *)
+    let dynamic =
+      Loadshape.paper_dynamic ~step:(Time.ms 150) ~rate:(0.022 *. rate) ()
+    in
+    (* The grace period must dwarf the experiment, as in the paper
+       (5 s grace): the malicious primary then reigns for the whole
+       dynamic run and its spike is throttled at the stale, pre-spike
+       requirement. *)
+    let long_grace c =
+      {
+        c with
+        Aardvark.Node.policy =
+          { c.Aardvark.Node.policy with Aardvark.Policy.grace = Time.of_sec_f 2.5 };
+      }
+    in
+    let measure_windowed shape a ~from_ ~until =
+      let _, cluster =
+        run_shape_aardvark ~tweak:long_grace ~f:1 ~payload:size ~shape ~attack:a ()
+      in
+      let counter = Aardvark.Node.executed_counter (Aardvark.Cluster.node cluster 1) in
+      window_rate counter ~from_ ~until
+    in
+    let rel_static =
+      let window a =
+        measure_windowed static a ~from_:(Time.ms 300) ~until:(Time.of_sec_f 2.0)
+      in
+      let ff = window (fun _ -> ()) in
+      let att = window attack in
+      if ff <= 0.0 then 0.0 else att /. ff
+    in
+    let rel_dynamic =
+      let measure a =
+        fst
+          (run_shape_aardvark ~tweak:long_grace ~f:1 ~payload:size ~shape:dynamic
+             ~attack:a ())
+      in
+      let ff = measure (fun _ -> ()) in
+      let att = measure attack in
+      if ff <= 0.0 then 0.0 else att /. ff
+    in
+    let rs = rel_static and rd = rel_dynamic in
+    ( [ string_of_int size; Report.pct rs; Report.pct rd ], Stdlib.min rs rd )
+  in
+  let rows = List.map row sizes in
+  ( {
+      Report.id = "fig2";
+      title = "Aardvark throughput under attack relative to fault-free (paper: static >= 76%, dynamic down to 13%)";
+      columns = [ "size(B)"; "static"; "dynamic" ];
+      rows = List.map fst rows;
+      notes =
+        [
+          "attack: the faulty primary shadows the ratcheting throughput \
+           requirement and orders just above it";
+        ];
+    },
+    List.fold_left (fun acc (_, m) -> Stdlib.min acc m) 1.0 rows )
+
+let fig3 ~quick =
+  let sizes = request_sizes ~quick in
+  let attack cluster =
+    (* All f faulty nodes delay their proposals by a little less than
+       Stimeout whenever the rotation hands them the primary slot. *)
+    (Spinning.Node.faults (Spinning.Cluster.node cluster 3)).Spinning.Node.delay_fraction <-
+      0.95
+  in
+  let row size =
+    let rate = Calibrate.saturating_rate Calibrate.Spinning ~size in
+    let static = static_shape ~quick ~duration:(Time.of_sec_f 3.0) ~rate in
+    let dynamic = dynamic_shape ~quick ~rate in
+    let measure shape a = fst (run_shape_spinning ~f:1 ~payload:size ~shape ~attack:a ()) in
+    let rel shape =
+      let ff = measure shape (fun _ -> ()) in
+      let att = measure shape attack in
+      if ff <= 0.0 then 0.0 else att /. ff
+    in
+    let rs = rel static and rd = rel dynamic in
+    ( [ string_of_int size; Report.pct rs; Report.pct rd ], Stdlib.min rs rd )
+  in
+  let rows = List.map row sizes in
+  ( {
+      Report.id = "fig3";
+      title = "Spinning throughput under attack relative to fault-free (paper: static ~1%, dynamic ~4.5%)";
+      columns = [ "size(B)"; "static"; "dynamic" ];
+      rows = List.map fst rows;
+      notes = [ "attack: delay each faulty-led batch by 0.95 * Stimeout (40 ms)" ];
+    },
+    List.fold_left (fun acc (_, m) -> Stdlib.min acc m) 1.0 rows )
+
+let robustness_of_baselines ~quick =
+  let t1, worst_prime = fig1 ~quick in
+  let t2, worst_aardvark = fig2 ~quick in
+  let t3, worst_spinning = fig3 ~quick in
+  let table1 =
+    {
+      Report.id = "table1";
+      title = "Maximum throughput degradation of 'robust' BFT protocols under attack";
+      columns = [ ""; "Prime"; "Aardvark"; "Spinning" ];
+      rows =
+        [
+          [
+            "max degradation";
+            Report.pct (1.0 -. worst_prime);
+            Report.pct (1.0 -. worst_aardvark);
+            Report.pct (1.0 -. worst_spinning);
+          ];
+        ];
+      notes = [ "paper: Prime 78%, Aardvark 87%, Spinning 99%" ];
+    }
+  in
+  [ t1; t2; t3; table1 ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7: latency vs throughput                                    *)
+(* ------------------------------------------------------------------ *)
+
+type sweep_point = { offered : float; achieved : float; latency_ms : float }
+
+let sweep_fractions ~quick =
+  if quick then [ 0.3; 0.7; 0.95 ] else [ 0.2; 0.4; 0.6; 0.8; 0.95; 1.05 ]
+
+let fig7_point ~proto ~payload ~fraction ~quick =
+  let peak = Calibrate.peak_rate proto ~size:payload in
+  let offered = fraction *. peak in
+  let clients = 20 in
+  let duration =
+    scale ~quick
+      (match proto with Calibrate.Aardvark -> Time.of_sec_f 3.0 | _ -> Time.of_sec_f 1.6)
+  in
+  let shape = Loadshape.static ~duration ~clients ~rate:(offered /. float_of_int clients) in
+  let warm = Time.ms 400 in
+  match proto with
+  | Calibrate.Rbft | Calibrate.Rbft_udp ->
+    let transport =
+      match proto with Calibrate.Rbft_udp -> Bftnet.Network.Udp | _ -> Bftnet.Network.Tcp
+    in
+    let rate, cluster =
+      run_shape_rbft ~transport ~f:1 ~payload ~shape ~attack:(fun _ -> ()) ()
+    in
+    ignore rate;
+    let counter = Rbft.Node.executed_counter (Rbft.Cluster.node cluster 1) in
+    let achieved = window_rate counter ~from_:warm ~until:(Loadshape.total_duration shape) in
+    let lat = Bftmetrics.Stats.create () in
+    Array.iter
+      (fun c ->
+        let h = Rbft.Client.latencies c in
+        if Bftmetrics.Hist.count h > 0 then Bftmetrics.Stats.add lat (Bftmetrics.Hist.mean h))
+      (Rbft.Cluster.clients cluster);
+    { offered; achieved; latency_ms = 1e3 *. Bftmetrics.Stats.mean lat }
+  | Calibrate.Aardvark ->
+    let _, cluster = run_shape_aardvark ~f:1 ~payload ~shape ~attack:(fun _ -> ()) () in
+    let counter = Aardvark.Node.executed_counter (Aardvark.Cluster.node cluster 1) in
+    let achieved = window_rate counter ~from_:warm ~until:(Loadshape.total_duration shape) in
+    let lat = Bftmetrics.Stats.create () in
+    Array.iter
+      (fun c ->
+        let h = Aardvark.Client.latencies c in
+        if Bftmetrics.Hist.count h > 0 then Bftmetrics.Stats.add lat (Bftmetrics.Hist.mean h))
+      (Aardvark.Cluster.clients cluster);
+    { offered; achieved; latency_ms = 1e3 *. Bftmetrics.Stats.mean lat }
+  | Calibrate.Spinning ->
+    let _, cluster = run_shape_spinning ~f:1 ~payload ~shape ~attack:(fun _ -> ()) () in
+    let counter = Spinning.Node.executed_counter (Spinning.Cluster.node cluster 1) in
+    let achieved = window_rate counter ~from_:warm ~until:(Loadshape.total_duration shape) in
+    let lat = Bftmetrics.Stats.create () in
+    Array.iter
+      (fun c ->
+        let h = Spinning.Client.latencies c in
+        if Bftmetrics.Hist.count h > 0 then Bftmetrics.Stats.add lat (Bftmetrics.Hist.mean h))
+      (Spinning.Cluster.clients cluster);
+    { offered; achieved; latency_ms = 1e3 *. Bftmetrics.Stats.mean lat }
+  | Calibrate.Prime ->
+    let _, cluster =
+      run_shape_prime ~exec_cost:(Time.us 1) ~f:1 ~payload ~shape ~attack:(fun _ -> ()) ()
+    in
+    let counter = Prime.Node.executed_counter (Prime.Cluster.node cluster 1) in
+    let achieved = window_rate counter ~from_:warm ~until:(Loadshape.total_duration shape) in
+    let lat = Bftmetrics.Stats.create () in
+    Array.iter
+      (fun c ->
+        let h = Prime.Client.latencies c in
+        if Bftmetrics.Hist.count h > 0 then Bftmetrics.Stats.add lat (Bftmetrics.Hist.mean h))
+      (Prime.Cluster.clients cluster);
+    { offered; achieved; latency_ms = 1e3 *. Bftmetrics.Stats.mean lat }
+
+let fig7_table ~quick ~payload ~id ~paper_note =
+  let protos =
+    [ Calibrate.Rbft; Calibrate.Rbft_udp; Calibrate.Aardvark; Calibrate.Spinning; Calibrate.Prime ]
+  in
+  let rows =
+    List.concat_map
+      (fun proto ->
+        List.map
+          (fun fraction ->
+            let p = fig7_point ~proto ~payload ~fraction ~quick in
+            [
+              Calibrate.name proto;
+              Report.kreq p.offered;
+              Report.kreq p.achieved;
+              Report.f2 p.latency_ms;
+            ])
+          (sweep_fractions ~quick))
+      protos
+  in
+  {
+    Report.id;
+    title =
+      Printf.sprintf "Latency vs throughput, %dB requests (f = 1)" payload;
+    columns = [ "protocol"; "offered(kreq/s)"; "achieved(kreq/s)"; "latency(ms)" ];
+    rows;
+    notes = [ paper_note ];
+  }
+
+let fig7 ~quick =
+  [
+    fig7_table ~quick ~payload:8 ~id:"fig7a"
+      ~paper_note:
+        "paper peaks (kreq/s): Spinning ~42, RBFT 35, Aardvark 31.6, Prime ~15; \
+         Prime latency an order of magnitude higher; UDP latency ~22% below TCP";
+    fig7_table ~quick ~payload:4096 ~id:"fig7b"
+      ~paper_note:
+        "paper peaks (kreq/s): Spinning ~6.5, RBFT 5, Aardvark 1.7; \
+         RBFT ordering identifiers beats full-request ordering";
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Figures 8-11: RBFT under the worst attacks                         *)
+(* ------------------------------------------------------------------ *)
+
+let rbft_relative ~quick ~f ~attack_fn ~size ~dynamic =
+  let rate = Calibrate.saturating_rate ~f Calibrate.Rbft ~size in
+  let shape =
+    if dynamic then dynamic_shape ~quick ~rate
+    else static_shape ~quick ~duration:(Time.of_sec_f 2.5) ~rate
+  in
+  let measure attack = run_shape_rbft ~f ~payload:size ~shape ~attack () in
+  let ff, _ = measure (fun _ -> ()) in
+  let att, cluster = measure attack_fn in
+  ((if ff <= 0.0 then 0.0 else att /. ff), cluster)
+
+let fig_rbft_attack ~quick ~attack_fn ~id ~title ~paper_note =
+  let sizes = request_sizes ~quick in
+  let fs = if quick then [ 1 ] else [ 1; 2 ] in
+  let rows =
+    List.concat_map
+      (fun f ->
+        List.map
+          (fun size ->
+            let rs, _ = rbft_relative ~quick ~f ~attack_fn ~size ~dynamic:false in
+            let rd, _ = rbft_relative ~quick ~f ~attack_fn ~size ~dynamic:true in
+            [ string_of_int f; string_of_int size; Report.pct rs; Report.pct rd ])
+          sizes)
+      fs
+  in
+  {
+    Report.id;
+    title;
+    columns = [ "f"; "size(B)"; "static"; "dynamic" ];
+    rows;
+    notes = [ paper_note ];
+  }
+
+(* Per-node monitored throughput of the master and backup instances
+   (Figures 9 and 11), read from the monitoring history of the correct
+   nodes during a 4 kB static attack run. *)
+let fig_monitoring ~quick ~attack_fn ~correct_nodes ~id ~title ~paper_note =
+  let size = 4096 in
+  let f = 1 in
+  let rate = Calibrate.saturating_rate ~f Calibrate.Rbft ~size in
+  let shape = static_shape ~quick ~duration:(Time.of_sec_f 2.5) ~rate in
+  let _, cluster = run_shape_rbft ~f ~payload:size ~shape ~attack:attack_fn () in
+  let rows =
+    List.map
+      (fun node_id ->
+        let m = Rbft.Node.monitoring (Rbft.Cluster.node cluster node_id) in
+        let history = Rbft.Monitoring.history m in
+        (* Drop the first and last windows (warmup / drain). *)
+        let mid =
+          match history with
+          | [] | [ _ ] | [ _; _ ] -> history
+          | _ :: rest -> List.filteri (fun i _ -> i < List.length rest - 1) rest
+        in
+        let master = Bftmetrics.Stats.create () and backup = Bftmetrics.Stats.create () in
+        List.iter
+          (fun (_, rates) ->
+            Bftmetrics.Stats.add master rates.(0);
+            let backups = Array.length rates - 1 in
+            let sum = ref 0.0 in
+            Array.iteri (fun i r -> if i > 0 then sum := !sum +. r) rates;
+            Bftmetrics.Stats.add backup (!sum /. float_of_int backups))
+          mid;
+        [
+          Printf.sprintf "node %d" node_id;
+          Report.kreq (Bftmetrics.Stats.mean master);
+          Report.kreq (Bftmetrics.Stats.mean backup);
+        ])
+      correct_nodes
+  in
+  {
+    Report.id;
+    title;
+    columns = [ "node"; "master(kreq/s)"; "backup(kreq/s)" ];
+    rows;
+    notes = [ paper_note ];
+  }
+
+let fig8_9 ~quick =
+  [
+    fig_rbft_attack ~quick ~attack_fn:Rbft.Attacks.worst_attack_1 ~id:"fig8"
+      ~title:"RBFT throughput under worst-attack-1 relative to fault-free"
+      ~paper_note:"paper: loss <= 2.2% static, ~0% dynamic (f=1); <= 0.4% (f=2)";
+    fig_monitoring ~quick ~attack_fn:Rbft.Attacks.worst_attack_1 ~correct_nodes:[ 0; 1; 2 ]
+      ~id:"fig9"
+      ~title:"Per-node monitored throughput under worst-attack-1 (static, 4kB, f=1)"
+      ~paper_note:"paper: all nodes measure ~the same; master within 2% of backup";
+  ]
+
+let fig10_11 ~quick =
+  [
+    fig_rbft_attack ~quick ~attack_fn:Rbft.Attacks.worst_attack_2 ~id:"fig10"
+      ~title:"RBFT throughput under worst-attack-2 relative to fault-free"
+      ~paper_note:"paper: loss < 3% (f=1), < 1% (f=2)";
+    fig_monitoring ~quick ~attack_fn:Rbft.Attacks.worst_attack_2 ~correct_nodes:[ 1; 2; 3 ]
+      ~id:"fig11"
+      ~title:"Per-node monitored throughput under worst-attack-2 (static, 4kB, f=1)"
+      ~paper_note:"paper: master almost equal to backup at every correct node";
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 12: the unfair primary                                      *)
+(* ------------------------------------------------------------------ *)
+
+let fig12 ~quick =
+  ignore quick;
+  let params =
+    {
+      (Rbft.Params.default ~f:1) with
+      Rbft.Params.lambda = Time.of_us_f 1500.0;
+      batch_delay = Time.of_us_f 200.0;
+      delta = 0.5 (* keep the throughput check out of the way, as the paper does *);
+    }
+  in
+  let cluster = Rbft.Cluster.create ~clients:2 ~payload_size:4096 params in
+  (* Per-request ordering latencies observed at correct node 1. *)
+  let samples = ref [] in
+  let count = ref 0 in
+  Rbft.Node.set_latency_probe (Rbft.Cluster.node cluster 1)
+    (fun ~instance ~client latency ->
+      if instance = 0 then begin
+        incr count;
+        samples := (!count, client, latency) :: !samples
+      end);
+  Array.iter
+    (fun c -> Rbft.Client.set_rate c 350.0)
+    (Rbft.Cluster.clients cluster);
+  (* The faulty master primary (node 0): fair for the first 500
+     requests, then holds client 0's requests by 0.5 ms, then by 1 ms
+     (the paper's escalation at request ~1000). *)
+  let replica = Rbft.Node.replica (Rbft.Cluster.node cluster 0) ~instance:0 in
+  (Pbftcore.Replica.adversary replica).Pbftcore.Replica.client_hold <-
+    (fun id ->
+      if id.Pbftcore.Types.client <> 0 then Time.zero
+      else begin
+        let ordered = Pbftcore.Replica.ordered_count replica in
+        if ordered < 500 then Time.zero
+        else if ordered < 1000 then Time.of_us_f 500.0
+        else Time.of_us_f 1000.0
+      end);
+  Rbft.Cluster.run_for cluster (Time.of_sec_f 3.0);
+  let samples = List.rev !samples in
+  let bucket lo hi client =
+    let s = Bftmetrics.Stats.create () in
+    List.iter
+      (fun (i, c, lat) ->
+        if i >= lo && i < hi && c = client then
+          Bftmetrics.Stats.add s (Time.to_ms_f lat))
+      samples;
+    Bftmetrics.Stats.mean s
+  in
+  let phases = [ (0, 500, "fair"); (500, 1000, "hold 0.5ms"); (1000, 1400, "hold 1ms") ] in
+  let rows =
+    List.map
+      (fun (lo, hi, label) ->
+        [
+          Printf.sprintf "req %d-%d (%s)" lo hi label;
+          Report.f2 (bucket lo hi 0);
+          Report.f2 (bucket lo hi 1);
+        ])
+      phases
+  in
+  let changes = Rbft.Node.instance_changes (Rbft.Cluster.node cluster 1) in
+  {
+    Report.id = "fig12";
+    title = "Unfair primary: mean ordering latency (ms) per phase, two clients (4kB, f=1)";
+    columns = [ "phase"; "client 0 (attacked)"; "client 1" ];
+    rows =
+      rows
+      @ [ [ "protocol instance changes"; string_of_int changes; "" ] ];
+    notes =
+      [
+        "paper: 0.8 ms fair, 1.3 ms during the 0.5 ms hold; a request above \
+         Lambda = 1.5 ms triggers a protocol instance change and fairness returns";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let peak_of ~quick ~tweak ~transport ~payload =
+  let rate = Calibrate.saturating_rate Calibrate.Rbft ~size:payload in
+  let shape = static_shape ~quick ~duration:(Time.of_sec_f 2.0) ~rate in
+  let _, cluster = run_shape_rbft ~transport ~tweak ~f:1 ~payload ~shape ~attack:(fun _ -> ()) () in
+  let counter = Rbft.Node.executed_counter (Rbft.Cluster.node cluster 1) in
+  window_rate counter ~from_:(Time.ms 400) ~until:(Loadshape.total_duration shape)
+
+let ablation_ordering ~quick =
+  let full = peak_of ~quick ~transport:Bftnet.Network.Tcp ~payload:4096
+      ~tweak:(fun p -> { p with Rbft.Params.order_full_requests = true })
+  in
+  let ids = peak_of ~quick ~transport:Bftnet.Network.Tcp ~payload:4096 ~tweak:(fun p -> p) in
+  {
+    Report.id = "ablation-ordering";
+    title = "RBFT at 4kB: ordering identifiers vs full requests";
+    columns = [ "variant"; "throughput(kreq/s)" ];
+    rows =
+      [
+        [ "identifiers (RBFT)"; Report.kreq ids ];
+        [ "full requests"; Report.kreq full ];
+      ];
+    notes = [ "paper: 5 kreq/s vs 1.8 kreq/s (Section VI-B)" ];
+  }
+
+let ablation_view_changes ~quick =
+  (* Force RBFT through Aardvark-style regular primary changes and
+     measure the cost RBFT avoids by only changing on faults. *)
+  let forced_period = Time.of_sec_f 0.5 in
+  let with_forced cluster =
+    let engine = Rbft.Cluster.engine cluster in
+    let rec loop () =
+      ignore
+        (Engine.after engine forced_period (fun () ->
+             Array.iter
+               (fun node ->
+                 for i = 0 to Rbft.Params.instances (Rbft.Cluster.params cluster) - 1 do
+                   Pbftcore.Replica.force_view_change (Rbft.Node.replica node ~instance:i)
+                 done)
+               (Rbft.Cluster.nodes cluster);
+             loop ()))
+    in
+    loop ()
+  in
+  let rate = Calibrate.saturating_rate Calibrate.Rbft ~size:8 in
+  let shape = static_shape ~quick ~duration:(Time.of_sec_f 3.0) ~rate in
+  let measure attack =
+    let _, cluster = run_shape_rbft ~f:1 ~payload:8 ~shape ~attack () in
+    let counter = Rbft.Node.executed_counter (Rbft.Cluster.node cluster 1) in
+    window_rate counter ~from_:(Time.ms 400) ~until:(Loadshape.total_duration shape)
+  in
+  let normal = measure (fun _ -> ()) in
+  let forced = measure with_forced in
+  (* Aardvark-style changes also pay a recovery pause. *)
+  let forced_with_recovery =
+    let _, cluster =
+      run_shape_rbft
+        ~tweak:(fun p -> { p with Rbft.Params.post_vc_quiet = Time.ms 120 })
+        ~f:1 ~payload:8 ~shape ~attack:with_forced ()
+    in
+    let counter = Rbft.Node.executed_counter (Rbft.Cluster.node cluster 1) in
+    window_rate counter ~from_:(Time.ms 400) ~until:(Loadshape.total_duration shape)
+  in
+  {
+    Report.id = "ablation-viewchange";
+    title = "RBFT 8B: no regular view changes vs forced primary changes every 0.5s";
+    columns = [ "variant"; "throughput(kreq/s)" ];
+    rows =
+      [
+        [ "RBFT (changes only on faults)"; Report.kreq normal ];
+        [ "forced regular changes (cheap)"; Report.kreq forced ];
+        [ "forced changes + recovery pause"; Report.kreq forced_with_recovery ];
+      ];
+    notes =
+      [
+        "the paper credits RBFT's edge over Aardvark to the absence of regular \
+         view changes (Section VI-B); the instance-change protocol itself is \
+         cheap, the recovery pause of an Aardvark-style change is not";
+      ];
+  }
+
+let ablation_delta ~quick =
+  let deltas = [ 0.80; 0.90; 0.95; 0.98 ] in
+  let rows =
+    List.map
+      (fun delta ->
+        let tweak p = { p with Rbft.Params.delta } in
+        let rate = Calibrate.saturating_rate Calibrate.Rbft ~size:8 in
+        let shape = static_shape ~quick ~duration:(Time.of_sec_f 2.0) ~rate in
+        let measure attack =
+          let _, cluster = run_shape_rbft ~tweak ~f:1 ~payload:8 ~shape ~attack () in
+          let counter = Rbft.Node.executed_counter (Rbft.Cluster.node cluster 1) in
+          ( window_rate counter ~from_:(Time.ms 400)
+              ~until:(Loadshape.total_duration shape),
+            Rbft.Node.instance_changes (Rbft.Cluster.node cluster 1) )
+        in
+        let ff, _ = measure (fun _ -> ()) in
+        let att, changes = measure Rbft.Attacks.worst_attack_2 in
+        [
+          Report.f2 delta;
+          Report.pct (if ff > 0.0 then att /. ff else 0.0);
+          string_of_int changes;
+        ])
+      deltas
+  in
+  {
+    Report.id = "ablation-delta";
+    title = "Delta threshold vs worst-attack-2 damage (8B, f=1, static)";
+    columns = [ "Delta"; "relative throughput"; "instance changes" ];
+    rows;
+    notes =
+      [
+        "a lower Delta leaves the malicious primary more slack; the attacker \
+         always sits just above the threshold";
+      ];
+  }
+
+let ablation_switch_master ~quick =
+  let tweak p = { p with Rbft.Params.recovery = Rbft.Params.Switch_master; delta = 0.9 } in
+  let rate = Calibrate.saturating_rate Calibrate.Rbft ~size:8 in
+  let shape = static_shape ~quick ~duration:(Time.of_sec_f 2.5) ~rate in
+  let slow_master cluster =
+    (Pbftcore.Replica.adversary
+       (Rbft.Node.replica (Rbft.Cluster.node cluster 0) ~instance:0))
+      .Pbftcore.Replica.pp_rate_limit <- (fun () -> 0.3 *. rate)
+  in
+  let measure tweak =
+    let _, cluster = run_shape_rbft ~tweak ~f:1 ~payload:8 ~shape ~attack:slow_master () in
+    let counter = Rbft.Node.executed_counter (Rbft.Cluster.node cluster 1) in
+    ( window_rate counter ~from_:(Time.ms 400) ~until:(Loadshape.total_duration shape),
+      Rbft.Node.master_instance (Rbft.Cluster.node cluster 1) )
+  in
+  let tput_change, _ = measure (fun p -> { p with Rbft.Params.delta = 0.9 }) in
+  let tput_switch, master = measure tweak in
+  {
+    Report.id = "ablation-recovery";
+    title = "Recovery from a throttled master primary: change primaries vs switch master";
+    columns = [ "recovery"; "throughput(kreq/s)"; "final master instance" ];
+    rows =
+      [
+        [ "change primaries (paper)"; Report.kreq tput_change; "0" ];
+        [ "switch master (extension)"; Report.kreq tput_switch; string_of_int master ];
+      ];
+    notes =
+      [
+        "the paper sketches master switching as an alternative design \
+         (Section IV-A, future work)";
+      ];
+  }
+
+(* The paper scopes RBFT to open-loop systems (Section II): with
+   closed-loop clients the offered load itself is throttled by a slow
+   master, so the backup instances can never order faster and the
+   ratio test has nothing to compare. This ablation demonstrates that
+   limitation with the implemented closed-loop client mode. *)
+let ablation_closed_loop ~quick =
+  let params = { (Rbft.Params.default ~f:1) with Rbft.Params.delta = 0.9 } in
+  let duration = scale ~quick (Time.of_sec_f 2.5) in
+  let run ~closed =
+    let cluster = Rbft.Cluster.create ~clients:20 params in
+    Array.iter
+      (fun c ->
+        if closed then Rbft.Client.set_closed_loop c ~outstanding:20
+        else
+          Rbft.Client.set_rate c (Calibrate.saturating_rate Calibrate.Rbft ~size:8 /. 20.))
+      (Rbft.Cluster.clients cluster);
+    (* Reach steady state first, then have the master primary throttle
+       itself to ~40 % of capacity. *)
+    Rbft.Cluster.run_for cluster (Time.ms 500);
+    let attack_start = Engine.now (Rbft.Cluster.engine cluster) in
+    let replica = Rbft.Node.replica (Rbft.Cluster.node cluster 0) ~instance:0 in
+    (Pbftcore.Replica.adversary replica).Pbftcore.Replica.pp_rate_limit <-
+      (fun () -> 0.4 *. Calibrate.peak_rate Calibrate.Rbft ~size:8);
+    Rbft.Cluster.run_for cluster duration;
+    let counter = Rbft.Node.executed_counter (Rbft.Cluster.node cluster 1) in
+    ( window_rate counter
+        ~from_:(Time.add attack_start (Time.ms 300))
+        ~until:(Time.add attack_start duration),
+      Rbft.Node.instance_changes (Rbft.Cluster.node cluster 1) )
+  in
+  let open_tput, open_ics = run ~closed:false in
+  let closed_tput, closed_ics = run ~closed:true in
+  {
+    Report.id = "ablation-closedloop";
+    title = "Why RBFT targets open-loop systems: a 40%-throttled master primary";
+    columns = [ "clients"; "throughput(kreq/s)"; "instance changes" ];
+    rows =
+      [
+        [ "open-loop (paper's model)"; Report.kreq open_tput; string_of_int open_ics ];
+        [ "closed-loop"; Report.kreq closed_tput; string_of_int closed_ics ];
+      ];
+    notes =
+      [
+        "open loop: the backups keep ordering the full offered load, the ratio \
+         test fires and the slow primary is replaced; closed loop: clients are \
+         throttled by the master, backups cannot outpace it, and the attack is \
+         invisible (Section II / future work)";
+      ];
+  }
+
+let ablations ~quick =
+  [
+    ablation_ordering ~quick;
+    ablation_view_changes ~quick;
+    ablation_delta ~quick;
+    ablation_switch_master ~quick;
+    ablation_closed_loop ~quick;
+  ]
+
+let all ~quick =
+  robustness_of_baselines ~quick
+  @ fig7 ~quick
+  @ fig8_9 ~quick
+  @ fig10_11 ~quick
+  @ [ fig12 ~quick ]
+  @ ablations ~quick

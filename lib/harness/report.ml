@@ -1,0 +1,42 @@
+type table = {
+  id : string;
+  title : string;
+  columns : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let f1 v = Printf.sprintf "%.1f" v
+let f2 v = Printf.sprintf "%.2f" v
+let pct v = Printf.sprintf "%.1f%%" (100.0 *. v)
+let kreq v = Printf.sprintf "%.1f" (v /. 1e3)
+
+let print t =
+  let all_rows = t.columns :: t.rows in
+  let ncols = List.fold_left (fun acc r -> Stdlib.max acc (List.length r)) 0 all_rows in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some cell -> Stdlib.max acc (String.length cell)
+        | None -> acc)
+      0 all_rows
+  in
+  let widths = List.init ncols width in
+  let render row =
+    let cells =
+      List.mapi
+        (fun i w ->
+          let cell = match List.nth_opt row i with Some c -> c | None -> "" in
+          cell ^ String.make (w - String.length cell) ' ')
+        widths
+    in
+    "  " ^ String.concat "  " cells
+  in
+  Printf.printf "\n== [%s] %s ==\n" t.id t.title;
+  print_endline (render t.columns);
+  print_endline
+    ("  " ^ String.concat "  " (List.map (fun w -> String.make w '-') widths));
+  List.iter (fun row -> print_endline (render row)) t.rows;
+  List.iter (fun note -> Printf.printf "  note: %s\n" note) t.notes;
+  print_newline ()

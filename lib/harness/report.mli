@@ -1,0 +1,24 @@
+(** Rendering of experiment results as paper-style tables. *)
+
+type table = {
+  id : string;  (** "table1", "fig7a", ... *)
+  title : string;
+  columns : string list;
+  rows : string list list;
+  notes : string list;
+      (** comparison notes: what the paper reports vs what we measure *)
+}
+
+val print : table -> unit
+(** Pretty-print with aligned columns and the notes underneath. *)
+
+val f1 : float -> string
+(** One decimal. *)
+
+val f2 : float -> string
+
+val pct : float -> string
+(** A ratio as a percentage with one decimal. *)
+
+val kreq : float -> string
+(** A req/s value in kreq/s with one decimal. *)

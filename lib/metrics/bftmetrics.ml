@@ -1,0 +1,6 @@
+(** Measurement utilities: online statistics, latency histograms and
+    windowed throughput counters. *)
+
+module Stats = Stats
+module Hist = Hist
+module Throughput = Throughput

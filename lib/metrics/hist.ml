@@ -1,0 +1,72 @@
+type t = {
+  min_value : float;
+  log_gamma : float;
+  mutable buckets : int array;
+  mutable underflow : int;
+  mutable count : int;
+  mutable sum : float;
+  mutable max_observed : float;
+}
+
+let create ?(min_value = 1e-6) ?(gamma = 1.05) () =
+  {
+    min_value;
+    log_gamma = log gamma;
+    buckets = Array.make 64 0;
+    underflow = 0;
+    count = 0;
+    sum = 0.0;
+    max_observed = 0.0;
+  }
+
+let bucket_of t v = int_of_float (log (v /. t.min_value) /. t.log_gamma)
+
+let value_of t i = t.min_value *. exp (t.log_gamma *. (float_of_int i +. 0.5))
+
+let ensure t i =
+  if i >= Array.length t.buckets then begin
+    let bigger = Array.make (Stdlib.max (i + 1) (2 * Array.length t.buckets)) 0 in
+    Array.blit t.buckets 0 bigger 0 (Array.length t.buckets);
+    t.buckets <- bigger
+  end
+
+let add t v =
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. v;
+  if v > t.max_observed then t.max_observed <- v;
+  if v < t.min_value then t.underflow <- t.underflow + 1
+  else begin
+    let i = bucket_of t v in
+    ensure t i;
+    t.buckets.(i) <- t.buckets.(i) + 1
+  end
+
+let count t = t.count
+
+let percentile t p =
+  if t.count = 0 then 0.0
+  else begin
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int t.count)) in
+    let rank = Stdlib.max 1 (Stdlib.min t.count rank) in
+    if rank <= t.underflow then t.min_value
+    else begin
+      let remaining = ref (rank - t.underflow) in
+      let result = ref t.max_observed in
+      (try
+         Array.iteri
+           (fun i n ->
+             if n > 0 then begin
+               remaining := !remaining - n;
+               if !remaining <= 0 then begin
+                 result := value_of t i;
+                 raise Exit
+               end
+             end)
+           t.buckets
+       with Exit -> ());
+      !result
+    end
+  end
+
+let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+let max_observed t = t.max_observed

@@ -1,0 +1,19 @@
+(** Log-bucketed histogram for latency distributions.
+
+    Buckets grow geometrically from [min_value] with ratio [gamma];
+    percentile queries are accurate to the bucket width (a few
+    percent), which is ample for the paper's latency plots. *)
+
+type t
+
+val create : ?min_value:float -> ?gamma:float -> unit -> t
+(** Defaults: [min_value = 1e-6] (1 us when values are seconds),
+    [gamma = 1.05]. *)
+
+val add : t -> float -> unit
+val count : t -> int
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [0, 100]. 0 when empty. *)
+
+val mean : t -> float
+val max_observed : t -> float

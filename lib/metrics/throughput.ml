@@ -1,0 +1,54 @@
+(* Timestamps are stored as a sorted array of (time, cumulative count)
+   breakpoints, appended in order and binary-searched on query. *)
+
+type t = {
+  mutable times : Dessim.Time.t array;
+  mutable cumulative : int array;
+  mutable len : int;
+  mutable total : int;
+}
+
+let create () = { times = Array.make 1024 0; cumulative = Array.make 1024 0; len = 0; total = 0 }
+
+let grow t =
+  let cap = Array.length t.times in
+  let times = Array.make (2 * cap) 0 in
+  let cumulative = Array.make (2 * cap) 0 in
+  Array.blit t.times 0 times 0 t.len;
+  Array.blit t.cumulative 0 cumulative 0 t.len;
+  t.times <- times;
+  t.cumulative <- cumulative
+
+let record_many t ~now n =
+  assert (n >= 0);
+  if n > 0 then begin
+    t.total <- t.total + n;
+    if t.len > 0 && t.times.(t.len - 1) = now then
+      t.cumulative.(t.len - 1) <- t.total
+    else begin
+      if t.len = Array.length t.times then grow t;
+      t.times.(t.len) <- now;
+      t.cumulative.(t.len) <- t.total;
+      t.len <- t.len + 1
+    end
+  end
+
+let record t ~now = record_many t ~now 1
+
+let total t = t.total
+
+(* Number of events with time < bound. *)
+let cumulative_before t bound =
+  let lo = ref 0 and hi = ref t.len in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.times.(mid) < bound then lo := mid + 1 else hi := mid
+  done;
+  if !lo = 0 then 0 else t.cumulative.(!lo - 1)
+
+let count_between t start stop =
+  Stdlib.max 0 (cumulative_before t stop - cumulative_before t start)
+
+let rate_between t start stop =
+  let window = Dessim.Time.to_sec_f (Dessim.Time.sub stop start) in
+  if window <= 0.0 then 0.0 else float_of_int (count_between t start stop) /. window

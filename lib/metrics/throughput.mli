@@ -1,0 +1,24 @@
+(** Windowed event counting for throughput measurement.
+
+    Mirrors the paper's monitoring mechanism: a counter is bumped per
+    ordered/executed request and sampled periodically; it also serves
+    the harness' measurement windows (count events inside
+    [\[start, stop)] and divide by the window length). *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> now:Dessim.Time.t -> unit
+(** Count one event at virtual time [now]. Events must be recorded in
+    non-decreasing time order (the simulator guarantees this). *)
+
+val record_many : t -> now:Dessim.Time.t -> int -> unit
+
+val total : t -> int
+
+val count_between : t -> Dessim.Time.t -> Dessim.Time.t -> int
+(** Events with [start <= time < stop]. *)
+
+val rate_between : t -> Dessim.Time.t -> Dessim.Time.t -> float
+(** Events per second over the window. *)

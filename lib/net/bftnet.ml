@@ -1,0 +1,5 @@
+(** Simulated cluster network substrate: wire codec and the NIC/link
+    model with flooding defences. *)
+
+module Wire = Wire
+module Network = Network

@@ -1,0 +1,224 @@
+open Dessim
+open Bftcrypto
+
+type transport = Tcp | Udp
+
+type config = {
+  nodes : int;
+  transport : transport;
+  latency : Time.t;
+  jitter : Time.t;
+  bandwidth_bps : float;
+  tcp_overhead : Time.t;
+  frame_overhead_bytes : int;
+}
+
+let default_config ~nodes =
+  {
+    nodes;
+    transport = Tcp;
+    latency = Time.us 60;
+    jitter = Time.us 20;
+    bandwidth_bps = 1e9;
+    tcp_overhead = Time.us 120;
+    frame_overhead_bytes = 60;
+  }
+
+type 'a delivery = {
+  src : Principal.t;
+  dst : Principal.t;
+  size : int;
+  payload : 'a;
+  sent_at : Time.t;
+  delivered_at : Time.t;
+}
+
+(* Each node owns, per peer node: an egress NIC queue and an ingress
+   NIC queue (the same physical NIC, two directions). Client traffic
+   at a node shares a single client-facing NIC; each client owns its
+   own NIC. *)
+type node_ports = {
+  egress_to_node : Resource.t array;
+  ingress_from_node : Resource.t array;
+  client_egress : Resource.t;
+  client_ingress : Resource.t;
+  mutable closed_until : Time.t Principal.Map.t;
+}
+
+type 'a client_port = {
+  c_egress : Resource.t;
+  c_ingress : Resource.t;
+  mutable c_handler : ('a delivery -> unit) option;
+}
+
+type 'a t = {
+  engine : Engine.t;
+  cfg : config;
+  rng : Rng.t;
+  node_ports : node_ports array;
+  node_handlers : ('a delivery -> unit) option array;
+  clients : (int, 'a client_port) Hashtbl.t;
+  (* Under TCP, arrivals on a connection are FIFO: jitter must not
+     reorder messages of the same (src, dst) pair. *)
+  last_arrival : (Principal.t * Principal.t, Time.t) Hashtbl.t;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable bytes : int;
+}
+
+let create engine cfg =
+  let make_ports i =
+    {
+      egress_to_node =
+        Array.init cfg.nodes (fun j ->
+            Resource.create engine ~name:(Printf.sprintf "n%d->n%d" i j));
+      ingress_from_node =
+        Array.init cfg.nodes (fun j ->
+            Resource.create engine ~name:(Printf.sprintf "n%d<-n%d" i j));
+      client_egress = Resource.create engine ~name:(Printf.sprintf "n%d->clients" i);
+      client_ingress = Resource.create engine ~name:(Printf.sprintf "n%d<-clients" i);
+      closed_until = Principal.Map.empty;
+    }
+  in
+  {
+    engine;
+    cfg;
+    rng = Engine.fresh_rng engine;
+    node_ports = Array.init cfg.nodes make_ports;
+    node_handlers = Array.make cfg.nodes None;
+    clients = Hashtbl.create 32;
+    last_arrival = Hashtbl.create 256;
+    delivered = 0;
+    dropped = 0;
+    bytes = 0;
+  }
+
+let engine t = t.engine
+let config t = t.cfg
+
+let register_node t i handler =
+  assert (i >= 0 && i < t.cfg.nodes);
+  t.node_handlers.(i) <- Some handler
+
+let client_port t c =
+  match Hashtbl.find_opt t.clients c with
+  | Some port -> port
+  | None ->
+    let port =
+      {
+        c_egress = Resource.create t.engine ~name:(Printf.sprintf "c%d->" c);
+        c_ingress = Resource.create t.engine ~name:(Printf.sprintf "c%d<-" c);
+        c_handler = None;
+      }
+    in
+    Hashtbl.add t.clients c port;
+    port
+
+let register_client t c handler = (client_port t c).c_handler <- Some handler
+
+let serialization_time t ~size =
+  let bits = float_of_int ((size + t.cfg.frame_overhead_bytes) * 8) in
+  Time.of_sec_f (bits /. t.cfg.bandwidth_bps)
+
+let propagation_delay t =
+  let jitter =
+    if t.cfg.jitter = Time.zero then Time.zero
+    else Time.ns (Rng.int t.rng (Stdlib.max 1 t.cfg.jitter))
+  in
+  let overhead = match t.cfg.transport with Tcp -> t.cfg.tcp_overhead | Udp -> Time.zero in
+  Time.add (Time.add t.cfg.latency jitter) overhead
+
+let nic_closed t ~node ~peer =
+  match Principal.Map.find_opt peer t.node_ports.(node).closed_until with
+  | None -> false
+  | Some until -> Engine.now t.engine < until
+
+let close_nic t ~node ~peer ~for_ =
+  let until = Time.add (Engine.now t.engine) for_ in
+  let ports = t.node_ports.(node) in
+  ports.closed_until <- Principal.Map.add peer until ports.closed_until
+
+(* Resolve the egress queue at the sender and the ingress queue at the
+   receiver for a (src, dst) pair. *)
+let egress_of t ~src ~dst =
+  match src with
+  | Principal.Node i ->
+    (match dst with
+     | Principal.Node j -> Some t.node_ports.(i).egress_to_node.(j)
+     | Principal.Client _ -> Some t.node_ports.(i).client_egress)
+  | Principal.Client c -> Some (client_port t c).c_egress
+
+let deliver_to t ~src ~dst =
+  match dst with
+  | Principal.Node j ->
+    let ingress =
+      match src with
+      | Principal.Node i -> t.node_ports.(j).ingress_from_node.(i)
+      | Principal.Client _ -> t.node_ports.(j).client_ingress
+    in
+    (match t.node_handlers.(j) with
+     | None -> None
+     | Some handler -> Some (ingress, handler))
+  | Principal.Client c ->
+    let port = client_port t c in
+    (match port.c_handler with
+     | None -> None
+     | Some handler -> Some (port.c_ingress, handler))
+
+let send t ~src ~dst ~size payload =
+  match egress_of t ~src ~dst with
+  | None -> t.dropped <- t.dropped + 1
+  | Some egress ->
+    let sent_at = Engine.now t.engine in
+    let ser = serialization_time t ~size in
+    Resource.submit egress ~cost:ser (fun () ->
+        let delay = propagation_delay t in
+        let delay =
+          match t.cfg.transport with
+          | Udp -> delay
+          | Tcp ->
+            (* FIFO per connection: never arrive before the previous
+               message of the same pair. *)
+            let key = (src, dst) in
+            let arrival = Time.add (Engine.now t.engine) delay in
+            let arrival =
+              match Hashtbl.find_opt t.last_arrival key with
+              | Some prev when prev > arrival -> prev
+              | Some _ | None -> arrival
+            in
+            Hashtbl.replace t.last_arrival key arrival;
+            Time.sub arrival (Engine.now t.engine)
+        in
+        ignore
+          (Engine.after t.engine delay (fun () ->
+               match deliver_to t ~src ~dst with
+               | None -> t.dropped <- t.dropped + 1
+               | Some (ingress, handler) ->
+                 let closed =
+                   match dst with
+                   | Principal.Node j -> nic_closed t ~node:j ~peer:src
+                   | Principal.Client _ -> false
+                 in
+                 if closed then t.dropped <- t.dropped + 1
+                 else
+                   Resource.submit ingress ~cost:ser (fun () ->
+                       t.delivered <- t.delivered + 1;
+                       t.bytes <- t.bytes + size;
+                       handler
+                         {
+                           src;
+                           dst;
+                           size;
+                           payload;
+                           sent_at;
+                           delivered_at = Engine.now t.engine;
+                         }))))
+
+let messages_delivered t = t.delivered
+let messages_dropped t = t.dropped
+let bytes_delivered t = t.bytes
+
+let node_ingress_backlog t ~node ~peer =
+  match peer with
+  | Principal.Node i -> Resource.backlog t.node_ports.(node).ingress_from_node.(i)
+  | Principal.Client _ -> Resource.backlog t.node_ports.(node).client_ingress

@@ -1,0 +1,80 @@
+(** The simulated cluster network.
+
+    Reproduces the paper's testbed topology (Sections V and VI-A):
+    [n] nodes interconnected by a non-blocking Gigabit switch, each
+    node equipped with one dedicated NIC per other node plus one NIC
+    shared by all client traffic (the Aardvark/RBFT NIC-separation
+    design). Every NIC rate-limits traffic in both directions; a
+    message experiences sender serialization, propagation latency
+    (plus jitter and, under TCP, protocol overhead) and receiver
+    serialization. Nodes may close the NIC facing a flooding peer for
+    a configurable period, as RBFT does.
+
+    The payload type is polymorphic: each protocol instantiates the
+    network with its own message union. The network charges *link*
+    costs only; CPU costs of handling messages are charged by the
+    protocol layer through {!Bftcrypto.Costmodel}. *)
+
+open Dessim
+open Bftcrypto
+
+type transport = Tcp | Udp
+
+type config = {
+  nodes : int;  (** number of nodes (3f+1) *)
+  transport : transport;
+  latency : Time.t;  (** one-way propagation delay *)
+  jitter : Time.t;  (** uniform extra delay in [0, jitter) *)
+  bandwidth_bps : float;  (** per-NIC, each direction *)
+  tcp_overhead : Time.t;  (** extra latency per message under TCP *)
+  frame_overhead_bytes : int;  (** per-message framing bytes *)
+}
+
+val default_config : nodes:int -> config
+(** Gigabit LAN defaults: 60 us latency, 20 us jitter, 1 Gbps NICs,
+    120 us TCP overhead, 60 framing bytes. *)
+
+type 'a t
+
+type 'a delivery = {
+  src : Principal.t;
+  dst : Principal.t;
+  size : int;  (** payload size in bytes, excluding framing *)
+  payload : 'a;
+  sent_at : Time.t;
+  delivered_at : Time.t;
+}
+
+val create : Engine.t -> config -> 'a t
+
+val engine : 'a t -> Engine.t
+val config : 'a t -> config
+
+val register_node : 'a t -> int -> ('a delivery -> unit) -> unit
+(** [register_node t i handler] installs the message handler of node
+    [i]. Must be called before traffic reaches the node. *)
+
+val register_client : 'a t -> int -> ('a delivery -> unit) -> unit
+(** Registers a client endpoint (one NIC per client). *)
+
+val send : 'a t -> src:Principal.t -> dst:Principal.t -> size:int -> 'a -> unit
+(** [send t ~src ~dst ~size payload] queues one message. [size] is the
+    wire size of the payload as computed by the protocol's codec.
+    Messages to unregistered endpoints are counted as dropped. *)
+
+val close_nic : 'a t -> node:int -> peer:Principal.t -> for_:Time.t -> unit
+(** [close_nic t ~node ~peer ~for_] makes node [node] drop everything
+    arriving from [peer] for the given duration — the flood defence the
+    paper describes in Section V. *)
+
+val nic_closed : 'a t -> node:int -> peer:Principal.t -> bool
+
+(** Statistics, for tests and reporting. *)
+
+val messages_delivered : 'a t -> int
+val messages_dropped : 'a t -> int
+val bytes_delivered : 'a t -> int
+
+val node_ingress_backlog : 'a t -> node:int -> peer:Principal.t -> Time.t
+(** How far behind the ingress NIC of [node] facing [peer] currently
+    is; lets tests observe flooding pressure. *)

@@ -1,0 +1,89 @@
+module Writer = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 64
+  let u8 t v = Buffer.add_char t (Char.chr (v land 0xFF))
+
+  let u16 t v =
+    u8 t v;
+    u8 t (v lsr 8)
+
+  let u32 t v =
+    u16 t v;
+    u16 t (v lsr 16)
+
+  let u64 t v =
+    u32 t v;
+    u32 t (v lsr 32)
+
+  let rec varint t v =
+    assert (v >= 0);
+    if v < 0x80 then u8 t v
+    else begin
+      u8 t (0x80 lor (v land 0x7F));
+      varint t (v lsr 7)
+    end
+
+  let bytes t s = Buffer.add_string t s
+
+  let string t s =
+    varint t (String.length s);
+    bytes t s
+
+  let list t f xs =
+    varint t (List.length xs);
+    List.iter f xs
+
+  let size t = Buffer.length t
+  let contents t = Buffer.contents t
+end
+
+module Reader = struct
+  type t = { data : string; mutable pos : int }
+
+  exception Truncated
+
+  let of_string data = { data; pos = 0 }
+
+  let u8 t =
+    if t.pos >= String.length t.data then raise Truncated;
+    let v = Char.code t.data.[t.pos] in
+    t.pos <- t.pos + 1;
+    v
+
+  let u16 t =
+    let lo = u8 t in
+    lo lor (u8 t lsl 8)
+
+  let u32 t =
+    let lo = u16 t in
+    lo lor (u16 t lsl 16)
+
+  let u64 t =
+    let lo = u32 t in
+    lo lor (u32 t lsl 32)
+
+  let varint t =
+    let rec go shift acc =
+      let b = u8 t in
+      let acc = acc lor ((b land 0x7F) lsl shift) in
+      if b land 0x80 <> 0 then go (shift + 7) acc else acc
+    in
+    go 0 0
+
+  let bytes t n =
+    if t.pos + n > String.length t.data then raise Truncated;
+    let s = String.sub t.data t.pos n in
+    t.pos <- t.pos + n;
+    s
+
+  let string t =
+    let n = varint t in
+    bytes t n
+
+  let list t f =
+    let n = varint t in
+    List.init n (fun _ -> f t)
+
+  let at_end t = t.pos = String.length t.data
+end

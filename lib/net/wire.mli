@@ -1,0 +1,46 @@
+(** Binary wire format helpers.
+
+    Protocols use {!Writer} to compute principled on-the-wire message
+    sizes (and to serialize messages when needed, e.g. in tests that
+    check roundtrips); {!Reader} decodes. Integers use little-endian
+    fixed widths or LEB128 varints. *)
+
+module Writer : sig
+  type t
+
+  val create : unit -> t
+  val u8 : t -> int -> unit
+  val u16 : t -> int -> unit
+  val u32 : t -> int -> unit
+  val u64 : t -> int -> unit
+  val varint : t -> int -> unit
+  val bytes : t -> string -> unit
+  (** Raw bytes, no length prefix. *)
+
+  val string : t -> string -> unit
+  (** Varint length prefix followed by the bytes. *)
+
+  val list : t -> ('a -> unit) -> 'a list -> unit
+  (** Varint count followed by each element (serialized by the given
+      callback, which should write through the same writer). *)
+
+  val size : t -> int
+  val contents : t -> string
+end
+
+module Reader : sig
+  type t
+
+  exception Truncated
+
+  val of_string : string -> t
+  val u8 : t -> int
+  val u16 : t -> int
+  val u32 : t -> int
+  val u64 : t -> int
+  val varint : t -> int
+  val bytes : t -> int -> string
+  val string : t -> string
+  val list : t -> (t -> 'a) -> 'a list
+  val at_end : t -> bool
+end

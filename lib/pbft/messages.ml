@@ -1,0 +1,79 @@
+open Types
+
+type pre_prepare = { view : view; seq : seqno; descs : request_desc list }
+
+type prepared_proof = { pseq : seqno; pview : view; pdigest : string }
+
+type t =
+  | Pre_prepare of pre_prepare
+  | Prepare of { view : view; seq : seqno; digest : string; replica : int }
+  | Commit of { view : view; seq : seqno; digest : string; replica : int }
+  | Checkpoint of { seq : seqno; state_digest : string; replica : int }
+  | View_change of {
+      new_view : view;
+      last_stable : seqno;
+      prepared : prepared_proof list;
+      replica : int;
+    }
+  | New_view of { view : view; pre_prepares : pre_prepare list; replica : int }
+
+let batch_digest descs =
+  let buf = Buffer.create (List.length descs * 48) in
+  List.iter
+    (fun d ->
+      Buffer.add_string buf (string_of_int d.id.client);
+      Buffer.add_char buf '.';
+      Buffer.add_string buf (string_of_int d.id.rid);
+      Buffer.add_string buf d.digest)
+    descs;
+  Bftcrypto.Sha256.digest_string (Buffer.contents buf)
+
+let header_size = 16 (* type tag, view, seq, replica id *)
+
+let mac_auth_size ~n = n * Bftcrypto.Keys.mac_tag_size
+
+let pre_prepare_size ~n ~order_full_requests pp =
+  let per_desc d =
+    if order_full_requests then id_wire_size + d.op_size else id_wire_size
+  in
+  header_size
+  + List.fold_left (fun acc d -> acc + per_desc d) 0 pp.descs
+  + mac_auth_size ~n
+
+let wire_size ~n ~order_full_requests = function
+  | Pre_prepare pp -> pre_prepare_size ~n ~order_full_requests pp
+  | Prepare _ | Commit _ ->
+    header_size + Bftcrypto.Sha256.size + mac_auth_size ~n
+  | Checkpoint _ -> header_size + Bftcrypto.Sha256.size + mac_auth_size ~n
+  | View_change { prepared; _ } ->
+    header_size + 8
+    + (List.length prepared * (12 + Bftcrypto.Sha256.size))
+    + mac_auth_size ~n
+  | New_view { pre_prepares; _ } ->
+    header_size
+    + List.fold_left
+        (fun acc pp -> acc + pre_prepare_size ~n ~order_full_requests:false pp)
+        0 pre_prepares
+    + mac_auth_size ~n
+
+let type_tag = function
+  | Pre_prepare _ -> "pre-prepare"
+  | Prepare _ -> "prepare"
+  | Commit _ -> "commit"
+  | Checkpoint _ -> "checkpoint"
+  | View_change _ -> "view-change"
+  | New_view _ -> "new-view"
+
+let pp fmt = function
+  | Pre_prepare { view; seq; descs } ->
+    Format.fprintf fmt "PRE-PREPARE(v=%d,s=%d,|b|=%d)" view seq (List.length descs)
+  | Prepare { view; seq; replica; _ } ->
+    Format.fprintf fmt "PREPARE(v=%d,s=%d,r=%d)" view seq replica
+  | Commit { view; seq; replica; _ } ->
+    Format.fprintf fmt "COMMIT(v=%d,s=%d,r=%d)" view seq replica
+  | Checkpoint { seq; replica; _ } ->
+    Format.fprintf fmt "CHECKPOINT(s=%d,r=%d)" seq replica
+  | View_change { new_view; replica; _ } ->
+    Format.fprintf fmt "VIEW-CHANGE(v=%d,r=%d)" new_view replica
+  | New_view { view; pre_prepares; _ } ->
+    Format.fprintf fmt "NEW-VIEW(v=%d,|pp|=%d)" view (List.length pre_prepares)

@@ -1,0 +1,46 @@
+(** Messages of one ordering instance (the 3-phase commit protocol of
+    PBFT, steps 3–5 in the paper's Figure 5, plus view change and
+    checkpoint traffic).
+
+    Every constructor stores only what the real message carries; the
+    [wire_size] function computes the on-the-wire footprint (including
+    the MAC authenticator) that the network substrate charges for. *)
+
+open Types
+
+type pre_prepare = {
+  view : view;
+  seq : seqno;
+  descs : request_desc list;  (** the ordered batch *)
+}
+
+type prepared_proof = { pseq : seqno; pview : view; pdigest : string }
+(** Summary of a prepared batch carried by VIEW-CHANGE messages. *)
+
+type t =
+  | Pre_prepare of pre_prepare
+  | Prepare of { view : view; seq : seqno; digest : string; replica : int }
+  | Commit of { view : view; seq : seqno; digest : string; replica : int }
+  | Checkpoint of { seq : seqno; state_digest : string; replica : int }
+  | View_change of {
+      new_view : view;
+      last_stable : seqno;
+      prepared : prepared_proof list;
+      replica : int;
+    }
+  | New_view of { view : view; pre_prepares : pre_prepare list; replica : int }
+
+val batch_digest : request_desc list -> string
+(** Digest binding a batch's identifiers; what PREPARE/COMMIT refer
+    to. *)
+
+val wire_size : n:int -> order_full_requests:bool -> t -> int
+(** [wire_size ~n ~order_full_requests m] in bytes. [n] sizes the MAC
+    authenticator; with [order_full_requests] PRE-PREPAREs carry whole
+    operations (Aardvark's behaviour), otherwise identifiers only
+    (RBFT's instances, Section IV-B step 2). *)
+
+val type_tag : t -> string
+(** Short label, for traces and tests. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,7 @@
+(** The PBFT-style ordering instance used by RBFT (one per protocol
+    instance) and by the Aardvark baseline. *)
+
+module Types = Types
+module Messages = Messages
+module Replica = Replica
+module Codec = Codec

@@ -1,0 +1,640 @@
+open Dessim
+open Types
+
+type config = {
+  n : int;
+  f : int;
+  replica_id : int;
+  primary_of_view : view -> int;
+  batch_size : int;
+  batch_delay : Time.t;
+  checkpoint_interval : int;
+  watermark_window : int;
+  order_full_requests : bool;
+  post_vc_quiet : Time.t;
+}
+
+let default_config ~n ~f ~replica_id =
+  {
+    n;
+    f;
+    replica_id;
+    primary_of_view = (fun v -> v mod n);
+    batch_size = 64;
+    batch_delay = Time.ms 2;
+    checkpoint_interval = 128;
+    watermark_window = 256;
+    order_full_requests = false;
+    post_vc_quiet = Time.zero;
+  }
+
+type callbacks = {
+  send : int -> Messages.t -> unit;
+  broadcast : Messages.t -> unit;
+  deliver : seqno -> request_desc list -> unit;
+  on_view_change : view -> unit;
+}
+
+type adversary = {
+  mutable silent : bool;
+  mutable pp_extra_delay : unit -> Time.t;
+  mutable pp_rate_limit : unit -> float;
+  mutable client_hold : request_id -> Time.t;
+}
+
+type entry = {
+  mutable pp : Messages.pre_prepare option;
+  mutable pp_view : view;
+  mutable digest : string;
+  (* Votes are stored with the digest they endorse: votes may arrive
+     before the PRE-PREPARE fixes the batch digest, and only matching
+     ones count towards the quorums. *)
+  mutable prepares : (int * string) list;  (* (replica, digest), distinct replicas *)
+  mutable commits : (int * string) list;
+  mutable sent_prepare : bool;
+  mutable sent_commit : bool;
+  mutable delivered : bool;
+}
+
+type t = {
+  engine : Engine.t;
+  cfg : config;
+  cb : callbacks;
+  adv : adversary;
+  mutable view : view;
+  mutable in_vc : bool;
+  mutable vc_completed : int;
+  entries : (seqno, entry) Hashtbl.t;
+  known : request_desc Request_id_table.t;  (* submitted, available for ordering *)
+  delivered_ids : unit Request_id_table.t;
+  mutable pending_batch : request_desc list;  (* primary: reversed accumulation *)
+  mutable batch_timer : Engine.timer option;
+  mutable next_seq : seqno;  (* primary: next seq to assign *)
+  mutable next_deliver : seqno;
+  mutable last_stable : seqno;
+  mutable chain_digest : string;
+  checkpoints : (seqno, (string * int list) list ref) Hashtbl.t;
+  (* view-change votes: target view -> replica ids and their messages *)
+  vc_votes : (view, (int * Messages.t) list ref) Hashtbl.t;
+  mutable ordered_count : int;
+  mutable state_transfers : int;
+  mutable pp_release : Time.t;  (* pacing floor for adversarial PP delays *)
+  (* PPs held because some requests are not yet known locally *)
+  mutable waiting_pps : Messages.pre_prepare list;
+}
+
+let create engine cfg cb =
+  {
+    engine;
+    cfg;
+    cb;
+    adv =
+      {
+        silent = false;
+        pp_extra_delay = (fun () -> Time.zero);
+        pp_rate_limit = (fun () -> 0.0);
+        client_hold = (fun _ -> Time.zero);
+      };
+    view = 0;
+    in_vc = false;
+    vc_completed = 0;
+    entries = Hashtbl.create 512;
+    known = Request_id_table.create 1024;
+    delivered_ids = Request_id_table.create 4096;
+    pending_batch = [];
+    batch_timer = None;
+    next_seq = 1;
+    next_deliver = 1;
+    last_stable = 0;
+    chain_digest = "genesis";
+    checkpoints = Hashtbl.create 16;
+    vc_votes = Hashtbl.create 8;
+    ordered_count = 0;
+    state_transfers = 0;
+    pp_release = Time.zero;
+    waiting_pps = [];
+  }
+
+let config t = t.cfg
+let adversary t = t.adv
+let view t = t.view
+let current_primary t = t.cfg.primary_of_view t.view
+let is_primary t = current_primary t = t.cfg.replica_id
+let in_view_change t = t.in_vc
+let ordered_count t = t.ordered_count
+let last_delivered_seq t = t.next_deliver - 1
+let view_changes_completed t = t.vc_completed
+
+let pending_count t =
+  Request_id_table.fold
+    (fun id _ acc ->
+      if Request_id_table.mem t.delivered_ids id then acc else acc + 1)
+    t.known 0
+
+let entry_for t seq =
+  match Hashtbl.find_opt t.entries seq with
+  | Some e -> e
+  | None ->
+    let e =
+      {
+        pp = None;
+        pp_view = -1;
+        digest = "";
+        prepares = [];
+        commits = [];
+        sent_prepare = false;
+        sent_commit = false;
+        delivered = false;
+      }
+    in
+    Hashtbl.add t.entries seq e;
+    e
+
+let in_window t seq =
+  seq > t.last_stable && seq <= t.last_stable + t.cfg.watermark_window
+
+(* Quorum counting: once the PRE-PREPARE has fixed the batch digest,
+   only votes endorsing it count; before that, count provisionally. *)
+let matching_votes (e : entry) votes =
+  if e.digest = "" then List.length votes
+  else
+    List.length (List.filter (fun (_, d) -> String.equal d e.digest) votes)
+
+(* ------------------------------------------------------------------ *)
+(* Delivery and checkpoints                                           *)
+(* ------------------------------------------------------------------ *)
+
+let broadcast t msg = if not t.adv.silent then t.cb.broadcast msg
+
+let gc_below t seq =
+  Hashtbl.iter
+    (fun s _ -> if s <= seq then Hashtbl.remove t.entries s)
+    (Hashtbl.copy t.entries);
+  Hashtbl.iter
+    (fun s _ -> if s <= seq then Hashtbl.remove t.checkpoints s)
+    (Hashtbl.copy t.checkpoints)
+
+let accept_checkpoint t ~seq ~state_digest ~replica =
+  if seq > t.last_stable then begin
+    let votes =
+      match Hashtbl.find_opt t.checkpoints seq with
+      | Some v -> v
+      | None ->
+        let v = ref [] in
+        Hashtbl.add t.checkpoints seq v;
+        v
+    in
+    let updated =
+      ( state_digest,
+        match List.assoc_opt state_digest !votes with
+        | Some replicas ->
+          if List.mem replica replicas then replicas else replica :: replicas
+        | None -> [ replica ] )
+    in
+    votes := updated :: List.remove_assoc state_digest !votes;
+    match List.assoc_opt state_digest !votes with
+    | Some replicas when List.length replicas >= (2 * t.cfg.f) + 1 ->
+      t.last_stable <- seq;
+      (* State transfer: a replica that lags behind a stable checkpoint
+         (e.g. a view change purged its in-flight quorum state) adopts
+         the checkpointed state instead of waiting for batches nobody
+         will re-send. Skipped batches are not delivered locally — the
+         state arrives wholesale, as in PBFT's state transfer. *)
+      if t.next_deliver <= seq then begin
+        t.next_deliver <- seq + 1;
+        t.chain_digest <- state_digest;
+        t.state_transfers <- t.state_transfers + 1
+      end;
+      (* A primary whose sequence counter fell behind the watermark
+         floor could never issue a batch again. *)
+      if t.next_seq <= seq then t.next_seq <- seq + 1;
+      gc_below t seq
+    | Some _ | None -> ()
+  end
+
+(* A replica's own checkpoint counts towards the 2f+1 quorum. *)
+let take_checkpoint t seq =
+  broadcast t
+    (Messages.Checkpoint
+       { seq; state_digest = t.chain_digest; replica = t.cfg.replica_id });
+  accept_checkpoint t ~seq ~state_digest:t.chain_digest ~replica:t.cfg.replica_id
+
+let rec try_deliver t =
+  match Hashtbl.find_opt t.entries t.next_deliver with
+  | Some e when e.delivered ->
+    t.next_deliver <- t.next_deliver + 1;
+    try_deliver t
+  | Some ({ pp = Some pp; _ } as e)
+    when matching_votes e e.commits >= (2 * t.cfg.f) + 1 && e.sent_commit ->
+    e.delivered <- true;
+    let seq = t.next_deliver in
+    t.next_deliver <- t.next_deliver + 1;
+    (* Filter requests already delivered under an earlier sequence
+       number (can happen when a view change re-proposes a batch). *)
+    let fresh =
+      List.filter
+        (fun d -> not (Request_id_table.mem t.delivered_ids d.id))
+        pp.descs
+    in
+    List.iter (fun d -> Request_id_table.replace t.delivered_ids d.id ()) fresh;
+    t.ordered_count <- t.ordered_count + List.length fresh;
+    t.chain_digest <-
+      Bftcrypto.Sha256.digest_string (t.chain_digest ^ Messages.batch_digest pp.descs);
+    t.cb.deliver seq fresh;
+    if seq mod t.cfg.checkpoint_interval = 0 then take_checkpoint t seq;
+    try_deliver t
+  | Some _ | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Primary batching                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let cancel_batch_timer t =
+  match t.batch_timer with
+  | Some timer ->
+    Engine.cancel timer;
+    t.batch_timer <- None
+  | None -> ()
+
+let maybe_send_commit t seq (e : entry) =
+  if
+    (not e.sent_commit) && e.sent_prepare
+    && matching_votes e e.prepares >= 2 * t.cfg.f
+  then begin
+    e.sent_commit <- true;
+    e.commits <- (t.cfg.replica_id, e.digest) :: e.commits;
+    broadcast t
+      (Messages.Commit
+         { view = t.view; seq; digest = e.digest; replica = t.cfg.replica_id });
+    try_deliver t
+  end
+
+let record_pp t (pp : Messages.pre_prepare) =
+  let e = entry_for t pp.seq in
+  e.pp <- Some pp;
+  e.pp_view <- pp.view;
+  e.digest <- Messages.batch_digest pp.descs
+
+let rec flush_batch t =
+  cancel_batch_timer t;
+  if t.pending_batch <> [] && not t.in_vc && in_window t t.next_seq then begin
+    let descs = List.rev t.pending_batch in
+    let batch, rest =
+      if List.length descs <= t.cfg.batch_size then (descs, [])
+      else
+        let rec split i acc = function
+          | [] -> (List.rev acc, [])
+          | l when i = 0 -> (List.rev acc, l)
+          | x :: tl -> split (i - 1) (x :: acc) tl
+        in
+        split t.cfg.batch_size [] descs
+    in
+    t.pending_batch <- List.rev rest;
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    let pp = { Messages.view = t.view; seq; descs = batch } in
+    record_pp t pp;
+    (* A malicious primary delays the ordering message; the release
+       floor keeps successive PRE-PREPAREs FIFO. *)
+    let issue () =
+      broadcast t (Messages.Pre_prepare pp);
+      (* The primary's PRE-PREPARE stands for its PREPARE. *)
+      let e = entry_for t pp.seq in
+      e.sent_prepare <- true;
+      maybe_send_commit t pp.seq e
+    in
+    let delay = t.adv.pp_extra_delay () in
+    let rate_limit = t.adv.pp_rate_limit () in
+    if
+      delay = Time.zero && rate_limit = 0.0
+      && t.pp_release <= Engine.now t.engine
+    then issue ()
+    else begin
+      (* A delaying primary postpones this batch and/or caps the rate
+         at which it releases ordered requests (the throughput
+         reduction attacks of Sections III and VI-C2). The spacing
+         accounts for the actual batch fill. *)
+      let interval =
+        if rate_limit > 0.0 then
+          Time.of_sec_f (float_of_int (List.length batch) /. rate_limit)
+        else Time.zero
+      in
+      let release =
+        Time.max
+          (Time.add (Engine.now t.engine) delay)
+          (Time.add t.pp_release interval)
+      in
+      t.pp_release <- release;
+      ignore (Engine.at t.engine release (fun () -> if not t.in_vc then issue ()))
+    end;
+    if t.pending_batch <> [] then flush_batch t
+  end
+
+let maybe_batch t =
+  if is_primary t && not t.in_vc then begin
+    if List.length t.pending_batch >= t.cfg.batch_size then flush_batch t
+    else if t.batch_timer = None && t.pending_batch <> [] then
+      t.batch_timer <-
+        Some (Engine.after t.engine t.cfg.batch_delay (fun () ->
+                  t.batch_timer <- None;
+                  flush_batch t))
+  end
+
+let enqueue_for_batching t desc =
+  if not (Request_id_table.mem t.delivered_ids desc.id) then begin
+    t.pending_batch <- desc :: t.pending_batch;
+    maybe_batch t
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Prepares and commits                                               *)
+(* ------------------------------------------------------------------ *)
+
+let have_all_requests t (pp : Messages.pre_prepare) =
+  List.for_all
+    (fun d ->
+      Request_id_table.mem t.known d.id
+      || Request_id_table.mem t.delivered_ids d.id)
+    pp.descs
+
+let maybe_send_prepare t (pp : Messages.pre_prepare) =
+  let e = entry_for t pp.seq in
+  if not e.sent_prepare then begin
+    if is_primary t then begin
+      (* The primary's PRE-PREPARE stands for its PREPARE. *)
+      e.sent_prepare <- true;
+      maybe_send_commit t pp.seq e
+    end
+    else if have_all_requests t pp then begin
+      e.sent_prepare <- true;
+      e.prepares <- (t.cfg.replica_id, e.digest) :: e.prepares;
+      broadcast t
+        (Messages.Prepare
+           { view = t.view; seq = pp.seq; digest = e.digest; replica = t.cfg.replica_id });
+      maybe_send_commit t pp.seq e
+    end
+    else t.waiting_pps <- pp :: t.waiting_pps
+  end
+
+let recheck_waiting t =
+  let ready, still =
+    List.partition (fun pp -> have_all_requests t pp) t.waiting_pps
+  in
+  t.waiting_pps <- still;
+  List.iter (fun pp -> maybe_send_prepare t pp) ready
+
+let accept_pp t ~from (pp : Messages.pre_prepare) =
+  if
+    pp.view = t.view && (not t.in_vc)
+    && from = current_primary t
+    && in_window t pp.seq
+  then begin
+    let e = entry_for t pp.seq in
+    let digest = Messages.batch_digest pp.descs in
+    match e.pp with
+    | Some _ when e.digest <> digest -> () (* equivocation: ignore *)
+    | Some _ when e.sent_prepare || e.delivered ->
+      () (* duplicate of an already-acknowledged batch *)
+    | Some _ | None ->
+      (* Fresh in this view — possibly a batch retained from an
+         earlier view and re-proposed by the new primary. *)
+      e.pp <- Some pp;
+      e.pp_view <- pp.view;
+      e.digest <- digest;
+      (* Track requests for cross-view re-proposal. *)
+      List.iter
+        (fun d ->
+          if not (Request_id_table.mem t.known d.id) then
+            Request_id_table.replace t.known d.id d)
+        pp.descs;
+      maybe_send_prepare t pp;
+      maybe_send_commit t pp.seq e
+  end
+
+let accept_prepare t ~view ~seq ~digest ~replica =
+  if view = t.view && (not t.in_vc) && in_window t seq then begin
+    let e = entry_for t seq in
+    (* Prepares may arrive before the PRE-PREPARE: store them with the
+       digest they endorse; only matching ones are counted. *)
+    if not (List.mem_assoc replica e.prepares) then begin
+      e.prepares <- (replica, digest) :: e.prepares;
+      maybe_send_commit t seq e
+    end
+  end
+
+let accept_commit t ~view ~seq ~digest ~replica =
+  if view = t.view && (not t.in_vc) && in_window t seq then begin
+    let e = entry_for t seq in
+    if not (List.mem_assoc replica e.commits) then begin
+      e.commits <- (replica, digest) :: e.commits;
+      if matching_votes e e.commits >= (2 * t.cfg.f) + 1 then try_deliver t
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* View changes                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let prepared_proofs t =
+  Hashtbl.fold
+    (fun seq (e : entry) acc ->
+      if e.sent_commit && not e.delivered then
+        { Messages.pseq = seq; pview = e.pp_view; pdigest = e.digest } :: acc
+      else acc)
+    t.entries []
+
+let vc_votes_for t target =
+  match Hashtbl.find_opt t.vc_votes target with
+  | Some v -> v
+  | None ->
+    let v = ref [] in
+    Hashtbl.add t.vc_votes target v;
+    v
+
+let rec start_view_change t target =
+  if target > t.view && not (List.mem_assoc t.cfg.replica_id !(vc_votes_for t target))
+  then begin
+    t.in_vc <- true;
+    cancel_batch_timer t;
+    let msg =
+      Messages.View_change
+        {
+          new_view = target;
+          last_stable = t.last_stable;
+          prepared = prepared_proofs t;
+          replica = t.cfg.replica_id;
+        }
+    in
+    let votes = vc_votes_for t target in
+    votes := (t.cfg.replica_id, msg) :: !votes;
+    broadcast t msg;
+    (* If enough votes already arrived (we were late), finish now. *)
+    check_new_view t target
+  end
+
+and enter_view t v =
+  Trace.emitf t.engine Trace.Info
+    ~component:(Printf.sprintf "replica%d" t.cfg.replica_id)
+    "entering view %d (primary %d)" v (t.cfg.primary_of_view v);
+  t.view <- v;
+  t.in_vc <- false;
+  t.vc_completed <- t.vc_completed + 1;
+  t.pp_release <- Time.zero;
+  (* Reset per-view quorum state for undelivered entries — except:
+     - locally committed entries are final (quorum intersection) and
+       keep their certificates so they can still be delivered;
+     - PRE-PREPAREs are retained so the next primary can re-propose
+       the in-flight batches (the role of the new-view computation in
+       PBFT); prepares/commits must be re-collected in the new view. *)
+  Hashtbl.iter
+    (fun _ (e : entry) ->
+      if not e.delivered then begin
+        let committed =
+          e.sent_commit && matching_votes e e.commits >= (2 * t.cfg.f) + 1
+        in
+        if not committed then begin
+          e.prepares <- [];
+          e.commits <- [];
+          e.sent_prepare <- false;
+          e.sent_commit <- false
+        end
+      end)
+    t.entries;
+  t.waiting_pps <- [];
+  t.cb.on_view_change v
+
+and new_primary_repropose t v =
+  (* Re-issue PRE-PREPAREs for batches prepared in earlier views (using
+     this replica's log) and re-batch every known undelivered request
+     not covered by them. *)
+  let reproposed = ref Request_id_set.empty in
+  let pps =
+    Hashtbl.fold
+      (fun seq (e : entry) acc ->
+        match e.pp with
+        | Some pp when not e.delivered ->
+          List.iter
+            (fun d -> reproposed := Request_id_set.add d.id !reproposed)
+            pp.descs;
+          { pp with Messages.view = v; seq } :: acc
+        | Some _ | None -> acc)
+      t.entries []
+  in
+  let pps = List.sort (fun a b -> compare a.Messages.seq b.Messages.seq) pps in
+  let max_seq =
+    List.fold_left (fun acc pp -> Stdlib.max acc pp.Messages.seq) t.last_stable pps
+  in
+  (* Fresh batches must go to sequence numbers nobody has delivered:
+     a primary that was out of office while the log advanced would
+     otherwise propose into already-delivered slots, which every
+     replica ignores. *)
+  t.next_seq <- Stdlib.max (Stdlib.max t.next_seq (max_seq + 1)) t.next_deliver;
+  enter_view t v;
+  (* Model the cost of taking over as primary (history hashing, state
+     synchronisation): fresh batches wait for the quiet period. *)
+  t.pp_release <- Time.add (Engine.now t.engine) t.cfg.post_vc_quiet;
+  List.iter (fun pp -> record_pp t pp) pps;
+  broadcast t (Messages.New_view { view = v; pre_prepares = pps; replica = t.cfg.replica_id });
+  (* Treat own re-issued PPs as accepted. *)
+  List.iter
+    (fun pp ->
+      let e = entry_for t pp.Messages.seq in
+      e.sent_prepare <- true;
+      maybe_send_commit t pp.Messages.seq e)
+    pps;
+  (* Re-batch the rest. *)
+  t.pending_batch <- [];
+  Request_id_table.iter
+    (fun id d ->
+      if
+        (not (Request_id_table.mem t.delivered_ids id))
+        && not (Request_id_set.mem id !reproposed)
+      then t.pending_batch <- d :: t.pending_batch)
+    t.known;
+  maybe_batch t
+
+and check_new_view t target =
+  let votes = vc_votes_for t target in
+  if
+    List.length !votes >= (2 * t.cfg.f) + 1
+    && t.cfg.primary_of_view target = t.cfg.replica_id
+    && t.view < target
+  then new_primary_repropose t target
+
+let accept_view_change t ~from ~new_view msg =
+  if new_view > t.view then begin
+    let votes = vc_votes_for t new_view in
+    if not (List.mem_assoc from !votes) then votes := (from, msg) :: !votes;
+    (* Join the view change once f+1 votes are seen: at least one
+       correct replica wants it. *)
+    if List.length !votes >= t.cfg.f + 1 && not t.in_vc then
+      start_view_change t new_view;
+    check_new_view t new_view
+  end
+
+let accept_new_view t ~from (v : view) pps =
+  if v > t.view && from = t.cfg.primary_of_view v then begin
+    enter_view t v;
+    let max_seq =
+      List.fold_left (fun acc pp -> Stdlib.max acc pp.Messages.seq) t.last_stable pps
+    in
+    t.next_seq <- Stdlib.max t.next_seq (max_seq + 1);
+    List.iter (fun pp -> accept_pp t ~from (( { pp with Messages.view = v } : Messages.pre_prepare))) pps;
+    try_deliver t
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Public entry points                                                *)
+(* ------------------------------------------------------------------ *)
+
+let submit t desc =
+  if not (Request_id_table.mem t.known desc.id) then begin
+    Request_id_table.replace t.known desc.id desc;
+    if is_primary t && not t.in_vc then begin
+      let hold = t.adv.client_hold desc.id in
+      if hold = Time.zero then enqueue_for_batching t desc
+      else
+        ignore (Engine.after t.engine hold (fun () -> enqueue_for_batching t desc))
+    end;
+    recheck_waiting t
+  end
+
+(* A "silent" replica sends nothing ([broadcast] is suppressed) but
+   still observes the instance passively: the node it runs on keeps
+   seeing what the instance orders — which is how a faulty node's
+   monitoring stays informed (Section VI-C2). *)
+let receive t ~from msg =
+  match msg with
+    | Messages.Pre_prepare pp -> accept_pp t ~from pp
+    | Messages.Prepare { view; seq; digest; replica } ->
+      accept_prepare t ~view ~seq ~digest ~replica
+    | Messages.Commit { view; seq; digest; replica } ->
+      accept_commit t ~view ~seq ~digest ~replica
+    | Messages.Checkpoint { seq; state_digest; replica } ->
+      accept_checkpoint t ~seq ~state_digest ~replica
+    | Messages.View_change { new_view; _ } ->
+      accept_view_change t ~from ~new_view msg
+    | Messages.New_view { view; pre_prepares; _ } ->
+      accept_new_view t ~from view pre_prepares
+
+let force_view_change t = start_view_change t (t.view + 1)
+
+let last_stable t = t.last_stable
+let state_transfers t = t.state_transfers
+
+let debug_dump t =
+  let head =
+    match Hashtbl.find_opt t.entries t.next_deliver with
+    | None -> "head:none"
+    | Some e ->
+      Printf.sprintf "head:{pp=%b view=%d prep=%d com=%d sp=%b sc=%b}"
+        (e.pp <> None) e.pp_view (List.length e.prepares) (List.length e.commits)
+        e.sent_prepare e.sent_commit
+  in
+  Printf.sprintf
+    "view=%d in_vc=%b next_seq=%d next_deliver=%d stable=%d pendbatch=%d waiting=%d release=%s %s"
+    t.view t.in_vc t.next_seq t.next_deliver t.last_stable
+    (List.length t.pending_batch)
+    (List.length t.waiting_pps)
+    (Time.to_string (Time.sub t.pp_release (Engine.now t.engine)))
+    head

@@ -1,0 +1,118 @@
+(** One replica of one ordering instance.
+
+    Implements the 3-phase commit of PBFT as used inside RBFT
+    (Section IV-B, steps 3–5): the primary batches request identifiers
+    into PRE-PREPAREs; replicas answer with PREPAREs once the node they
+    run on has received f+1 copies of each request; 2f matching
+    PREPAREs trigger COMMITs; 2f+1 matching COMMITs make the batch
+    ordered. Batches are delivered in sequence order, checkpoints
+    garbage-collect the log, and view changes are triggered
+    {e externally} ({!force_view_change}) — in RBFT a protocol instance
+    never changes view by itself, the node's instance-change mechanism
+    does it (Section IV-A); Aardvark drives the same entry point from
+    its own monitoring policy.
+
+    The replica is transport-agnostic: it emits messages through
+    {!callbacks} and receives them through {!receive}. CPU costs are
+    charged by the hosting node, not here. *)
+
+open Dessim
+open Types
+
+type config = {
+  n : int;
+  f : int;
+  replica_id : int;  (** this replica's id (= node id in RBFT) *)
+  primary_of_view : view -> int;
+  batch_size : int;  (** max requests per PRE-PREPARE *)
+  batch_delay : Time.t;  (** max wait before sending a partial batch *)
+  checkpoint_interval : int;  (** batches between checkpoints *)
+  watermark_window : int;  (** max batches in flight past the last stable checkpoint *)
+  order_full_requests : bool;
+      (** carry whole operations in PRE-PREPAREs (Aardvark) instead of
+          identifiers only (RBFT) *)
+  post_vc_quiet : Dessim.Time.t;
+      (** time a freshly elected primary waits before issuing new
+          batches, modelling the recovery cost of a view change (state
+          synchronisation, history hashing); zero for RBFT *)
+}
+
+val default_config : n:int -> f:int -> replica_id:int -> config
+(** Batch 64, 2 ms batch delay, checkpoint every 128 batches, window
+    256, identifier ordering, primary = view mod n. *)
+
+type callbacks = {
+  send : int -> Messages.t -> unit;  (** unicast to a peer replica *)
+  broadcast : Messages.t -> unit;  (** to all other replicas of the instance *)
+  deliver : seqno -> request_desc list -> unit;
+      (** a batch is ordered; called in strictly increasing [seqno]
+          order with duplicates (re-ordered requests) filtered out *)
+  on_view_change : view -> unit;
+      (** the replica moved to a new view (after NEW-VIEW processing) *)
+}
+
+(** Byzantine behaviours a faulty replica can exhibit; all default to
+    benign. Mutated directly by attack scenarios. *)
+type adversary = {
+  mutable silent : bool;
+      (** "do not take part in the protocol" (worst-attack-1, action iv) *)
+  mutable pp_extra_delay : unit -> Time.t;
+      (** extra delay a malicious primary adds before each
+          PRE-PREPARE (the delaying attacks of Section III) *)
+  mutable pp_rate_limit : unit -> float;
+      (** cap, in requests per second, a malicious primary puts on the
+          rate it orders — the throughput-throttling form of the same
+          attacks; [0.0] (default) means unconstrained *)
+  mutable client_hold : request_id -> Time.t;
+      (** unfair primary: extra hold applied to a request before it
+          becomes eligible for batching (Section VI-C3) *)
+}
+
+type t
+
+val create : Engine.t -> config -> callbacks -> t
+
+val config : t -> config
+val adversary : t -> adversary
+
+val submit : t -> request_desc -> unit
+(** The hosting node hands over a request that is ready for ordering
+    (after the f+1 PROPAGATE guard in RBFT; after verification in
+    Aardvark). Idempotent per request id. *)
+
+val receive : t -> from:int -> Messages.t -> unit
+(** An instance message arrived from peer replica [from] (already
+    authenticated by the node). *)
+
+val force_view_change : t -> unit
+(** Start moving to the next view. Safe to call repeatedly; subsequent
+    calls while a change is in progress are ignored. *)
+
+val view : t -> view
+val is_primary : t -> bool
+val current_primary : t -> int
+val in_view_change : t -> bool
+
+val ordered_count : t -> int
+(** Requests delivered so far (the monitoring counter [nbreqs] of
+    Section IV-C). *)
+
+val last_delivered_seq : t -> seqno
+val pending_count : t -> int
+(** Requests submitted but not yet delivered. *)
+
+val view_changes_completed : t -> int
+
+val last_stable : t -> seqno
+(** Sequence number of the last stable checkpoint (garbage-collection
+    floor). *)
+
+val state_transfers : t -> int
+(** How many times this replica adopted a stable checkpoint wholesale
+    because it had fallen behind (PBFT state transfer). A replica that
+    state-transferred did not locally deliver the skipped batches. *)
+
+val debug_dump : t -> string
+(** One-line internal state summary (sequence counters, watermarks,
+    the entry blocking delivery), for development probes and failure
+    reports in tests. *)

@@ -1,0 +1,46 @@
+(** Prime's network/execution monitoring (Section III-A of the RBFT
+    paper).
+
+    Replicas periodically measure pairwise round-trip times and track
+    how long batches take to execute; from these they derive the
+    maximum delay a correct primary may let pass between two ordering
+    messages:
+
+    [allowed_gap = t_pp + k_lat * (rtt_estimate + exec_estimate)]
+
+    A primary whose PRE-PREPARE gap exceeds the allowance is
+    suspected. The RBFT paper's attack (Figure 1) inflates
+    [rtt_estimate] and [exec_estimate] with expensive requests from a
+    colluding client, widening the allowance that a malicious primary
+    may then exploit in full. *)
+
+open Dessim
+
+type t
+
+type config = {
+  t_pp : Time.t;  (** nominal ordering period of the primary *)
+  k_lat : float;  (** the paper's network-variability constant *)
+  ping_period : Time.t;
+}
+
+val default_config : config
+(** 10 ms ordering period, k_lat = 2, 100 ms pings. *)
+
+val create : config -> t
+val config : t -> config
+
+val note_rtt : t -> Time.t -> unit
+val note_batch_exec : t -> Time.t -> unit
+(** Total execution time of one ordered aggregation round. *)
+
+val note_pre_prepare : t -> now:Time.t -> unit
+
+val allowed_gap : t -> Time.t
+(** Current allowance between consecutive PRE-PREPAREs. *)
+
+val rtt_estimate : t -> Time.t
+val exec_estimate : t -> Time.t
+
+val suspicious : t -> now:Time.t -> bool
+(** The primary's last PRE-PREPARE is older than the allowance. *)

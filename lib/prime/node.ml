@@ -1,0 +1,469 @@
+open Dessim
+open Bftcrypto
+open Bftnet
+open Bftapp
+open Pbftcore.Types
+
+type msg =
+  | Request of { desc : request_desc; sig_valid : bool }
+  | Po_request of { desc : request_desc; origin : int; po_seq : int }
+  | Pre_prepare of { view : int; seq : int; vector : int array }
+  | Prepare of { view : int; seq : int; digest : string; replica : int }
+  | Commit of { view : int; seq : int; digest : string; replica : int }
+  | Ping of { from : int; nonce : int }
+  | Pong of { to_ : int; nonce : int; sent_at : Time.t }
+  | Suspect of { view : int; replica : int }
+  | Reply of { id : request_id; result : string; node : int }
+
+type config = {
+  f : int;
+  monitor : Monitor.config;
+  origin_window : int;
+  exec_cost : Time.t;
+  heavy_exec_cost : Time.t;
+  costs : Costmodel.t;
+  body_copy_factor : float;
+}
+
+let default_config ~f =
+  {
+    f;
+    monitor = Monitor.default_config;
+    origin_window = 30;
+    exec_cost = Time.us 100;
+    heavy_exec_cost = Time.ms 1;
+    costs = Costmodel.default;
+    body_copy_factor = 6.0;
+  }
+
+type faults = { mutable delay_to_limit : bool; mutable limit_fraction : float }
+
+type seq_entry = {
+  mutable vector : int array option;
+  mutable digest : string;
+  mutable prepares : int list;
+  mutable commits : int list;
+  mutable sent_prepare : bool;
+  mutable sent_commit : bool;
+  mutable delivered : bool;
+}
+
+type t = {
+  engine : Engine.t;
+  net : msg Network.t;
+  cfg : config;
+  id : int;
+  service : Service.t;
+  main : Resource.t;  (* single protocol + execution thread *)
+  monitor : Monitor.t;
+  faults : faults;
+  (* Pre-ordering state: per-origin buffers of descs, indexed by po_seq
+     (1-based, dense). *)
+  po_buffers : request_desc option array array ref;
+  po_received : int array;  (* contiguous prefix length per origin *)
+  mutable my_po_seq : int;
+  ordered_vector : int array;  (* delivered watermark per origin *)
+  entries : (int, seq_entry) Hashtbl.t;
+  mutable view : int;
+  mutable next_seq : int;  (* primary: next PP seq *)
+  mutable next_deliver : int;
+  mutable suspects : int list;  (* replicas voting against current view *)
+  mutable suspects_seen : int;
+  executed : string Request_id_table.t;
+  exec_counter : Bftmetrics.Throughput.t;
+  mutable exec_count : int;
+  mutable exec_digest : string;
+  mutable ping_nonce : int;
+  pings_inflight : (int, Time.t) Hashtbl.t;
+  mutable started : bool;
+}
+
+let id t = t.id
+let faults t = t.faults
+let monitor t = t.monitor
+let view t = t.view
+let executed_count t = t.exec_count
+let executed_counter t = t.exec_counter
+let execution_digest t = t.exec_digest
+let suspects_seen t = t.suspects_seen
+
+let n_nodes t = (3 * t.cfg.f) + 1
+let primary t = t.view mod n_nodes t
+let is_primary t = primary t = t.id
+
+let sig_size = Keys.signature_size
+
+let msg_size t m =
+  match m with
+  | Request { desc; _ } -> 16 + desc.op_size + sig_size
+  | Po_request { desc; _ } -> 24 + desc.op_size + sig_size
+  | Pre_prepare { vector; _ } -> 24 + (8 * Array.length vector) + sig_size
+  | Prepare _ | Commit _ -> 24 + Sha256.size + sig_size
+  | Ping _ | Pong _ -> 24 + sig_size
+  | Suspect _ -> 24 + sig_size
+  | Reply { result; _ } -> 16 + String.length result + (n_nodes t * 0) + sig_size
+
+(* The PO-REQUEST dissemination copies full request bodies through
+   the replica's buffers several times. *)
+let cost_bytes t m =
+  let size = msg_size t m in
+  match m with
+  | Po_request _ -> int_of_float (float_of_int size *. t.cfg.body_copy_factor)
+  | Request _ | Pre_prepare _ | Prepare _ | Commit _ | Ping _ | Pong _
+  | Suspect _ | Reply _ ->
+    size
+
+let send_from t ~dst m =
+  let size = msg_size t m in
+  Resource.charge t.main (Costmodel.send t.cfg.costs ~bytes:(cost_bytes t m));
+  Network.send t.net ~src:(Principal.node t.id) ~dst ~size m
+
+(* Prime signs every message. *)
+let broadcast_signed t m =
+  let size = msg_size t m in
+  Resource.charge t.main (Costmodel.sig_sign t.cfg.costs ~bytes:size);
+  for dst = 0 to n_nodes t - 1 do
+    if dst <> t.id then begin
+      Resource.charge t.main (Costmodel.send t.cfg.costs ~bytes:(cost_bytes t m));
+      Network.send t.net ~src:(Principal.node t.id) ~dst:(Principal.node dst) ~size m
+    end
+  done
+
+let vector_digest view seq vector =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf (string_of_int view);
+  Buffer.add_char buf ':';
+  Buffer.add_string buf (string_of_int seq);
+  Array.iter
+    (fun v ->
+      Buffer.add_char buf ',';
+      Buffer.add_string buf (string_of_int v))
+    vector;
+  Sha256.digest_string (Buffer.contents buf)
+
+let entry_for t seq =
+  match Hashtbl.find_opt t.entries seq with
+  | Some e -> e
+  | None ->
+    let e =
+      {
+        vector = None;
+        digest = "";
+        prepares = [];
+        commits = [];
+        sent_prepare = false;
+        sent_commit = false;
+        delivered = false;
+      }
+    in
+    Hashtbl.add t.entries seq e;
+    e
+
+(* ------------------------------------------------------------------ *)
+(* Pre-ordering buffers                                                *)
+(* ------------------------------------------------------------------ *)
+
+let buffer_slot t origin po_seq =
+  let buffers = !(t.po_buffers) in
+  let buf = buffers.(origin) in
+  if po_seq >= Array.length buf then begin
+    let bigger = Array.make (Stdlib.max (po_seq + 1) (2 * Array.length buf)) None in
+    Array.blit buf 0 bigger 0 (Array.length buf);
+    buffers.(origin) <- bigger
+  end;
+  buffers.(origin)
+
+let store_po t ~origin ~po_seq desc =
+  let buf = buffer_slot t origin po_seq in
+  if buf.(po_seq) = None then begin
+    buf.(po_seq) <- Some desc;
+    (* Advance the contiguous prefix. *)
+    let i = ref t.po_received.(origin) in
+    while !i + 1 < Array.length buf && buf.(!i + 1) <> None do
+      incr i
+    done;
+    t.po_received.(origin) <- !i
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let exec_cost_of t (desc : request_desc) =
+  if desc.flagged_heavy then Time.max t.cfg.heavy_exec_cost (t.service.Service.exec_cost desc.op)
+  else Time.max t.cfg.exec_cost (t.service.Service.exec_cost desc.op)
+
+let execute_one t (desc : request_desc) =
+  if not (Request_id_table.mem t.executed desc.id) then begin
+    (* Execution happens on the main thread: heavy requests delay
+       everything behind them, including pong responses. *)
+    Resource.charge t.main (exec_cost_of t desc);
+    let result = t.service.Service.execute desc.op in
+    Request_id_table.replace t.executed desc.id result;
+    t.exec_count <- t.exec_count + 1;
+    Bftmetrics.Throughput.record t.exec_counter ~now:(Engine.now t.engine);
+    t.exec_digest <- Sha256.digest_string (t.exec_digest ^ desc.digest);
+    send_from t ~dst:(Principal.client desc.id.client)
+      (Reply { id = desc.id; result; node = t.id })
+  end
+
+let rec try_deliver t =
+  let e = entry_for t t.next_deliver in
+  match e.vector with
+  | Some vector
+    when e.sent_commit
+         && List.length e.commits >= (2 * t.cfg.f) + 1
+         && not e.delivered ->
+    (* Check every covered PO-REQUEST is locally available. *)
+    let ready =
+      Array.for_all2 (fun have want -> have >= want) t.po_received vector
+    in
+    if ready then begin
+      e.delivered <- true;
+      t.next_deliver <- t.next_deliver + 1;
+      let exec_start = Engine.now t.engine in
+      let buffers = !(t.po_buffers) in
+      let total_exec = ref Time.zero in
+      Array.iteri
+        (fun origin upto ->
+          for k = t.ordered_vector.(origin) + 1 to upto do
+            match buffers.(origin).(k) with
+            | Some desc ->
+              total_exec := Time.add !total_exec (exec_cost_of t desc);
+              execute_one t desc
+            | None -> ()
+          done;
+          t.ordered_vector.(origin) <- Stdlib.max t.ordered_vector.(origin) upto)
+        vector;
+      ignore exec_start;
+      Monitor.note_batch_exec t.monitor !total_exec;
+      try_deliver t
+    end
+  | Some _ | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Agreement on summary vectors                                        *)
+(* ------------------------------------------------------------------ *)
+
+let maybe_commit t seq (e : seq_entry) =
+  if (not e.sent_commit) && e.sent_prepare && List.length e.prepares >= 2 * t.cfg.f
+  then begin
+    e.sent_commit <- true;
+    e.commits <- t.id :: e.commits;
+    broadcast_signed t (Commit { view = t.view; seq; digest = e.digest; replica = t.id });
+    try_deliver t
+  end
+
+let accept_pp t ~from ~view ~seq vector =
+  if view = t.view && from = primary t then begin
+    Monitor.note_pre_prepare t.monitor ~now:(Engine.now t.engine);
+    let e = entry_for t seq in
+    if e.vector = None then begin
+      e.vector <- Some vector;
+      e.digest <- vector_digest view seq vector;
+      if from <> t.id then begin
+        e.sent_prepare <- true;
+        e.prepares <- t.id :: e.prepares;
+        broadcast_signed t
+          (Prepare { view; seq; digest = e.digest; replica = t.id })
+      end
+      else e.sent_prepare <- true;
+      maybe_commit t seq e
+    end
+  end
+
+(* The primary's periodic aggregation: cover everything pre-ordered,
+   bounded by the per-origin window. *)
+let build_vector t =
+  Array.mapi
+    (fun origin delivered ->
+      let available = t.po_received.(origin) in
+      Stdlib.min available (delivered + t.cfg.origin_window))
+    t.ordered_vector
+
+let issue_pre_prepare t =
+  if is_primary t then begin
+    let vector = build_vector t in
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    broadcast_signed t (Pre_prepare { view = t.view; seq; vector });
+    accept_pp t ~from:t.id ~view:t.view ~seq vector
+  end
+
+let pp_period t =
+  if t.faults.delay_to_limit && is_primary t then
+    Time.max (Monitor.config t.monitor).Monitor.t_pp
+      (Time.mul_f (Monitor.allowed_gap t.monitor) t.faults.limit_fraction)
+  else (Monitor.config t.monitor).Monitor.t_pp
+
+let rec arm_pp_loop t =
+  ignore
+    (Engine.after t.engine (pp_period t) (fun () ->
+         Resource.submit t.main ~cost:(Time.us 5) (fun () ->
+             issue_pre_prepare t;
+             arm_pp_loop t)))
+
+(* ------------------------------------------------------------------ *)
+(* Suspicion and view change                                          *)
+(* ------------------------------------------------------------------ *)
+
+let enter_view t v =
+  if v > t.view then begin
+    t.view <- v;
+    t.suspects <- [];
+    (* Re-anchor monitoring in the new view. *)
+    Monitor.note_pre_prepare t.monitor ~now:(Engine.now t.engine);
+    if is_primary t then t.next_seq <- Stdlib.max t.next_seq t.next_deliver
+  end
+
+let note_suspect t ~replica ~view =
+  if view = t.view then begin
+    if not (List.mem replica t.suspects) then begin
+      t.suspects <- replica :: t.suspects;
+      t.suspects_seen <- t.suspects_seen + 1
+    end;
+    if List.length t.suspects >= (2 * t.cfg.f) + 1 then enter_view t (t.view + 1)
+  end
+
+let check_suspicion t =
+  if (not (is_primary t)) && Monitor.suspicious t.monitor ~now:(Engine.now t.engine)
+  then
+    if not (List.mem t.id t.suspects) then begin
+      t.suspects <- t.id :: t.suspects;
+      broadcast_signed t (Suspect { view = t.view; replica = t.id });
+      if List.length t.suspects >= (2 * t.cfg.f) + 1 then enter_view t (t.view + 1)
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Pings                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let rec arm_ping_loop t =
+  ignore
+    (Engine.after t.engine (Monitor.config t.monitor).Monitor.ping_period (fun () ->
+         Resource.submit t.main ~cost:(Time.us 2) (fun () ->
+             t.ping_nonce <- t.ping_nonce + 1;
+             Hashtbl.replace t.pings_inflight t.ping_nonce (Engine.now t.engine);
+             broadcast_signed t (Ping { from = t.id; nonce = t.ping_nonce });
+             check_suspicion t;
+             arm_ping_loop t)))
+
+(* ------------------------------------------------------------------ *)
+(* Inbound                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let handle_request t (desc : request_desc) ~sig_valid =
+  if Request_id_table.mem t.executed desc.id then begin
+    match Request_id_table.find_opt t.executed desc.id with
+    | Some result ->
+      send_from t ~dst:(Principal.client desc.id.client)
+        (Reply { id = desc.id; result; node = t.id })
+    | None -> ()
+  end
+  else begin
+    Resource.charge t.main (Costmodel.sig_verify t.cfg.costs ~bytes:desc.op_size);
+    if sig_valid then begin
+      t.my_po_seq <- t.my_po_seq + 1;
+      store_po t ~origin:t.id ~po_seq:t.my_po_seq desc;
+      broadcast_signed t (Po_request { desc; origin = t.id; po_seq = t.my_po_seq })
+    end
+  end
+
+let on_delivery t (d : msg Network.delivery) =
+  let base = Costmodel.recv t.cfg.costs ~bytes:(cost_bytes t d.Network.payload) in
+  let verify = Costmodel.sig_verify t.cfg.costs ~bytes:d.Network.size in
+  let with_sig = Time.add base verify in
+  match d.Network.payload with
+  | Request { desc; sig_valid } ->
+    Resource.submit t.main ~cost:base (fun () -> handle_request t desc ~sig_valid)
+  | Po_request { desc; origin; po_seq } ->
+    Resource.submit t.main ~cost:with_sig (fun () ->
+        store_po t ~origin ~po_seq desc;
+        try_deliver t)
+  | Pre_prepare { view; seq; vector } ->
+    let from =
+      match d.Network.src with Principal.Node i -> i | Principal.Client _ -> -1
+    in
+    Resource.submit t.main ~cost:with_sig (fun () ->
+        if from >= 0 then accept_pp t ~from ~view ~seq vector)
+  | Prepare { view; seq; digest; replica } ->
+    Resource.submit t.main ~cost:with_sig (fun () ->
+        if view = t.view then begin
+          let e = entry_for t seq in
+          if
+            (e.vector = None || String.equal e.digest digest)
+            && not (List.mem replica e.prepares)
+          then begin
+            e.prepares <- replica :: e.prepares;
+            maybe_commit t seq e
+          end
+        end)
+  | Commit { view; seq; digest; replica } ->
+    Resource.submit t.main ~cost:with_sig (fun () ->
+        if view = t.view then begin
+          let e = entry_for t seq in
+          if
+            (e.vector = None || String.equal e.digest digest)
+            && not (List.mem replica e.commits)
+          then begin
+            e.commits <- replica :: e.commits;
+            try_deliver t
+          end
+        end)
+  | Ping { from; nonce } ->
+    Resource.submit t.main ~cost:with_sig (fun () ->
+        send_from t ~dst:(Principal.node from)
+          (Pong { to_ = from; nonce; sent_at = Time.zero }))
+  | Pong { to_; nonce; _ } ->
+    Resource.submit t.main ~cost:with_sig (fun () ->
+        if to_ = t.id then
+          match Hashtbl.find_opt t.pings_inflight nonce with
+          | Some sent ->
+            Hashtbl.remove t.pings_inflight nonce;
+            Monitor.note_rtt t.monitor (Time.sub (Engine.now t.engine) sent)
+          | None -> ())
+  | Suspect { view; replica } ->
+    Resource.submit t.main ~cost:with_sig (fun () -> note_suspect t ~replica ~view)
+  | Reply _ -> ()
+
+let create engine net cfg ~id ~service =
+  let n = (3 * cfg.f) + 1 in
+  let t =
+    {
+      engine;
+      net;
+      cfg;
+      id;
+      service;
+      main = Resource.create engine ~name:(Printf.sprintf "pr%d.main" id);
+      monitor = Monitor.create cfg.monitor;
+      faults = { delay_to_limit = false; limit_fraction = 0.95 };
+      po_buffers = ref (Array.init n (fun _ -> Array.make 1024 None));
+      po_received = Array.make n 0;
+      my_po_seq = 0;
+      ordered_vector = Array.make n 0;
+      entries = Hashtbl.create 256;
+      view = 0;
+      next_seq = 1;
+      next_deliver = 1;
+      suspects = [];
+      suspects_seen = 0;
+      executed = Request_id_table.create 4096;
+      exec_counter = Bftmetrics.Throughput.create ();
+      exec_count = 0;
+      exec_digest = "genesis";
+      ping_nonce = 0;
+      pings_inflight = Hashtbl.create 16;
+      started = false;
+    }
+  in
+  Network.register_node net id (fun d -> on_delivery t d);
+  t
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    Monitor.note_pre_prepare t.monitor ~now:(Engine.now t.engine);
+    arm_pp_loop t;
+    arm_ping_loop t
+  end

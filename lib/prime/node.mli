@@ -1,0 +1,68 @@
+(** A Prime replica node (Amir et al., DSN 2008), as analysed in
+    Section III-A of the RBFT paper.
+
+    Clients send their (signed) request to one replica; replicas
+    broadcast signed PO-REQUESTs so everyone learns every request;
+    the primary periodically emits a PRE-PREPARE carrying a cumulative
+    summary vector (how many pre-ordered requests of each origin are
+    ordered), bounded by a per-origin aggregation window; replicas
+    agree on the vector with PREPARE/COMMIT and execute the covered
+    requests deterministically. All protocol messages are signed —
+    Prime's latency handicap in Figure 7.
+
+    The whole replica runs on a single CPU thread (verification,
+    ordering, pings and execution), which is what lets the colluding
+    client's heavy requests inflate the measured round-trip times in
+    the Figure 1 attack. *)
+
+open Dessim
+open Bftapp
+
+type msg =
+  | Request of { desc : Pbftcore.Types.request_desc; sig_valid : bool }
+  | Po_request of { desc : Pbftcore.Types.request_desc; origin : int; po_seq : int }
+  | Pre_prepare of { view : int; seq : int; vector : int array }
+  | Prepare of { view : int; seq : int; digest : string; replica : int }
+  | Commit of { view : int; seq : int; digest : string; replica : int }
+  | Ping of { from : int; nonce : int }
+  | Pong of { to_ : int; nonce : int; sent_at : Time.t }
+  | Suspect of { view : int; replica : int }
+  | Reply of { id : Pbftcore.Types.request_id; result : string; node : int }
+
+type config = {
+  f : int;
+  monitor : Monitor.config;
+  origin_window : int;
+      (** max requests per origin covered by one PRE-PREPARE — Prime's
+          aggregation/flow-control bound; with the ordering period it
+          caps throughput *)
+  exec_cost : Time.t;
+  heavy_exec_cost : Time.t;  (** 1 ms in the paper's attack *)
+  costs : Bftcrypto.Costmodel.t;
+  body_copy_factor : float;
+      (** body-copy overhead of the PO dissemination path *)
+}
+
+val default_config : f:int -> config
+
+type faults = {
+  mutable delay_to_limit : bool;
+      (** malicious primary: stretch the PRE-PREPARE period to a
+          fraction of the monitored allowance (Figure 1 attack) *)
+  mutable limit_fraction : float;  (** default 0.9 *)
+}
+
+type t
+
+val create :
+  Engine.t -> msg Bftnet.Network.t -> config -> id:int -> service:Service.t -> t
+
+val start : t -> unit
+val id : t -> int
+val faults : t -> faults
+val monitor : t -> Monitor.t
+val view : t -> int
+val executed_count : t -> int
+val executed_counter : t -> Bftmetrics.Throughput.t
+val execution_digest : t -> string
+val suspects_seen : t -> int

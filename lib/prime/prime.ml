@@ -1,0 +1,9 @@
+(** The Prime baseline (Amir et al., DSN 2008), as analysed in
+    Section III-A of the RBFT paper: pre-ordering dissemination,
+    periodic aggregated ordering by the primary, and RTT-based
+    monitoring of the primary's pace. *)
+
+module Monitor = Monitor
+module Node = Node
+module Client = Client
+module Cluster = Cluster

@@ -1,0 +1,70 @@
+type event = { action : unit -> unit; mutable cancelled : bool }
+
+type t = {
+  mutable clock : Time.t;
+  mutable seq : int;
+  queue : event Heap.t;
+  root_rng : Rng.t;
+  mutable stopped : bool;
+  mutable processed : int;
+}
+
+type timer = event
+
+let create ?(seed = 1L) () =
+  {
+    clock = Time.zero;
+    seq = 0;
+    queue = Heap.create ();
+    root_rng = Rng.create seed;
+    stopped = false;
+    processed = 0;
+  }
+
+let now t = t.clock
+let rng t = t.root_rng
+let fresh_rng t = Rng.split t.root_rng
+
+let at t instant action =
+  let instant = Time.max instant t.clock in
+  let event = { action; cancelled = false } in
+  t.seq <- t.seq + 1;
+  Heap.push t.queue ~key:instant ~seq:t.seq event;
+  event
+
+let after t delay action = at t (Time.add t.clock (Time.max Time.zero delay)) action
+
+let cancel event = event.cancelled <- true
+
+let pending event = not event.cancelled
+
+let run ?until t =
+  t.stopped <- false;
+  let continue = ref true in
+  while !continue && not t.stopped do
+    match Heap.peek_key t.queue with
+    | None -> continue := false
+    | Some key ->
+      let past_horizon =
+        match until with None -> false | Some horizon -> key > horizon
+      in
+      if past_horizon then continue := false
+      else begin
+        match Heap.pop t.queue with
+        | None -> continue := false
+        | Some (key, _, event) ->
+          t.clock <- key;
+          if not event.cancelled then begin
+            t.processed <- t.processed + 1;
+            event.cancelled <- true;
+            event.action ()
+          end
+      end
+  done;
+  match until with
+  | Some horizon when not t.stopped -> t.clock <- Time.max t.clock horizon
+  | Some _ | None -> ()
+
+let stop t = t.stopped <- true
+let events_processed t = t.processed
+let queue_size t = Heap.size t.queue

@@ -1,0 +1,57 @@
+(** The discrete-event simulation engine.
+
+    An engine owns a virtual clock and an event queue. Components
+    schedule closures to run at future virtual instants; [run] drains
+    the queue in deterministic time order. This substrate plays the
+    role of the physical cluster in the paper's evaluation. *)
+
+type t
+
+type timer
+(** A handle on a scheduled event, used for cancellation. *)
+
+val create : ?seed:int64 -> unit -> t
+(** [create ~seed ()] makes an engine whose clock starts at
+    {!Time.zero}. All randomness in a simulation derives from [seed]
+    (default [1L]). *)
+
+val now : t -> Time.t
+(** Current virtual time. *)
+
+val rng : t -> Rng.t
+(** The engine's root random stream; components should {!Rng.split} it
+    rather than drawing from it directly. *)
+
+val fresh_rng : t -> Rng.t
+(** [fresh_rng t] is a convenience for [Rng.split (rng t)]. *)
+
+val after : t -> Time.t -> (unit -> unit) -> timer
+(** [after t delay f] schedules [f] to run [delay] after [now]. A
+    negative delay is clamped to zero. *)
+
+val at : t -> Time.t -> (unit -> unit) -> timer
+(** [at t instant f] schedules [f] at absolute virtual time [instant];
+    instants in the past run "now" (still in deterministic order). *)
+
+val cancel : timer -> unit
+(** [cancel timer] prevents a pending event from running. Cancelling an
+    already-fired or already-cancelled timer is a no-op. *)
+
+val pending : timer -> bool
+(** [pending timer] is [true] when the event has not yet fired nor been
+    cancelled. *)
+
+val run : ?until:Time.t -> t -> unit
+(** [run ?until t] processes events in time order. With [until], stops
+    once the clock would pass that instant (the clock is left at
+    [until]); otherwise runs until the queue is empty or {!stop} is
+    called. *)
+
+val stop : t -> unit
+(** Request [run] to return after the current event. *)
+
+val events_processed : t -> int
+(** Total number of events executed so far; a cheap progress and
+    cost metric for the simulation itself. *)
+
+val queue_size : t -> int

@@ -1,0 +1,25 @@
+(** Binary min-heap keyed by [(time, sequence)].
+
+    The sequence number breaks ties between events scheduled for the
+    same instant, guaranteeing FIFO order among simultaneous events and
+    therefore a fully deterministic simulation. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> key:int -> seq:int -> 'a -> unit
+(** [push h ~key ~seq v] inserts [v] with priority [(key, seq)]. *)
+
+val pop : 'a t -> (int * int * 'a) option
+(** [pop h] removes and returns the minimum element, or [None] when the
+    heap is empty. *)
+
+val peek_key : 'a t -> int option
+(** [peek_key h] is the smallest key without removing it. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,62 @@
+type job = { cost : Time.t; k : unit -> unit }
+
+type t = {
+  engine : Engine.t;
+  name : string;
+  queue : job Queue.t;
+  mutable running : bool;
+  mutable busy_until : Time.t;
+  mutable busy_total : Time.t;
+  mutable jobs : int;
+}
+
+let create engine ~name =
+  {
+    engine;
+    name;
+    queue = Queue.create ();
+    running = false;
+    busy_until = Time.zero;
+    busy_total = Time.zero;
+    jobs = 0;
+  }
+
+let name t = t.name
+
+(* Only the job at the head of the queue has a scheduled completion
+   event. This lets a running handler [charge] extra time and push back
+   everything queued behind it. *)
+let rec start_next t =
+  match Queue.take_opt t.queue with
+  | None -> t.running <- false
+  | Some job ->
+    t.running <- true;
+    let start = Time.max (Engine.now t.engine) t.busy_until in
+    let finish = Time.add start job.cost in
+    t.busy_until <- finish;
+    t.busy_total <- Time.add t.busy_total job.cost;
+    t.jobs <- t.jobs + 1;
+    ignore
+      (Engine.at t.engine finish (fun () ->
+           job.k ();
+           start_next t))
+
+let submit t ~cost k =
+  Queue.add { cost; k } t.queue;
+  if not t.running then start_next t
+
+let charge t extra =
+  let extra = Time.max Time.zero extra in
+  let base = Time.max (Engine.now t.engine) t.busy_until in
+  t.busy_until <- Time.add base extra;
+  t.busy_total <- Time.add t.busy_total extra
+
+let busy_until t = t.busy_until
+
+let backlog t =
+  let queued = Queue.fold (fun acc job -> Time.add acc job.cost) Time.zero t.queue in
+  let now = Engine.now t.engine in
+  Time.add (Time.max Time.zero (Time.sub t.busy_until now)) queued
+
+let busy_total t = t.busy_total
+let jobs_served t = t.jobs

@@ -1,0 +1,42 @@
+(** A single-server FIFO resource.
+
+    Models anything that serves work sequentially at a known cost: a
+    CPU thread pinned to a core (the paper's Verification, Propagation,
+    Dispatch & Monitoring and Execution modules), a replica process, or
+    the serialization stage of a NIC.
+
+    Jobs submitted to a resource complete in submission order; each job
+    occupies the server for its [cost] of virtual time. A job may
+    {!charge} extra time while it runs (e.g. a handler that generates
+    MACs for the messages it sends), pushing back every job queued
+    behind it. *)
+
+type t
+
+val create : Engine.t -> name:string -> t
+
+val name : t -> string
+
+val submit : t -> cost:Time.t -> (unit -> unit) -> unit
+(** [submit t ~cost f] enqueues a job. [f] runs when the job
+    completes, i.e. at [max now (end of previous job) + cost]. *)
+
+val charge : t -> Time.t -> unit
+(** [charge t extra] extends the busy period of the job currently at
+    the head of the resource. Intended to be called from within a job's
+    completion handler to account for work performed by the handler
+    itself. *)
+
+val busy_until : t -> Time.t
+(** The virtual instant at which the resource becomes idle given the
+    work accepted so far. *)
+
+val backlog : t -> Time.t
+(** [backlog t] is [max 0 (busy_until - now)]: how far behind the
+    resource currently is. Used by adversaries and by load probes. *)
+
+val busy_total : t -> Time.t
+(** Cumulative virtual time spent serving jobs; divide by elapsed time
+    for utilization. *)
+
+val jobs_served : t -> int

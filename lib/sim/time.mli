@@ -1,0 +1,52 @@
+(** Virtual time for the discrete-event simulator.
+
+    Time is an integer number of nanoseconds since the start of the
+    simulation. Using integers keeps the simulation deterministic: two
+    runs with the same seed produce exactly the same event order. *)
+
+type t = int
+(** Nanoseconds. The OCaml native [int] gives 62 bits, i.e. ~146 years
+    of simulated time, far beyond any experiment in this repository. *)
+
+val zero : t
+
+val ns : int -> t
+(** [ns x] is [x] nanoseconds. *)
+
+val us : int -> t
+(** [us x] is [x] microseconds. *)
+
+val ms : int -> t
+(** [ms x] is [x] milliseconds. *)
+
+val sec : int -> t
+(** [sec x] is [x] seconds. *)
+
+val of_sec_f : float -> t
+(** [of_sec_f s] converts [s] seconds (possibly fractional) to virtual
+    time, rounding to the nearest nanosecond. *)
+
+val of_us_f : float -> t
+(** [of_us_f u] converts [u] microseconds to virtual time. *)
+
+val to_sec_f : t -> float
+(** [to_sec_f t] is [t] expressed in seconds. *)
+
+val to_ms_f : t -> float
+(** [to_ms_f t] is [t] expressed in milliseconds. *)
+
+val to_us_f : t -> float
+(** [to_us_f t] is [t] expressed in microseconds. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val max : t -> t -> t
+val min : t -> t -> t
+
+val mul_f : t -> float -> t
+(** [mul_f t k] scales a duration by a float factor, rounding. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable rendering with an adaptive unit (ns/us/ms/s). *)
+
+val to_string : t -> string

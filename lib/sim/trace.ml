@@ -1,0 +1,47 @@
+type level = Debug | Info | Warn
+
+let level_name = function Debug -> "debug" | Info -> "info" | Warn -> "warn"
+
+type event = { time : Time.t; level : level; component : string; message : string }
+
+let sink : (event -> unit) option ref = ref None
+
+let set_sink s = sink := s
+
+let emit engine level ~component message =
+  match !sink with
+  | None -> ()
+  | Some s -> s { time = Engine.now engine; level; component; message }
+
+let emitf engine level ~component fmt =
+  Printf.ksprintf
+    (fun message ->
+      match !sink with
+      | None -> ()
+      | Some s -> s { time = Engine.now engine; level; component; message })
+    fmt
+
+module Ring = struct
+  type t = { capacity : int; buffer : event option array; mutable next : int; mutable count : int }
+
+  let create ?(capacity = 4096) () =
+    { capacity; buffer = Array.make capacity None; next = 0; count = 0 }
+
+  let sink t event =
+    t.buffer.(t.next) <- Some event;
+    t.next <- (t.next + 1) mod t.capacity;
+    t.count <- Stdlib.min (t.count + 1) t.capacity
+
+  let events t =
+    let start = if t.count < t.capacity then 0 else t.next in
+    List.init t.count (fun i ->
+        match t.buffer.((start + i) mod t.capacity) with
+        | Some e -> e
+        | None -> assert false)
+
+  let pp_event fmt e =
+    Format.fprintf fmt "[%a] %-5s %-16s %s" Time.pp e.time (level_name e.level)
+      e.component e.message
+end
+
+let console_sink e = Format.printf "%a@." Ring.pp_event e

@@ -1,0 +1,43 @@
+(** Lightweight event tracing for simulations.
+
+    Components emit timestamped, categorised events; a sink (installed
+    per run) receives them. The default sink drops everything with
+    negligible cost, so instrumentation can stay in protocol code.
+    The CLI's [--trace] flag and some tests install sinks; the ring
+    buffer sink is convenient for post-mortem inspection. *)
+
+type level = Debug | Info | Warn
+
+val level_name : level -> string
+
+type event = { time : Time.t; level : level; component : string; message : string }
+
+val set_sink : (event -> unit) option -> unit
+(** Install (or clear) the global sink. *)
+
+val emit : Engine.t -> level -> component:string -> string -> unit
+(** [emit engine level ~component msg] sends an event to the sink, if
+    any, stamped with the engine's current virtual time. *)
+
+val emitf :
+  Engine.t -> level -> component:string -> ('a, unit, string, unit) format4 -> 'a
+(** Printf-style {!emit}; the message is only built when a sink is
+    installed. *)
+
+module Ring : sig
+  (** A bounded in-memory sink keeping the most recent events. *)
+
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** Default capacity 4096 events. *)
+
+  val sink : t -> event -> unit
+  val events : t -> event list
+  (** Oldest first. *)
+
+  val pp_event : Format.formatter -> event -> unit
+end
+
+val console_sink : event -> unit
+(** Print each event to stdout (the CLI's [--trace] output). *)

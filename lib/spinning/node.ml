@@ -1,0 +1,193 @@
+open Dessim
+open Bftcrypto
+open Bftnet
+open Bftapp
+open Pbftcore.Types
+
+type msg =
+  | Request of { desc : request_desc }
+  | Order of Replica.msg
+  | Reply of { id : request_id; result : string; node : int }
+
+type config = {
+  f : int;
+  batch_size : int;
+  s_timeout : Time.t;
+  pipeline : int;
+  bookkeeping : Time.t;
+  body_copy_factor : float;
+  exec_cost : Time.t;
+  costs : Costmodel.t;
+}
+
+let default_config ~f =
+  {
+    f;
+    batch_size = 16;
+    s_timeout = Time.ms 40;
+    pipeline = 4;
+    bookkeeping = Time.us 12;
+    body_copy_factor = 2.0;
+    exec_cost = Time.us 1;
+    costs = Costmodel.default;
+  }
+
+type faults = { mutable delay_fraction : float }
+
+type t = {
+  engine : Engine.t;
+  net : msg Network.t;
+  cfg : config;
+  id : int;
+  service : Service.t;
+  ordering : Resource.t;
+  execution : Resource.t;
+  mutable replica : Replica.t option;
+  faults : faults;
+  executed : string Request_id_table.t;
+  exec_counter : Bftmetrics.Throughput.t;
+  mutable exec_count : int;
+  mutable exec_digest : string;
+}
+
+let id t = t.id
+let faults t = t.faults
+let replica t = match t.replica with Some r -> r | None -> assert false
+let executed_count t = t.exec_count
+let executed_counter t = t.exec_counter
+let execution_digest t = t.exec_digest
+
+let n_nodes t = (3 * t.cfg.f) + 1
+
+let msg_size t m =
+  let mac_auth = n_nodes t * Keys.mac_tag_size in
+  match m with
+  | Request { desc } -> 16 + desc.op_size + mac_auth
+  | Order (Replica.Pre_prepare { descs; _ }) ->
+    (* Spinning's ordering messages carry the full requests. *)
+    16 + List.fold_left (fun acc d -> acc + id_wire_size + d.op_size) 0 descs + mac_auth
+  | Order (Replica.Prepare _ | Replica.Commit _) -> 16 + Sha256.size + mac_auth
+  | Order (Replica.Accuse _) -> 16 + 8 + mac_auth
+  | Reply { result; _ } -> 16 + String.length result + Keys.mac_tag_size
+
+(* Ordering messages carry full request bodies; the prototype copies
+   them through its buffers, which [cost_bytes] accounts for. *)
+let cost_bytes t m =
+  let size = msg_size t m in
+  match m with
+  | Order (Replica.Pre_prepare _) ->
+    int_of_float (float_of_int size *. t.cfg.body_copy_factor)
+  | Order _ | Request _ | Reply _ -> size
+
+let send_from t thread ~dst m =
+  let size = msg_size t m in
+  Resource.charge thread (Costmodel.send t.cfg.costs ~bytes:(cost_bytes t m));
+  Network.send t.net ~src:(Principal.node t.id) ~dst ~size m
+
+let broadcast_nodes t thread m =
+  let size = msg_size t m in
+  Resource.charge thread
+    (Costmodel.authenticator_gen t.cfg.costs ~bytes:size ~count:(n_nodes t));
+  for dst = 0 to n_nodes t - 1 do
+    if dst <> t.id then begin
+      Resource.charge thread (Costmodel.send t.cfg.costs ~bytes:(cost_bytes t m));
+      Network.send t.net ~src:(Principal.node t.id) ~dst:(Principal.node dst) ~size m
+    end
+  done
+
+let execute_batch t descs =
+  List.iter
+    (fun (desc : request_desc) ->
+      if not (Request_id_table.mem t.executed desc.id) then begin
+        let cost = Time.max t.cfg.exec_cost (t.service.Service.exec_cost desc.op) in
+        Resource.submit t.execution ~cost (fun () ->
+            if not (Request_id_table.mem t.executed desc.id) then begin
+              let result = t.service.Service.execute desc.op in
+              Request_id_table.replace t.executed desc.id result;
+              t.exec_count <- t.exec_count + 1;
+              Bftmetrics.Throughput.record t.exec_counter ~now:(Engine.now t.engine);
+              t.exec_digest <- Sha256.digest_string (t.exec_digest ^ desc.digest);
+              Resource.charge t.execution
+                (Costmodel.mac_gen t.cfg.costs ~bytes:(String.length result + 16));
+              send_from t t.execution ~dst:(Principal.client desc.id.client)
+                (Reply { id = desc.id; result; node = t.id })
+            end)
+      end)
+    descs
+
+let make_replica t =
+  let cfg =
+    {
+      (Replica.default_config ~n:(n_nodes t) ~f:t.cfg.f ~replica_id:t.id) with
+      Replica.batch_size = t.cfg.batch_size;
+      s_timeout = t.cfg.s_timeout;
+      pipeline = t.cfg.pipeline;
+    }
+  in
+  let broadcast m = broadcast_nodes t t.ordering (Order m) in
+  let deliver _seq descs = execute_batch t descs in
+  Replica.create t.engine cfg { Replica.broadcast; deliver }
+
+let on_delivery t (d : msg Network.delivery) =
+  let base =
+    Time.add
+      (Costmodel.recv t.cfg.costs ~bytes:(cost_bytes t d.Network.payload))
+      (Costmodel.mac_verify t.cfg.costs ~bytes:d.Network.size)
+  in
+  match d.Network.payload with
+  | Request { desc } ->
+    (* Per-request bookkeeping: request log entry plus ordering timer
+       management. *)
+    Resource.submit t.ordering ~cost:(Time.add base t.cfg.bookkeeping) (fun () ->
+        if Request_id_table.mem t.executed desc.id then begin
+          match Request_id_table.find_opt t.executed desc.id with
+          | Some result ->
+            send_from t t.ordering ~dst:(Principal.client desc.id.client)
+              (Reply { id = desc.id; result; node = t.id })
+          | None -> ()
+        end
+        else Replica.submit (replica t) desc)
+  | Order m ->
+    let from =
+      match d.Network.src with Principal.Node i -> i | Principal.Client _ -> -1
+    in
+    if from >= 0 then
+      Resource.submit t.ordering ~cost:base (fun () ->
+          Replica.receive (replica t) ~from m)
+  | Reply _ -> ()
+
+let create engine net cfg ~id ~service =
+  let mk name = Resource.create engine ~name:(Printf.sprintf "sp%d.%s" id name) in
+  let t =
+    {
+      engine;
+      net;
+      cfg;
+      id;
+      service;
+      ordering = mk "ordering";
+      execution = mk "execution";
+      replica = None;
+      faults = { delay_fraction = 0.0 };
+      executed = Request_id_table.create 4096;
+      exec_counter = Bftmetrics.Throughput.create ();
+      exec_count = 0;
+      exec_digest = "genesis";
+    }
+  in
+  let r = make_replica t in
+  t.replica <- Some r;
+  (Replica.adversary r).Replica.pp_delay <-
+    (fun () ->
+      if t.faults.delay_fraction > 0.0 then
+        (* Stay under the accusation timeout even counting the commit
+           phase that follows the delayed proposal. *)
+        Time.max Time.zero
+          (Time.sub
+             (Time.mul_f (Replica.current_timeout r) t.faults.delay_fraction)
+             (Time.ms 3))
+      else Time.zero);
+  Network.register_node net id (fun d -> on_delivery t d);
+  t
+
+let start _t = ()

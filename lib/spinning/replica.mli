@@ -1,0 +1,66 @@
+(** The Spinning ordering protocol (Veronese et al., SRDS 2009), as
+    analysed in Section III-C of the RBFT paper.
+
+    The primary rotates automatically after every ordered batch: batch
+    [s] is proposed by replica [s mod n] (skipping blacklisted
+    replicas), with no message exchange for the hand-over. Clients
+    broadcast their requests to all replicas; a non-primary replica
+    that waits longer than [s_timeout] for a pending request to be
+    ordered accuses the current proposer; 2f+1 accusations blacklist
+    it (at most f replicas blacklisted, oldest released) and reassign
+    the batch, doubling [s_timeout]. Ordering uses MACs only — no
+    signatures — which is why Spinning posts the highest fault-free
+    throughput in the paper's Figure 7.
+
+    This module is the protocol engine of one replica; the hosting
+    {!Node} provides transport, CPU accounting and execution. *)
+
+open Dessim
+open Pbftcore.Types
+
+type config = {
+  n : int;
+  f : int;
+  replica_id : int;
+  batch_size : int;
+  s_timeout : Time.t;  (** 40 ms in the paper's experiments *)
+  pipeline : int;  (** batches that may be in flight concurrently *)
+}
+
+val default_config : n:int -> f:int -> replica_id:int -> config
+
+type msg =
+  | Pre_prepare of { seq : int; descs : request_desc list; attempt : int }
+  | Prepare of { seq : int; digest : string; replica : int; attempt : int }
+  | Commit of { seq : int; digest : string; replica : int; attempt : int }
+  | Accuse of { seq : int; replica : int }
+
+type callbacks = {
+  broadcast : msg -> unit;
+  deliver : int -> request_desc list -> unit;
+}
+
+type adversary = {
+  mutable pp_delay : unit -> Time.t;
+      (** delay added before each proposal when this replica is the
+          proposer — set to just under [s_timeout] for the Figure 3
+          attack *)
+  mutable silent : bool;
+}
+
+type t
+
+val create : Engine.t -> config -> callbacks -> t
+val adversary : t -> adversary
+val submit : t -> request_desc -> unit
+val receive : t -> from:int -> msg -> unit
+
+val proposer_of : t -> seq:int -> int
+(** Current proposer for a batch, accounting for blacklisting and
+    reassignments. *)
+
+val blacklist : t -> int list
+val ordered_count : t -> int
+val delivered_seqs : t -> int
+val pending_count : t -> int
+val current_timeout : t -> Time.t

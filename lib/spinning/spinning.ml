@@ -1,0 +1,9 @@
+(** The Spinning baseline (Veronese et al., SRDS 2009), as analysed in
+    Section III-C of the RBFT paper: the primary rotates automatically
+    after every batch, a static Stimeout guards progress, and accused
+    primaries are blacklisted. *)
+
+module Replica = Replica
+module Node = Node
+module Client = Client
+module Cluster = Cluster

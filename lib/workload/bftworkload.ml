@@ -1,0 +1,4 @@
+(** Workload generation: the paper's static and dynamic open-loop load
+    shapes. *)
+
+module Loadshape = Loadshape

@@ -1,0 +1,48 @@
+open Dessim
+
+type phase = { duration : Time.t; active_clients : int; per_client_rate : float }
+
+type t = phase list
+
+let static ~duration ~clients ~rate =
+  [ { duration; active_clients = clients; per_client_rate = rate } ]
+
+let paper_dynamic ?(step = Time.ms 300) ?(spike_clients = 50) ~rate () =
+  let level clients = { duration = step; active_clients = clients; per_client_rate = rate } in
+  let ramp_up = [ 1; 2; 4; 6; 8; 10 ] in
+  let spike = [ spike_clients; spike_clients ] in
+  let ramp_down = [ 10; 8; 6; 4; 2; 1 ] in
+  List.map level (ramp_up @ spike @ ramp_down)
+
+let total_duration t =
+  List.fold_left (fun acc p -> Time.add acc p.duration) Time.zero t
+
+let max_clients t = List.fold_left (fun acc p -> Stdlib.max acc p.active_clients) 0 t
+
+let apply engine t ~set_rate =
+  let nclients = max_clients t in
+  let start_phase p =
+    for c = 0 to nclients - 1 do
+      set_rate c (if c < p.active_clients then p.per_client_rate else 0.0)
+    done
+  in
+  let stop_all () =
+    for c = 0 to nclients - 1 do
+      set_rate c 0.0
+    done
+  in
+  let rec schedule at = function
+    | [] -> ignore (Engine.at engine at stop_all)
+    | p :: rest ->
+      ignore (Engine.at engine at (fun () -> start_phase p));
+      schedule (Time.add at p.duration) rest
+  in
+  schedule (Engine.now engine) t
+
+let offered_total t =
+  List.fold_left
+    (fun acc p ->
+      acc
+      +. (float_of_int p.active_clients *. p.per_client_rate
+          *. Time.to_sec_f p.duration))
+    0.0 t

@@ -1,0 +1,34 @@
+(** Open-loop load shapes (Section VI-A of the paper).
+
+    A shape is a sequence of phases; each phase activates a number of
+    clients at a per-client request rate for a duration. The paper
+    uses two: a {e static} load saturating the system with a constant
+    client population, and a {e dynamic} load that ramps from 1 to 10
+    clients, spikes to 50, and ramps back down. *)
+
+open Dessim
+
+type phase = { duration : Time.t; active_clients : int; per_client_rate : float }
+
+type t = phase list
+
+val static : duration:Time.t -> clients:int -> rate:float -> t
+
+val paper_dynamic : ?step:Time.t -> ?spike_clients:int -> rate:float -> unit -> t
+(** The Section VI-A dynamic workload: 1 client, ramp up to 10, spike
+    to [spike_clients] (default 50), ramp down to 1. [step] is the
+    duration of each level (default 300 ms — the paper's experiment
+    compressed to simulation scale; ratios are unaffected). *)
+
+val total_duration : t -> Time.t
+
+val max_clients : t -> int
+(** Client endpoints a system must provision to play this shape. *)
+
+val apply : Engine.t -> t -> set_rate:(int -> float -> unit) -> unit
+(** Schedule the shape: at each phase boundary, clients
+    [0 .. active-1] are set to the phase rate and the rest to 0.
+    After the last phase all clients are stopped. *)
+
+val offered_total : t -> float
+(** Total requests the shape offers over its lifetime (expectation). *)

@@ -1,0 +1,124 @@
+(* Tests for replicated applications. *)
+
+open Bftapp
+
+let test_kv_basic () =
+  let kv = Kvstore.create () in
+  Alcotest.(check string) "miss" "" (Kvstore.apply kv (Kvstore.Get "a"));
+  Alcotest.(check string) "put" "ok" (Kvstore.apply kv (Kvstore.Put ("a", "1")));
+  Alcotest.(check string) "hit" "1" (Kvstore.apply kv (Kvstore.Get "a"));
+  Alcotest.(check string) "delete" "ok" (Kvstore.apply kv (Kvstore.Delete "a"));
+  Alcotest.(check string) "gone" "" (Kvstore.apply kv (Kvstore.Get "a"));
+  Alcotest.(check int) "size" 0 (Kvstore.size kv)
+
+let test_kv_cas () =
+  let kv = Kvstore.create () in
+  ignore (Kvstore.apply kv (Kvstore.Put ("k", "old")));
+  Alcotest.(check string) "cas success" "ok"
+    (Kvstore.apply kv (Kvstore.Cas ("k", "old", "new")));
+  Alcotest.(check string) "cas failure reports current" "fail:new"
+    (Kvstore.apply kv (Kvstore.Cas ("k", "old", "x")));
+  Alcotest.(check string) "value" "new" (Kvstore.apply kv (Kvstore.Get "k"))
+
+let test_kv_codec_roundtrip () =
+  let ops =
+    [
+      Kvstore.Get "key";
+      Kvstore.Put ("key", "value");
+      Kvstore.Delete "";
+      Kvstore.Cas ("k", "", "v");
+    ]
+  in
+  List.iter
+    (fun op ->
+      match Kvstore.decode_op (Kvstore.encode_op op) with
+      | Some decoded -> Alcotest.(check bool) "roundtrip" true (decoded = op)
+      | None -> Alcotest.fail "decode failed")
+    ops
+
+let test_kv_decode_garbage () =
+  Alcotest.(check bool) "garbage rejected" true (Kvstore.decode_op "\xFFgarbage" = None);
+  Alcotest.(check bool) "empty rejected" true (Kvstore.decode_op "" = None);
+  (* Trailing bytes after a valid op are rejected too. *)
+  let valid = Kvstore.encode_op (Kvstore.Get "k") in
+  Alcotest.(check bool) "trailing rejected" true (Kvstore.decode_op (valid ^ "x") = None)
+
+let test_kv_service_determinism () =
+  (* Two replicas fed the same operations have the same digest;
+     diverging operations give different digests. *)
+  let a = Kvstore.create () and b = Kvstore.create () in
+  let sa = Kvstore.service a and sb = Kvstore.service b in
+  let ops = List.init 50 (fun i -> Kvstore.encode_op (Kvstore.Put (Printf.sprintf "k%d" (i mod 7), string_of_int i))) in
+  List.iter (fun op ->
+      Alcotest.(check string) "same result" (sa.Service.execute op) (sb.Service.execute op))
+    ops;
+  Alcotest.(check string) "same digest" (sa.Service.state_digest ()) (sb.Service.state_digest ());
+  ignore (sa.Service.execute (Kvstore.encode_op (Kvstore.Put ("k0", "divergent"))));
+  Alcotest.(check bool) "diverged digest" true
+    (sa.Service.state_digest () <> sb.Service.state_digest ())
+
+let test_kv_service_decode_error () =
+  let kv = Kvstore.create () in
+  let s = Kvstore.service kv in
+  Alcotest.(check string) "decode error" "error:decode" (s.Service.execute "junk\x00");
+  Alcotest.(check int) "state unchanged" 0 (Kvstore.size kv)
+
+let test_counter () =
+  let c = Counter.create () in
+  let s = Counter.service c in
+  Alcotest.(check string) "inc" "1" (s.Service.execute "inc");
+  Alcotest.(check string) "inc" "2" (s.Service.execute "inc");
+  Alcotest.(check string) "get" "2" (s.Service.execute "get");
+  Alcotest.(check string) "error" "error" (s.Service.execute "wat");
+  Alcotest.(check int) "value" 2 (Counter.value c)
+
+let test_null_service_costs () =
+  let s = Null_service.create ~exec_cost:(Dessim.Time.us 100) () in
+  Alcotest.(check int) "normal op costs 0.1ms"
+    (Dessim.Time.us 100)
+    (s.Service.exec_cost (Null_service.normal_op ~payload:"x"));
+  Alcotest.(check int) "heavy op costs 1ms (paper's Prime attack)"
+    (Dessim.Time.ms 1)
+    (s.Service.exec_cost (Null_service.heavy_op ~payload:"x"));
+  Alcotest.(check string) "executes" "ok" (s.Service.execute "x")
+
+let prop_kv_roundtrip =
+  QCheck.Test.make ~name:"kv op codec roundtrip"
+    QCheck.(
+      oneof
+        [
+          map (fun k -> Kvstore.Get k) string;
+          map (fun (k, v) -> Kvstore.Put (k, v)) (pair string string);
+          map (fun k -> Kvstore.Delete k) string;
+          map (fun (k, e, v) -> Kvstore.Cas (k, e, v)) (triple string string string);
+        ])
+    (fun op -> Kvstore.decode_op (Kvstore.encode_op op) = Some op)
+
+let prop_kv_put_get =
+  QCheck.Test.make ~name:"kv put then get returns value"
+    QCheck.(pair string string)
+    (fun (k, v) ->
+      let kv = Kvstore.create () in
+      ignore (Kvstore.apply kv (Kvstore.Put (k, v)));
+      Kvstore.apply kv (Kvstore.Get k) = v)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let suites =
+  [
+    ( "app.kvstore",
+      [
+        Alcotest.test_case "basic operations" `Quick test_kv_basic;
+        Alcotest.test_case "compare-and-swap" `Quick test_kv_cas;
+        Alcotest.test_case "codec roundtrip" `Quick test_kv_codec_roundtrip;
+        Alcotest.test_case "garbage rejected" `Quick test_kv_decode_garbage;
+        Alcotest.test_case "deterministic replicas" `Quick test_kv_service_determinism;
+        Alcotest.test_case "decode error safe" `Quick test_kv_service_decode_error;
+      ]
+      @ qsuite [ prop_kv_roundtrip; prop_kv_put_get ] );
+    ( "app.misc",
+      [
+        Alcotest.test_case "counter" `Quick test_counter;
+        Alcotest.test_case "null service costs" `Quick test_null_service_costs;
+      ] );
+  ]

@@ -1,0 +1,114 @@
+(* Tests for measurement utilities. *)
+
+open Bftmetrics
+open Dessim
+
+let test_stats_basic () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+  Alcotest.(check int) "count" 4 (Stats.count s);
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.mean s);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.min s);
+  Alcotest.(check (float 1e-9)) "max" 4.0 (Stats.max s);
+  Alcotest.(check (float 1e-6)) "variance" (5.0 /. 3.0) (Stats.variance s);
+  Alcotest.(check (float 1e-9)) "sum" 10.0 (Stats.sum s)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  Alcotest.(check (float 0.0)) "mean" 0.0 (Stats.mean s);
+  Alcotest.(check (float 0.0)) "variance" 0.0 (Stats.variance s)
+
+let test_stats_merge () =
+  let a = Stats.create () and b = Stats.create () and whole = Stats.create () in
+  let xs = [ 1.0; 5.0; 2.5 ] and ys = [ 10.0; 0.5; 3.0; 7.0 ] in
+  List.iter (Stats.add a) xs;
+  List.iter (Stats.add b) ys;
+  List.iter (Stats.add whole) (xs @ ys);
+  let merged = Stats.merge a b in
+  Alcotest.(check int) "count" (Stats.count whole) (Stats.count merged);
+  Alcotest.(check (float 1e-9)) "mean" (Stats.mean whole) (Stats.mean merged);
+  Alcotest.(check (float 1e-6)) "variance" (Stats.variance whole) (Stats.variance merged);
+  Alcotest.(check (float 1e-9)) "min" (Stats.min whole) (Stats.min merged);
+  Alcotest.(check (float 1e-9)) "max" (Stats.max whole) (Stats.max merged)
+
+let test_hist_percentiles () =
+  let h = Hist.create () in
+  (* 1..1000 us as seconds. *)
+  for i = 1 to 1000 do
+    Hist.add h (float_of_int i *. 1e-6)
+  done;
+  Alcotest.(check int) "count" 1000 (Hist.count h);
+  let p50 = Hist.percentile h 50.0 in
+  Alcotest.(check bool) "p50 near 500us" true (p50 > 4.2e-4 && p50 < 5.8e-4);
+  let p99 = Hist.percentile h 99.0 in
+  Alcotest.(check bool) "p99 near 990us" true (p99 > 8.8e-4 && p99 < 1.12e-3);
+  Alcotest.(check (float 1e-9)) "max observed" 1e-3 (Hist.max_observed h)
+
+let test_hist_empty () =
+  let h = Hist.create () in
+  Alcotest.(check (float 0.0)) "p50 of empty" 0.0 (Hist.percentile h 50.0);
+  Alcotest.(check (float 0.0)) "mean of empty" 0.0 (Hist.mean h)
+
+let test_hist_mean () =
+  let h = Hist.create () in
+  List.iter (Hist.add h) [ 0.001; 0.003 ];
+  Alcotest.(check (float 1e-9)) "mean" 0.002 (Hist.mean h)
+
+let test_throughput_windows () =
+  let t = Throughput.create () in
+  (* 100 events in the first second, 50 in the second. *)
+  for i = 0 to 99 do
+    Throughput.record t ~now:(Time.ms (10 * i))
+  done;
+  for i = 0 to 49 do
+    Throughput.record t ~now:(Time.add (Time.sec 1) (Time.ms (20 * i)))
+  done;
+  Alcotest.(check int) "total" 150 (Throughput.total t);
+  Alcotest.(check int) "first window" 100 (Throughput.count_between t Time.zero (Time.sec 1));
+  Alcotest.(check int) "second window" 50 (Throughput.count_between t (Time.sec 1) (Time.sec 2));
+  Alcotest.(check (float 1e-6)) "rate" 100.0 (Throughput.rate_between t Time.zero (Time.sec 1))
+
+let test_throughput_batch () =
+  let t = Throughput.create () in
+  Throughput.record_many t ~now:(Time.ms 5) 32;
+  Throughput.record_many t ~now:(Time.ms 5) 32;
+  Alcotest.(check int) "same-instant accumulate" 64
+    (Throughput.count_between t Time.zero (Time.ms 10));
+  Alcotest.(check int) "empty window" 0
+    (Throughput.count_between t (Time.ms 10) (Time.ms 20))
+
+let prop_throughput_counts =
+  QCheck.Test.make ~name:"windowed counts partition the total"
+    QCheck.(list_of_size Gen.(int_range 1 200) (int_range 0 10_000))
+    (fun times ->
+      let sorted = List.sort compare times in
+      let t = Throughput.create () in
+      List.iter (fun x -> Throughput.record t ~now:(Time.us x)) sorted;
+      let mid = Time.us 5_000 in
+      Throughput.count_between t Time.zero mid
+      + Throughput.count_between t mid (Time.us 10_001)
+      = List.length times)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let suites =
+  [
+    ( "metrics.stats",
+      [
+        Alcotest.test_case "basic moments" `Quick test_stats_basic;
+        Alcotest.test_case "empty" `Quick test_stats_empty;
+        Alcotest.test_case "merge" `Quick test_stats_merge;
+      ] );
+    ( "metrics.hist",
+      [
+        Alcotest.test_case "percentiles" `Quick test_hist_percentiles;
+        Alcotest.test_case "empty" `Quick test_hist_empty;
+        Alcotest.test_case "mean" `Quick test_hist_mean;
+      ] );
+    ( "metrics.throughput",
+      [
+        Alcotest.test_case "windows" `Quick test_throughput_windows;
+        Alcotest.test_case "batched records" `Quick test_throughput_batch;
+      ]
+      @ qsuite [ prop_throughput_counts ] );
+  ]

@@ -1,0 +1,381 @@
+(* Tests for the RBFT core: monitoring, the full node pipeline,
+   instance changes and the paper's attack scenarios at small scale. *)
+
+open Dessim
+
+(* ------------------------------------------------------------------ *)
+(* Monitoring unit tests                                              *)
+(* ------------------------------------------------------------------ *)
+
+let mk_params ?(delta = 0.9) ?(lambda = Time.zero) ?(omega = Time.zero) ?(f = 1) () =
+  { (Rbft.Params.default ~f) with Rbft.Params.delta; lambda; omega }
+
+let test_monitoring_rates () =
+  let m = Rbft.Monitoring.create (mk_params ()) in
+  Rbft.Monitoring.note_ordered m ~instance:0 ~count:1000;
+  Rbft.Monitoring.note_ordered m ~instance:1 ~count:1000;
+  let v = Rbft.Monitoring.tick m ~now:(Time.sec 1) in
+  Alcotest.(check (float 1e-6)) "master rate" 1000.0 v.Rbft.Monitoring.master_rate;
+  Alcotest.(check (float 1e-6)) "backup rate" 1000.0 v.Rbft.Monitoring.backup_rate;
+  Alcotest.(check bool) "not suspicious" false v.Rbft.Monitoring.suspicious
+
+let test_monitoring_detects_slow_master () =
+  let m = Rbft.Monitoring.create (mk_params ~delta:0.9 ()) in
+  Rbft.Monitoring.note_ordered m ~instance:0 ~count:500;
+  Rbft.Monitoring.note_ordered m ~instance:1 ~count:1000;
+  let v = Rbft.Monitoring.tick m ~now:(Time.sec 1) in
+  Alcotest.(check bool) "suspicious" true v.Rbft.Monitoring.suspicious
+
+let test_monitoring_tolerates_within_delta () =
+  let m = Rbft.Monitoring.create (mk_params ~delta:0.9 ()) in
+  Rbft.Monitoring.note_ordered m ~instance:0 ~count:950;
+  Rbft.Monitoring.note_ordered m ~instance:1 ~count:1000;
+  let v = Rbft.Monitoring.tick m ~now:(Time.sec 1) in
+  Alcotest.(check bool) "within delta" false v.Rbft.Monitoring.suspicious
+
+let test_monitoring_idle_not_suspicious () =
+  (* With (almost) no traffic the ratio test must not fire. *)
+  let m = Rbft.Monitoring.create (mk_params ~delta:0.9 ()) in
+  Rbft.Monitoring.note_ordered m ~instance:1 ~count:3;
+  let v = Rbft.Monitoring.tick m ~now:(Time.sec 1) in
+  Alcotest.(check bool) "idle" false v.Rbft.Monitoring.suspicious
+
+let test_monitoring_window_reset () =
+  let m = Rbft.Monitoring.create (mk_params ()) in
+  Rbft.Monitoring.note_ordered m ~instance:0 ~count:100;
+  Rbft.Monitoring.note_ordered m ~instance:1 ~count:100;
+  ignore (Rbft.Monitoring.tick m ~now:(Time.sec 1));
+  (* New window: counters were reset (the verdict's [master_rate] is a
+     moving average, so check the raw window rates). *)
+  let v = Rbft.Monitoring.tick m ~now:(Time.sec 2) in
+  Alcotest.(check (float 1e-6)) "reset" 0.0 v.Rbft.Monitoring.rates.(0);
+  Alcotest.(check int) "history kept" 2 (List.length (Rbft.Monitoring.history m))
+
+let test_monitoring_lambda () =
+  let m = Rbft.Monitoring.create (mk_params ~lambda:(Time.of_us_f 1500.0) ()) in
+  Alcotest.(check bool) "below lambda" false
+    (Rbft.Monitoring.lambda_violation m ~latency:(Time.ms 1));
+  Alcotest.(check bool) "above lambda" true
+    (Rbft.Monitoring.lambda_violation m ~latency:(Time.ms 2));
+  let off = Rbft.Monitoring.create (mk_params ()) in
+  Alcotest.(check bool) "disabled" false
+    (Rbft.Monitoring.lambda_violation off ~latency:(Time.sec 10))
+
+let test_monitoring_omega () =
+  let m = Rbft.Monitoring.create (mk_params ~omega:(Time.us 500) ()) in
+  (* Client 7: 2 ms on master, 0.8 ms on backup. *)
+  for _ = 1 to 20 do
+    Rbft.Monitoring.note_latency m ~instance:0 ~client:7 (Time.ms 2);
+    Rbft.Monitoring.note_latency m ~instance:1 ~client:7 (Time.of_us_f 800.0)
+  done;
+  Alcotest.(check bool) "gap above omega" true (Rbft.Monitoring.omega_violation m ~client:7);
+  (* Client 8 is treated fairly. *)
+  for _ = 1 to 20 do
+    Rbft.Monitoring.note_latency m ~instance:0 ~client:8 (Time.ms 1);
+    Rbft.Monitoring.note_latency m ~instance:1 ~client:8 (Time.ms 1)
+  done;
+  Alcotest.(check bool) "fair client fine" false (Rbft.Monitoring.omega_violation m ~client:8)
+
+(* ------------------------------------------------------------------ *)
+(* Cluster-level tests                                                *)
+(* ------------------------------------------------------------------ *)
+
+let saturate ?(rate = 800.0) ?(nclients = 3) ?(payload = 8) ?(params = mk_params ()) () =
+  let cluster = Rbft.Cluster.create ~clients:nclients ~payload_size:payload params in
+  Array.iter (fun c -> Rbft.Client.set_rate c rate) (Rbft.Cluster.clients cluster);
+  cluster
+
+let stop_clients cluster =
+  Array.iter (fun c -> Rbft.Client.set_rate c 0.0) (Rbft.Cluster.clients cluster)
+
+let test_fault_free_completion () =
+  let cluster = saturate () in
+  Rbft.Cluster.run_for cluster (Time.sec 1);
+  stop_clients cluster;
+  Rbft.Cluster.run_for cluster (Time.sec 1);
+  let sent =
+    Array.fold_left (fun acc c -> acc + Rbft.Client.sent c) 0 (Rbft.Cluster.clients cluster)
+  in
+  Array.iter
+    (fun c ->
+      Alcotest.(check int)
+        (Printf.sprintf "client %d all completed" (Rbft.Client.id c))
+        (Rbft.Client.sent c) (Rbft.Client.completed c))
+    (Rbft.Cluster.clients cluster);
+  Alcotest.(check int) "all executed once" sent (Rbft.Cluster.total_executed cluster);
+  Alcotest.(check bool) "agreement" true (Rbft.Cluster.agreement_ok cluster ~faulty:[]);
+  Alcotest.(check int) "no instance change" 0
+    (Rbft.Node.instance_changes (Rbft.Cluster.node cluster 0))
+
+let test_backup_orders_but_does_not_execute () =
+  let cluster = saturate () in
+  Rbft.Cluster.run_for cluster (Time.sec 1);
+  stop_clients cluster;
+  Rbft.Cluster.run_for cluster (Time.sec 1);
+  let node = Rbft.Cluster.node cluster 0 in
+  let master = Pbftcore.Replica.ordered_count (Rbft.Node.replica node ~instance:0) in
+  let backup = Pbftcore.Replica.ordered_count (Rbft.Node.replica node ~instance:1) in
+  Alcotest.(check bool) "backup ordered as much as master" true (backup >= master * 9 / 10);
+  Alcotest.(check int) "executions = master orders" master (Rbft.Node.executed_count node)
+
+let test_instance_change_on_slow_master_primary () =
+  let params = mk_params ~delta:0.9 () in
+  let cluster = saturate ~params () in
+  (* The master primary (instance 0, view 0) runs on node 0. Make it
+     hugely slow: ordering rate collapses while backups stay fast. *)
+  let master_replica = Rbft.Node.replica (Rbft.Cluster.node cluster 0) ~instance:0 in
+  (Pbftcore.Replica.adversary master_replica).Pbftcore.Replica.pp_extra_delay <-
+    (fun () -> Time.ms 50);
+  Rbft.Cluster.run_for cluster (Time.sec 2);
+  stop_clients cluster;
+  Rbft.Cluster.run_for cluster (Time.sec 2);
+  Array.iter
+    (fun node ->
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d performed an instance change" (Rbft.Node.id node))
+        true
+        (Rbft.Node.instance_changes node >= 1))
+    (Rbft.Cluster.nodes cluster);
+  (* After the change the master instance's primary is node 1 and the
+     system keeps making progress. *)
+  let r0 = Rbft.Node.replica (Rbft.Cluster.node cluster 1) ~instance:0 in
+  Alcotest.(check bool) "primary rotated off node 0" true
+    (Pbftcore.Replica.current_primary r0 <> 0);
+  Alcotest.(check bool) "progress" true (Rbft.Cluster.total_executed cluster > 100);
+  Alcotest.(check bool) "agreement" true (Rbft.Cluster.agreement_ok cluster ~faulty:[])
+
+let test_no_instance_change_when_master_within_delta () =
+  let params = mk_params ~delta:0.9 () in
+  let cluster = saturate ~params () in
+  (* A very mild delay keeps the ratio above delta: no change. *)
+  let master_replica = Rbft.Node.replica (Rbft.Cluster.node cluster 0) ~instance:0 in
+  (Pbftcore.Replica.adversary master_replica).Pbftcore.Replica.pp_extra_delay <-
+    (fun () -> Time.us 30);
+  Rbft.Cluster.run_for cluster (Time.sec 2);
+  Alcotest.(check int) "no instance change" 0
+    (Rbft.Node.instance_changes (Rbft.Cluster.node cluster 1))
+
+let test_worst_attack_1_no_instance_change () =
+  (* Worst-attack-1: correct master primary; the faulty node (3) floods
+     the master-primary node and its master-instance replica goes
+     silent. RBFT must not trigger an instance change and degradation
+     must stay small. *)
+  let params = mk_params ~delta:0.9 () in
+  let cluster = saturate ~params () in
+  let faulty = Rbft.Cluster.node cluster 3 in
+  let faults = Rbft.Node.faults faulty in
+  faults.Rbft.Node.flood_targets <- [ 0 ];
+  faults.Rbft.Node.flood_rate <- 2000.0;
+  faults.Rbft.Node.no_propagate <- true;
+  (Pbftcore.Replica.adversary (Rbft.Node.replica faulty ~instance:0)).Pbftcore.Replica.silent <-
+    true;
+  Rbft.Cluster.run_for cluster (Time.sec 2);
+  Alcotest.(check int) "no instance change" 0
+    (Rbft.Node.instance_changes (Rbft.Cluster.node cluster 0));
+  Alcotest.(check bool) "progress" true (Rbft.Cluster.total_executed cluster > 500);
+  Alcotest.(check bool) "agreement among correct nodes" true
+    (Rbft.Cluster.agreement_ok cluster ~faulty:[ 3 ])
+
+let test_flood_closes_nic () =
+  let params = mk_params () in
+  let cluster = saturate ~nclients:1 ~rate:100.0 ~params () in
+  let faulty = Rbft.Cluster.node cluster 3 in
+  let faults = Rbft.Node.faults faulty in
+  faults.Rbft.Node.flood_targets <- [ 0 ];
+  faults.Rbft.Node.flood_rate <- 5000.0;
+  Rbft.Cluster.run_for cluster (Time.ms 300);
+  Alcotest.(check bool) "node 0 closed the flooder's NIC" true
+    (Bftnet.Network.nic_closed (Rbft.Cluster.network cluster) ~node:0
+       ~peer:(Bftcrypto.Principal.node 3))
+
+let test_unfair_primary_lambda_triggers_change () =
+  (* Figure 12's mechanism: the master primary delays one client's
+     requests beyond Λ; nodes vote a protocol instance change. *)
+  let params =
+    { (mk_params ~delta:0.5 ()) with Rbft.Params.lambda = Time.ms 15 }
+  in
+  let cluster = saturate ~nclients:2 ~rate:200.0 ~params () in
+  let master_replica = Rbft.Node.replica (Rbft.Cluster.node cluster 0) ~instance:0 in
+  (Pbftcore.Replica.adversary master_replica).Pbftcore.Replica.client_hold <-
+    (fun id -> if id.Pbftcore.Types.client = 0 then Time.ms 25 else Time.zero);
+  Rbft.Cluster.run_for cluster (Time.sec 2);
+  Alcotest.(check bool) "instance change happened" true
+    (Rbft.Node.instance_changes (Rbft.Cluster.node cluster 1) >= 1);
+  stop_clients cluster;
+  Rbft.Cluster.run_for cluster (Time.sec 1);
+  Alcotest.(check bool) "agreement" true (Rbft.Cluster.agreement_ok cluster ~faulty:[])
+
+let test_invalid_signature_blacklists () =
+  let params = mk_params () in
+  let cluster = Rbft.Cluster.create ~clients:2 params in
+  let bad = Rbft.Cluster.client cluster 0 in
+  (Rbft.Client.behaviour bad).Rbft.Client.sig_valid <- false;
+  Rbft.Client.send_one bad;
+  Rbft.Cluster.run_for cluster (Time.ms 100);
+  Alcotest.(check bool) "blacklisted at node 1" true
+    (Rbft.Node.is_blacklisted (Rbft.Cluster.node cluster 1) ~client:0);
+  Alcotest.(check int) "nothing executed" 0 (Rbft.Cluster.total_executed cluster);
+  (* A correct client is unaffected. *)
+  let good = Rbft.Cluster.client cluster 1 in
+  Rbft.Client.send_one good;
+  Rbft.Cluster.run_for cluster (Time.ms 200);
+  Alcotest.(check int) "good client served" 1 (Rbft.Client.completed good)
+
+let test_selective_mac_still_served () =
+  (* Worst-attack-1 action (i): the client's authenticator is invalid
+     for node 0 only; the request still reaches node 0 via PROPAGATE
+     and completes. *)
+  let params = mk_params () in
+  let cluster = Rbft.Cluster.create ~clients:1 params in
+  let c = Rbft.Cluster.client cluster 0 in
+  (Rbft.Client.behaviour c).Rbft.Client.mac_invalid_for <- [ 0 ];
+  Rbft.Client.send_one c;
+  Rbft.Cluster.run_for cluster (Time.ms 300);
+  Alcotest.(check int) "completed" 1 (Rbft.Client.completed c);
+  Alcotest.(check int) "executed everywhere incl. node 0" 1
+    (Rbft.Node.executed_count (Rbft.Cluster.node cluster 0))
+
+let test_duplicate_request_rereplied () =
+  let params = mk_params () in
+  let cluster = Rbft.Cluster.create ~clients:1 params in
+  let c = Rbft.Cluster.client cluster 0 in
+  Rbft.Client.send_one c;
+  Rbft.Cluster.run_for cluster (Time.ms 300);
+  Alcotest.(check int) "completed" 1 (Rbft.Client.completed c);
+  Alcotest.(check int) "executed once" 1 (Rbft.Cluster.total_executed cluster)
+
+let test_f2_cluster_works () =
+  let params = mk_params ~f:2 () in
+  let cluster =
+    Rbft.Cluster.create ~clients:3 params
+  in
+  Array.iter (fun c -> Rbft.Client.set_rate c 300.0) (Rbft.Cluster.clients cluster);
+  Rbft.Cluster.run_for cluster (Time.sec 1);
+  stop_clients cluster;
+  Rbft.Cluster.run_for cluster (Time.sec 1);
+  Alcotest.(check int) "7 nodes" 7 (Array.length (Rbft.Cluster.nodes cluster));
+  Alcotest.(check bool) "progress" true (Rbft.Cluster.total_executed cluster > 500);
+  Alcotest.(check bool) "agreement" true (Rbft.Cluster.agreement_ok cluster ~faulty:[]);
+  Alcotest.(check int) "3 instances" 3 (Rbft.Params.instances params)
+
+let test_switch_master_recovery () =
+  let params =
+    { (mk_params ~delta:0.9 ()) with Rbft.Params.recovery = Rbft.Params.Switch_master }
+  in
+  let cluster = saturate ~params () in
+  let master_replica = Rbft.Node.replica (Rbft.Cluster.node cluster 0) ~instance:0 in
+  (Pbftcore.Replica.adversary master_replica).Pbftcore.Replica.pp_extra_delay <-
+    (fun () -> Time.ms 50);
+  Rbft.Cluster.run_for cluster (Time.sec 2);
+  (* Check the switch while the load is still running: stopping the
+     clients lets the throttled old master drain its backlog faster
+     than the (idle) new master, which legitimately re-triggers the
+     ratio test. *)
+  Array.iter
+    (fun node ->
+      Alcotest.(check int)
+        (Printf.sprintf "node %d switched master" (Rbft.Node.id node))
+        1 (Rbft.Node.master_instance node))
+    (Rbft.Cluster.nodes cluster);
+  stop_clients cluster;
+  Rbft.Cluster.run_for cluster (Time.sec 2);
+  Alcotest.(check bool) "agreement" true (Rbft.Cluster.agreement_ok cluster ~faulty:[])
+
+let test_closed_loop_client () =
+  let params = mk_params () in
+  let cluster = Rbft.Cluster.create ~clients:1 params in
+  let c = Rbft.Cluster.client cluster 0 in
+  Rbft.Client.set_closed_loop c ~outstanding:4;
+  Rbft.Cluster.run_for cluster (Time.ms 500);
+  (* The window stays constant: sent = completed + outstanding. *)
+  Alcotest.(check int) "window respected" (Rbft.Client.completed c + 4) (Rbft.Client.sent c);
+  Alcotest.(check bool) "progress" true (Rbft.Client.completed c > 50);
+  (* Switching back to open loop stops the feedback sending. *)
+  Rbft.Client.set_rate c 0.0;
+  let sent_before = Rbft.Client.sent c in
+  Rbft.Cluster.run_for cluster (Time.ms 300);
+  Alcotest.(check int) "no new requests" sent_before (Rbft.Client.sent c)
+
+let test_primary_placement () =
+  let params = mk_params ~f:2 () in
+  (* At any view, the f+1 primaries sit on distinct nodes. *)
+  for view = 0 to 20 do
+    let primaries =
+      List.init (Rbft.Params.instances params) (fun i ->
+          Rbft.Params.primary_of params ~instance:i ~view)
+    in
+    Alcotest.(check int)
+      (Printf.sprintf "distinct primaries at view %d" view)
+      (List.length primaries)
+      (List.length (List.sort_uniq compare primaries))
+  done
+
+let prop_monitoring_delta_boundary =
+  QCheck.Test.make ~name:"delta verdict matches the ratio arithmetic"
+    QCheck.(pair (int_range 100 100_000) (int_range 100 100_000))
+    (fun (master, backup) ->
+      let m = Rbft.Monitoring.create (mk_params ~delta:0.9 ()) in
+      Rbft.Monitoring.note_ordered m ~instance:0 ~count:master;
+      Rbft.Monitoring.note_ordered m ~instance:1 ~count:backup;
+      let v = Rbft.Monitoring.tick m ~now:(Time.sec 1) in
+      let expected =
+        float_of_int backup >= 50.0
+        && float_of_int master < 0.9 *. float_of_int backup
+      in
+      v.Rbft.Monitoring.suspicious = expected)
+
+let prop_primary_placement_distinct =
+  QCheck.Test.make ~name:"at most one primary per node at any view"
+    QCheck.(pair (int_range 1 4) (int_bound 1000))
+    (fun (f, view) ->
+      let params = Rbft.Params.default ~f in
+      let primaries =
+        List.init (Rbft.Params.instances params) (fun i ->
+            Rbft.Params.primary_of params ~instance:i ~view)
+      in
+      List.length (List.sort_uniq compare primaries) = List.length primaries)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let suites =
+  [
+    ( "rbft.monitoring",
+      [
+        Alcotest.test_case "rates" `Quick test_monitoring_rates;
+        Alcotest.test_case "detects slow master" `Quick test_monitoring_detects_slow_master;
+        Alcotest.test_case "tolerates within delta" `Quick
+          test_monitoring_tolerates_within_delta;
+        Alcotest.test_case "idle not suspicious" `Quick test_monitoring_idle_not_suspicious;
+        Alcotest.test_case "window reset" `Quick test_monitoring_window_reset;
+        Alcotest.test_case "lambda check" `Quick test_monitoring_lambda;
+        Alcotest.test_case "omega check" `Quick test_monitoring_omega;
+      ]
+      @ qsuite [ prop_monitoring_delta_boundary; prop_primary_placement_distinct ] );
+    ( "rbft.cluster",
+      [
+        Alcotest.test_case "fault-free completion" `Quick test_fault_free_completion;
+        Alcotest.test_case "backups order, master executes" `Quick
+          test_backup_orders_but_does_not_execute;
+        Alcotest.test_case "f=2 cluster" `Quick test_f2_cluster_works;
+        Alcotest.test_case "primary placement" `Quick test_primary_placement;
+        Alcotest.test_case "duplicate request" `Quick test_duplicate_request_rereplied;
+        Alcotest.test_case "closed-loop client" `Quick test_closed_loop_client;
+      ] );
+    ( "rbft.attacks",
+      [
+        Alcotest.test_case "instance change on slow master" `Quick
+          test_instance_change_on_slow_master_primary;
+        Alcotest.test_case "no change within delta" `Quick
+          test_no_instance_change_when_master_within_delta;
+        Alcotest.test_case "worst-attack-1 resisted" `Quick
+          test_worst_attack_1_no_instance_change;
+        Alcotest.test_case "flood closes NIC" `Quick test_flood_closes_nic;
+        Alcotest.test_case "unfair primary evicted (Fig 12)" `Quick
+          test_unfair_primary_lambda_triggers_change;
+        Alcotest.test_case "invalid signature blacklists" `Quick
+          test_invalid_signature_blacklists;
+        Alcotest.test_case "selective MAC (attack-1 action i)" `Quick
+          test_selective_mac_still_served;
+        Alcotest.test_case "switch-master extension" `Quick test_switch_master_recovery;
+      ] );
+  ]

@@ -1,0 +1,398 @@
+(* Tests for the discrete-event simulation substrate. *)
+
+open Dessim
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Time                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_time_units () =
+  check_int "us" 1_000 (Time.us 1);
+  check_int "ms" 1_000_000 (Time.ms 1);
+  check_int "sec" 1_000_000_000 (Time.sec 1);
+  check_int "of_sec_f" 1_500_000_000 (Time.of_sec_f 1.5);
+  check_int "of_us_f" 2_500 (Time.of_us_f 2.5)
+
+let test_time_arith () =
+  check_int "add" (Time.ms 3) (Time.add (Time.ms 1) (Time.ms 2));
+  check_int "sub" (Time.ms 1) (Time.sub (Time.ms 3) (Time.ms 2));
+  check_int "mul_f" (Time.ms 2) (Time.mul_f (Time.ms 4) 0.5);
+  Alcotest.(check (float 1e-9)) "to_sec_f" 0.25 (Time.to_sec_f (Time.ms 250));
+  Alcotest.(check (float 1e-9)) "to_ms_f" 1.5 (Time.to_ms_f (Time.us 1500))
+
+let test_time_pp () =
+  Alcotest.(check string) "ns" "12ns" (Time.to_string (Time.ns 12));
+  Alcotest.(check string) "us" "2.00us" (Time.to_string (Time.us 2));
+  Alcotest.(check string) "ms" "3.00ms" (Time.to_string (Time.ms 3));
+  Alcotest.(check string) "s" "4.000s" (Time.to_string (Time.sec 4))
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42L and b = Rng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 42L in
+  let b = Rng.split a in
+  let xs = List.init 10 (fun _ -> Rng.int64 a) in
+  let ys = List.init 10 (fun _ -> Rng.int64 b) in
+  check_bool "streams differ" true (xs <> ys)
+
+let test_rng_int_bounds () =
+  let r = Rng.create 7L in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    check_bool "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_float_bounds () =
+  let r = Rng.create 7L in
+  for _ = 1 to 1000 do
+    let v = Rng.float r 3.5 in
+    check_bool "in range" true (v >= 0.0 && v < 3.5)
+  done
+
+let test_rng_exponential_mean () =
+  let r = Rng.create 11L in
+  let n = 20_000 in
+  let total = ref 0.0 in
+  for _ = 1 to n do
+    let v = Rng.exponential r ~mean:2.0 in
+    check_bool "positive" true (v >= 0.0);
+    total := !total +. v
+  done;
+  let mean = !total /. float_of_int n in
+  check_bool "mean close to 2" true (mean > 1.9 && mean < 2.1)
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create 3L in
+  let arr = Array.init 50 (fun i -> i) in
+  Rng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_rng_bytes_len () =
+  let r = Rng.create 5L in
+  List.iter
+    (fun n -> check_int "length" n (Bytes.length (Rng.bytes r n)))
+    [ 0; 1; 7; 8; 9; 64; 1000 ]
+
+let prop_rng_int_uniformish =
+  QCheck.Test.make ~name:"rng ints hit all small buckets"
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let r = Rng.create (Int64.of_int (seed + 1)) in
+      let seen = Array.make 8 false in
+      for _ = 1 to 400 do
+        seen.(Rng.int r 8) <- true
+      done;
+      Array.for_all (fun b -> b) seen)
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_heap_order () =
+  let h = Heap.create () in
+  List.iteri (fun i k -> Heap.push h ~key:k ~seq:i k) [ 5; 3; 9; 1; 7; 3 ];
+  let rec drain acc =
+    match Heap.pop h with
+    | None -> List.rev acc
+    | Some (k, _, _) -> drain (k :: acc)
+  in
+  Alcotest.(check (list int)) "sorted" [ 1; 3; 3; 5; 7; 9 ] (drain [])
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  List.iteri (fun i v -> Heap.push h ~key:10 ~seq:i v) [ "a"; "b"; "c" ];
+  let rec drain acc =
+    match Heap.pop h with
+    | None -> List.rev acc
+    | Some (_, _, v) -> drain (v :: acc)
+  in
+  Alcotest.(check (list string)) "fifo" [ "a"; "b"; "c" ] (drain [])
+
+let test_heap_empty () =
+  let h = Heap.create () in
+  check_bool "empty" true (Heap.is_empty h);
+  check_bool "pop none" true (Heap.pop h = None);
+  check_bool "peek none" true (Heap.peek_key h = None)
+
+let test_heap_clear () =
+  let h = Heap.create () in
+  Heap.push h ~key:1 ~seq:0 ();
+  Heap.clear h;
+  check_bool "cleared" true (Heap.is_empty h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops in key order"
+    QCheck.(list (int_bound 10_000))
+    (fun keys ->
+      let h = Heap.create () in
+      List.iteri (fun i k -> Heap.push h ~key:k ~seq:i ()) keys;
+      let rec drain acc =
+        match Heap.pop h with
+        | None -> List.rev acc
+        | Some (k, _, ()) -> drain (k :: acc)
+      in
+      drain [] = List.sort compare keys)
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_engine_runs_in_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let record tag () = log := (tag, Engine.now e) :: !log in
+  ignore (Engine.after e (Time.ms 3) (record "c"));
+  ignore (Engine.after e (Time.ms 1) (record "a"));
+  ignore (Engine.after e (Time.ms 2) (record "b"));
+  Engine.run e;
+  let expected =
+    [ ("a", Time.ms 1); ("b", Time.ms 2); ("c", Time.ms 3) ]
+  in
+  Alcotest.(check (list (pair string int))) "order" expected (List.rev !log)
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let fired = ref false in
+  ignore (Engine.after e (Time.ms 10) (fun () -> fired := true));
+  Engine.run ~until:(Time.ms 5) e;
+  check_bool "not yet" false !fired;
+  check_int "clock at horizon" (Time.ms 5) (Engine.now e);
+  Engine.run ~until:(Time.ms 20) e;
+  check_bool "fired" true !fired;
+  check_int "clock at second horizon" (Time.ms 20) (Engine.now e)
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let t = Engine.after e (Time.ms 1) (fun () -> fired := true) in
+  check_bool "pending" true (Engine.pending t);
+  Engine.cancel t;
+  Engine.run e;
+  check_bool "cancelled" false !fired;
+  check_bool "not pending" false (Engine.pending t)
+
+let test_engine_stop () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  for _ = 1 to 10 do
+    ignore
+      (Engine.after e (Time.ms 1) (fun () ->
+           incr count;
+           if !count = 3 then Engine.stop e))
+  done;
+  Engine.run e;
+  check_int "stopped after 3" 3 !count;
+  Engine.run e;
+  check_int "resumes" 10 !count
+
+let test_engine_nested_schedule () =
+  let e = Engine.create () in
+  let finish = ref Time.zero in
+  ignore
+    (Engine.after e (Time.ms 1) (fun () ->
+         ignore
+           (Engine.after e (Time.ms 1) (fun () -> finish := Engine.now e))));
+  Engine.run e;
+  check_int "nested time" (Time.ms 2) !finish
+
+let test_engine_same_time_fifo () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore (Engine.after e (Time.ms 1) (fun () -> log := i :: !log))
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo ties" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_engine_events_processed () =
+  let e = Engine.create () in
+  for _ = 1 to 4 do
+    ignore (Engine.after e Time.zero (fun () -> ()))
+  done;
+  Engine.run e;
+  check_int "processed" 4 (Engine.events_processed e)
+
+let test_engine_past_event_clamped () =
+  let e = Engine.create () in
+  ignore (Engine.after e (Time.ms 5) (fun () ->
+      (* Scheduling "in the past" must not move the clock backwards. *)
+      ignore (Engine.at e (Time.ms 1) (fun () ->
+          check_int "clamped to now" (Time.ms 5) (Engine.now e)))));
+  Engine.run e
+
+(* ------------------------------------------------------------------ *)
+(* Resource                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_resource_fifo_service () =
+  let e = Engine.create () in
+  let r = Resource.create e ~name:"cpu" in
+  let log = ref [] in
+  Resource.submit r ~cost:(Time.ms 2) (fun () -> log := ("a", Engine.now e) :: !log);
+  Resource.submit r ~cost:(Time.ms 3) (fun () -> log := ("b", Engine.now e) :: !log);
+  Engine.run e;
+  let expected = [ ("a", Time.ms 2); ("b", Time.ms 5) ] in
+  Alcotest.(check (list (pair string int))) "fifo completion" expected (List.rev !log)
+
+let test_resource_idle_gap () =
+  let e = Engine.create () in
+  let r = Resource.create e ~name:"cpu" in
+  let done_at = ref Time.zero in
+  Resource.submit r ~cost:(Time.ms 1) (fun () -> ());
+  ignore
+    (Engine.after e (Time.ms 10) (fun () ->
+         Resource.submit r ~cost:(Time.ms 1) (fun () -> done_at := Engine.now e)));
+  Engine.run e;
+  check_int "starts at submission" (Time.ms 11) !done_at
+
+let test_resource_charge_pushes_back () =
+  let e = Engine.create () in
+  let r = Resource.create e ~name:"cpu" in
+  let second = ref Time.zero in
+  Resource.submit r ~cost:(Time.ms 1) (fun () ->
+      (* The handler performs extra work: sending messages, MACs... *)
+      Resource.charge r (Time.ms 4));
+  Resource.submit r ~cost:(Time.ms 1) (fun () -> second := Engine.now e);
+  Engine.run e;
+  check_int "second delayed by charge" (Time.ms 6) !second
+
+let test_resource_accounting () =
+  let e = Engine.create () in
+  let r = Resource.create e ~name:"cpu" in
+  Resource.submit r ~cost:(Time.ms 2) (fun () -> ());
+  Resource.submit r ~cost:(Time.ms 3) (fun () -> ());
+  Engine.run e;
+  check_int "busy total" (Time.ms 5) (Resource.busy_total r);
+  check_int "jobs" 2 (Resource.jobs_served r);
+  check_int "no backlog when idle" Time.zero (Resource.backlog r)
+
+let prop_resource_completion_monotonic =
+  QCheck.Test.make ~name:"resource completions are monotonic and FIFO"
+    QCheck.(list_of_size Gen.(int_range 1 40) (int_range 0 1000))
+    (fun costs ->
+      let e = Engine.create () in
+      let r = Resource.create e ~name:"cpu" in
+      let completions = ref [] in
+      List.iteri
+        (fun i c ->
+          Resource.submit r ~cost:(Time.us c) (fun () ->
+              completions := (i, Engine.now e) :: !completions))
+        costs;
+      Engine.run e;
+      let completions = List.rev !completions in
+      let indices = List.map fst completions in
+      let times = List.map snd completions in
+      let rec sorted = function
+        | [] | [ _ ] -> true
+        | a :: b :: tl -> a <= b && sorted (b :: tl)
+      in
+      indices = List.init (List.length costs) (fun i -> i) && sorted times)
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_sink_receives () =
+  let e = Engine.create () in
+  let ring = Trace.Ring.create ~capacity:8 () in
+  Trace.set_sink (Some (Trace.Ring.sink ring));
+  ignore (Engine.after e (Time.ms 2) (fun () ->
+      Trace.emit e Trace.Info ~component:"test" "hello"));
+  ignore (Engine.after e (Time.ms 3) (fun () ->
+      Trace.emitf e Trace.Warn ~component:"test" "x=%d" 42));
+  Engine.run e;
+  Trace.set_sink None;
+  match Trace.Ring.events ring with
+  | [ a; b ] ->
+    check_int "first time" (Time.ms 2) a.Trace.time;
+    Alcotest.(check string) "first msg" "hello" a.Trace.message;
+    Alcotest.(check string) "second msg" "x=42" b.Trace.message;
+    Alcotest.(check string) "level" "warn" (Trace.level_name b.Trace.level)
+  | other -> Alcotest.failf "expected 2 events, got %d" (List.length other)
+
+let test_trace_ring_wraps () =
+  let ring = Trace.Ring.create ~capacity:3 () in
+  let e = Engine.create () in
+  Trace.set_sink (Some (Trace.Ring.sink ring));
+  for i = 1 to 5 do
+    Trace.emitf e Trace.Debug ~component:"t" "%d" i
+  done;
+  Trace.set_sink None;
+  let msgs = List.map (fun ev -> ev.Trace.message) (Trace.Ring.events ring) in
+  Alcotest.(check (list string)) "keeps the newest" [ "3"; "4"; "5" ] msgs
+
+let test_trace_no_sink_noop () =
+  let e = Engine.create () in
+  Trace.set_sink None;
+  (* Must not raise and must not build messages eagerly. *)
+  Trace.emitf e Trace.Debug ~component:"t" "%d" 1;
+  Trace.emit e Trace.Info ~component:"t" "x"
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let suites =
+  [
+    ( "sim.time",
+      [
+        Alcotest.test_case "units" `Quick test_time_units;
+        Alcotest.test_case "arithmetic" `Quick test_time_arith;
+        Alcotest.test_case "pretty-printing" `Quick test_time_pp;
+      ] );
+    ( "sim.rng",
+      [
+        Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+        Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+        Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+        Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+        Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+        Alcotest.test_case "shuffle is a permutation" `Quick test_rng_shuffle_permutation;
+        Alcotest.test_case "bytes length" `Quick test_rng_bytes_len;
+      ]
+      @ qsuite [ prop_rng_int_uniformish ] );
+    ( "sim.heap",
+      [
+        Alcotest.test_case "pops in order" `Quick test_heap_order;
+        Alcotest.test_case "FIFO on ties" `Quick test_heap_fifo_ties;
+        Alcotest.test_case "empty behaviour" `Quick test_heap_empty;
+        Alcotest.test_case "clear" `Quick test_heap_clear;
+      ]
+      @ qsuite [ prop_heap_sorts ] );
+    ( "sim.engine",
+      [
+        Alcotest.test_case "runs in order" `Quick test_engine_runs_in_order;
+        Alcotest.test_case "run until" `Quick test_engine_until;
+        Alcotest.test_case "cancel" `Quick test_engine_cancel;
+        Alcotest.test_case "stop/resume" `Quick test_engine_stop;
+        Alcotest.test_case "nested scheduling" `Quick test_engine_nested_schedule;
+        Alcotest.test_case "FIFO ties" `Quick test_engine_same_time_fifo;
+        Alcotest.test_case "event count" `Quick test_engine_events_processed;
+        Alcotest.test_case "past events clamped" `Quick test_engine_past_event_clamped;
+      ] );
+    ( "sim.trace",
+      [
+        Alcotest.test_case "sink receives events" `Quick test_trace_sink_receives;
+        Alcotest.test_case "ring wraps" `Quick test_trace_ring_wraps;
+        Alcotest.test_case "no sink is a no-op" `Quick test_trace_no_sink_noop;
+      ] );
+    ( "sim.resource",
+      [
+        Alcotest.test_case "FIFO service" `Quick test_resource_fifo_service;
+        Alcotest.test_case "idle gap" `Quick test_resource_idle_gap;
+        Alcotest.test_case "charge pushes back" `Quick test_resource_charge_pushes_back;
+        Alcotest.test_case "accounting" `Quick test_resource_accounting;
+      ]
+      @ qsuite [ prop_resource_completion_monotonic ] );
+  ]
