@@ -7,6 +7,7 @@
      dune exec bench/main.exe -- --quick  -- everything, short windows
      dune exec bench/main.exe -- --only fig7a,fig12
      dune exec bench/main.exe -- --skip-micro | --only-micro
+     dune exec bench/main.exe -- --audit     -- safety-audit every run
 *)
 
 open Bftharness
@@ -86,17 +87,40 @@ let micro_benchmarks () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
-  List.iter
-    (fun test ->
-      let raw = Benchmark.all cfg [ instance ] test in
-      let results = Analyze.all ols instance raw in
-      Hashtbl.iter
-        (fun name result ->
-          match Analyze.OLS.estimates result with
-          | Some [ est ] -> Printf.printf "  %-28s %12.1f ns/op\n%!" name est
-          | Some _ | None -> Printf.printf "  %-28s (no estimate)\n%!" name)
-        results)
-    tests
+  let run_tests tests =
+    List.iter
+      (fun test ->
+        let raw = Benchmark.all cfg [ instance ] test in
+        let results = Analyze.all ols instance raw in
+        Hashtbl.iter
+          (fun name result ->
+            match Analyze.OLS.estimates result with
+            | Some [ est ] -> Printf.printf "  %-28s %12.1f ns/op\n%!" name est
+            | Some _ | None -> Printf.printf "  %-28s (no estimate)\n%!" name)
+          results)
+      tests
+  in
+  run_tests tests;
+  (* Audit-bus emission cost, mirroring a protocol call site: the event
+     record is only allocated behind the [Bus.active] guard, so the
+     disabled case is a ref read and a branch. The two tests bracket a
+     subscription, so they run outside the shared list. *)
+  let emit_guarded () =
+    if Bftaudit.Bus.active () then
+      Bftaudit.Bus.emit
+        {
+          Bftaudit.Event.time = Dessim.Time.us 1;
+          node = 1;
+          instance = 0;
+          kind = Bftaudit.Event.Prepare_sent { view = 0; seq = 1; digest = "d" };
+        }
+  in
+  run_tests
+    [ Test.make ~name:"audit-emit-disabled" (Staged.stage emit_guarded) ];
+  let token = Bftaudit.Bus.subscribe (fun _ -> ()) in
+  run_tests
+    [ Test.make ~name:"audit-emit-null-sink" (Staged.stage emit_guarded) ];
+  Bftaudit.Bus.unsubscribe token
 
 let want only id = match only with [] -> true | ids -> List.mem id ids
 
@@ -118,6 +142,9 @@ let () =
       parse rest
     | "--only" :: ids :: rest ->
       only := String.split_on_char ',' ids;
+      parse rest
+    | "--audit" :: rest ->
+      Audit.enabled := true;
       parse rest
     | _ :: rest -> parse rest
   in
@@ -150,6 +177,9 @@ let () =
           Printf.printf "  (%s took %.1fs)\n%!" label (Unix.gettimeofday () -. t)
         end)
       groups;
-    Printf.printf "\nTotal experiment time: %.1fs\n%!" (Unix.gettimeofday () -. t0)
+    Printf.printf "\nTotal experiment time: %.1fs\n%!" (Unix.gettimeofday () -. t0);
+    match Audit.summary () with
+    | Some s -> Printf.printf "Safety audit: %s\n%!" s
+    | None -> ()
   end;
   if (not !skip_micro) && !only = [] then micro_benchmarks ()

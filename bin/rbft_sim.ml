@@ -17,8 +17,26 @@ open Dessim
 (* run                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let run_cluster f clients rate seconds payload attack transport seed trace =
-  if trace then Dessim.Trace.set_sink (Some Dessim.Trace.console_sink);
+let run_cluster f clients rate seconds payload attack transport seed trace chrome
+    audit =
+  (* Structured observability: a capture (for file export and the run
+     digest) whenever any trace output is requested, a console printer
+     for [--trace -], and an online safety auditor for [--audit]. *)
+  let capture =
+    if trace <> None || chrome <> None then Some (Bftaudit.Capture.attach ())
+    else None
+  in
+  if trace = Some "-" then
+    ignore
+      (Bftaudit.Bus.subscribe (fun ev ->
+           print_endline (Bftaudit.Event.to_string ev)));
+  let auditor =
+    if audit then begin
+      Bftaudit.Auditor.reset_declared ();
+      Some (Bftaudit.Auditor.attach ~n:((3 * f) + 1) ~f ())
+    end
+    else None
+  in
   let params = Rbft.Params.default ~f in
   (* The unfair-primary attack is detected by the latency check, which
      is disabled by default (it is workload-dependent, Sec. IV-C). *)
@@ -68,7 +86,35 @@ let run_cluster f clients rate seconds payload attack transport seed trace =
   Printf.printf "agreement among correct nodes: %b\n"
     (Rbft.Cluster.agreement_ok cluster ~faulty);
   Printf.printf "events simulated: %d\n"
-    (Engine.events_processed (Rbft.Cluster.engine cluster))
+    (Engine.events_processed (Rbft.Cluster.engine cluster));
+  (match capture with
+   | Some c ->
+     (match trace with
+      | Some path when path <> "-" ->
+        Bftaudit.Capture.write_jsonl c path;
+        Printf.printf "trace: %d events -> %s\n" (Bftaudit.Capture.count c) path
+      | Some _ | None -> ());
+     (match chrome with
+      | Some path ->
+        Bftaudit.Capture.write_chrome_trace c path;
+        Printf.printf "chrome trace: %d events -> %s\n"
+          (Bftaudit.Capture.count c) path
+      | None -> ());
+     Printf.printf "trace digest: %s\n" (Bftaudit.Capture.digest c);
+     Bftaudit.Capture.detach c
+   | None -> ());
+  match auditor with
+  | Some a ->
+    let viols = Bftaudit.Auditor.violations a in
+    Printf.printf "safety audit: %d events checked, %d violation(s)\n"
+      (Bftaudit.Auditor.events_checked a)
+      (List.length viols);
+    List.iter
+      (fun v -> Format.printf "  %a@." Bftaudit.Auditor.pp_violation v)
+      viols;
+    Bftaudit.Auditor.detach a;
+    if viols <> [] then exit 1
+  | None -> ()
 
 let run_cmd =
   let f =
@@ -96,19 +142,45 @@ let run_cmd =
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Simulation seed.") in
   let trace =
-    Arg.(value & flag & info [ "trace" ] ~doc:"Print protocol events (view/instance changes, NIC closings, blacklists).")
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write the structured event trace as JSONL to $(docv), and print \
+             the run's chained SHA-256 trace digest. Use '-' to print events \
+             to stdout instead of a file.")
+  in
+  let chrome =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome-trace" ] ~docv:"FILE"
+          ~doc:
+            "Write the event trace in Chrome trace_event JSON format to \
+             $(docv) (open in chrome://tracing or Perfetto).")
+  in
+  let audit =
+    Arg.(
+      value & flag
+      & info [ "audit" ]
+          ~doc:
+            "Attach the online safety auditor (agreement, quorums, no double \
+             execution, checkpoint and instance-change consistency) and report \
+             its verdict.")
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate an RBFT cluster")
     Term.(
       const run_cluster $ f $ clients $ rate $ seconds $ payload $ attack $ transport
-      $ seed $ trace)
+      $ seed $ trace $ chrome $ audit)
 
 (* ------------------------------------------------------------------ *)
 (* experiment                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let run_experiment id quick =
+let run_experiment id quick audit =
+  Bftharness.Audit.enabled := audit;
   let tables =
     match id with
     | "fig1" | "fig2" | "fig3" | "table1" ->
@@ -120,7 +192,10 @@ let run_experiment id quick =
     | "ablations" -> Bftharness.Experiments.ablations ~quick
     | other -> failwith ("unknown experiment: " ^ other)
   in
-  List.iter Bftharness.Report.print tables
+  List.iter Bftharness.Report.print tables;
+  match Bftharness.Audit.summary () with
+  | Some s -> Printf.printf "Safety audit: %s\n" s
+  | None -> ()
 
 let experiment_cmd =
   let id =
@@ -130,9 +205,14 @@ let experiment_cmd =
           ~doc:"fig1|fig2|fig3|table1|fig7|fig8|fig9|fig10|fig11|fig12|ablations.")
   in
   let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Short windows.") in
+  let audit =
+    Arg.(
+      value & flag
+      & info [ "audit" ] ~doc:"Safety-audit every run inside the experiment.")
+  in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Run one experiment from the harness")
-    Term.(const run_experiment $ id $ quick)
+    Term.(const run_experiment $ id $ quick $ audit)
 
 (* ------------------------------------------------------------------ *)
 (* compare                                                            *)

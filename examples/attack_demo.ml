@@ -26,8 +26,23 @@ let print_monitoring cluster ~label =
   Printf.printf "  instance changes so far: %d\n\n"
     (Rbft.Node.instance_changes (Rbft.Cluster.node cluster 1))
 
+(* Print the control-plane events as a structured timeline: suspicion
+   verdicts, instance-change votes and the eviction itself. Data-plane
+   events (orderings, executions) are left out — there are millions. *)
+let timeline_sink (ev : Bftaudit.Event.t) =
+  match ev.kind with
+  | Bftaudit.Event.Instance_change_vote _ | Bftaudit.Event.Instance_changed _
+  | Bftaudit.Event.Nic_closed _ | Bftaudit.Event.Blacklisted _
+  | Bftaudit.Event.View_entered _ ->
+    Printf.printf "  | %s\n" (Bftaudit.Event.to_string ev)
+  | Bftaudit.Event.Monitor_verdict { suspicious = true; _ } ->
+    Printf.printf "  | %s\n" (Bftaudit.Event.to_string ev)
+  | _ -> ()
+
 let () =
   Printf.printf "== RBFT worst-attack-2 demo (f = 1, 8B requests) ==\n\n";
+  ignore (Bftaudit.Bus.subscribe timeline_sink);
+  let auditor = Bftaudit.Auditor.attach ~n:4 ~f:1 () in
   (* Delta = 0.9 leaves the monitoring a clear noise margin; the smart
      primary will sit a whisker above it. *)
   let params = { (Rbft.Params.default ~f:1) with Rbft.Params.delta = 0.9 } in
@@ -62,4 +77,7 @@ let () =
     (if changes = 1 then "" else "s");
   Printf.printf "agreement among correct nodes: %b\n"
     (Rbft.Cluster.agreement_ok cluster ~faulty:[ 0 ]);
+  Printf.printf "safety audit: %d events checked, %d violation(s)\n"
+    (Bftaudit.Auditor.events_checked auditor)
+    (List.length (Bftaudit.Auditor.violations auditor));
   if changes = 0 then exit 1

@@ -112,6 +112,12 @@ let reply_to t (id : request_id) result =
   send_from t t.execution ~dst:(Principal.client id.client)
     (Reply { id; result; node = t.id })
 
+(* Single-instance protocol: every audit event is instance 0; the
+   ordering-phase events come from the shared Pbftcore.Replica. *)
+let audit t kind =
+  Bftaudit.Bus.emit
+    { Bftaudit.Event.time = Engine.now t.engine; node = t.id; instance = 0; kind }
+
 let execute_batch t descs =
   List.iter
     (fun (desc : request_desc) ->
@@ -124,6 +130,14 @@ let execute_batch t descs =
               let result = t.service.Service.execute desc.op in
               Request_id_table.replace t.executed desc.id result;
               t.exec_count <- t.exec_count + 1;
+              if Bftaudit.Bus.active () then
+                audit t
+                  (Bftaudit.Event.Executed
+                     {
+                       client = desc.id.client;
+                       rid = desc.id.rid;
+                       digest = desc.digest;
+                     });
               Bftmetrics.Throughput.record t.exec_counter ~now:(Engine.now t.engine);
               t.exec_digest <- Sha256.digest_string (t.exec_digest ^ desc.digest);
               Resource.charge t.execution
@@ -163,6 +177,10 @@ let handle_request t (desc : request_desc) ~sig_valid =
     Resource.submit t.ordering ~cost:(Time.ns 200) (fun () ->
         Pbftcore.Replica.submit (replica t) desc)
   else begin
+    if Bftaudit.Bus.active () then
+      audit t
+        (Bftaudit.Event.Request_received
+           { client = desc.id.client; rid = desc.id.rid; size = desc.op_size });
     Resource.charge t.verification
       (Costmodel.sig_verify t.cfg.costs ~bytes:desc.op_size);
     if sig_valid then begin

@@ -1,0 +1,15 @@
+(** Structured observability for the BFT simulations.
+
+    {!Bus} is a typed, zero-cost-when-disabled event bus fed by
+    instrumentation in every protocol layer (request flow, the
+    three-phase ordering pipeline per instance, view and instance
+    changes, monitoring verdicts, NIC/blacklist actions, checkpoints,
+    network drops).  {!Auditor} subscribes to it and checks global
+    safety invariants online; {!Capture} records events for JSONL /
+    Chrome trace export and computes a deterministic per-run SHA-256
+    trace digest. *)
+
+module Event = Event
+module Bus = Bus
+module Auditor = Auditor
+module Capture = Capture

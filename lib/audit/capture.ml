@@ -1,0 +1,75 @@
+(** In-memory trace capture with a chained per-run SHA-256 digest.
+
+    The digest is folded over each event's canonical JSON line as it
+    arrives, so two runs of the same binary with the same seed produce
+    byte-identical digests — the determinism regression check — while
+    the full event list supports JSONL and Chrome [trace_event]
+    export after the run. *)
+
+type t = {
+  mutable events : Event.t list; (* newest first *)
+  mutable count : int;
+  mutable chain : string; (* raw 32-byte running digest *)
+  mutable token : Bus.token option;
+}
+
+let create () =
+  {
+    events = [];
+    count = 0;
+    chain = Bftcrypto.Sha256.digest_string "bftaudit-trace-v1";
+    token = None;
+  }
+
+let record t ev =
+  t.events <- ev :: t.events;
+  t.count <- t.count + 1;
+  t.chain <- Bftcrypto.Sha256.digest_string (t.chain ^ Event.to_json ev)
+
+(** Create a capture and subscribe it to the bus. *)
+let attach () =
+  let t = create () in
+  t.token <- Some (Bus.subscribe (record t));
+  t
+
+let detach t =
+  match t.token with
+  | Some tok ->
+    Bus.unsubscribe tok;
+    t.token <- None
+  | None -> ()
+
+let count t = t.count
+let events t = List.rev t.events
+let digest t = Bftcrypto.Sha256.to_hex t.chain
+
+let iter_events t f = List.iter f (events t)
+
+let write_jsonl t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      iter_events t (fun ev ->
+          output_string oc (Event.to_json ev);
+          output_char oc '\n'))
+
+(* Chrome's about:tracing / Perfetto "trace event" JSON: each bus
+   event becomes an instant event with pid = node and tid = instance,
+   so the timeline groups lanes per node and per protocol instance. *)
+let write_chrome_trace t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc {|{"displayTimeUnit":"ms","traceEvents":[|};
+      let first = ref true in
+      iter_events t (fun ev ->
+          if !first then first := false else output_char oc ',';
+          Printf.fprintf oc
+            {|{"name":"%s","ph":"i","s":"t","ts":%.3f,"pid":%d,"tid":%d,"args":{%s}}|}
+            (Event.kind_name ev.Event.kind)
+            (Dessim.Time.to_us_f ev.Event.time)
+            ev.Event.node ev.Event.instance
+            (Event.args_json ev.Event.kind));
+      output_string oc "]}")

@@ -78,6 +78,13 @@ let instance_count t = Params.instances t.params
 
 let self t = Principal.node t.id
 
+(* Structured audit events; call sites guard with [Bus.active] so the
+   disabled path allocates nothing. Node-level events that are not
+   tied to one ordering instance use instance -1. *)
+let audit t ?(instance = -1) kind =
+  Bftaudit.Bus.emit
+    { Bftaudit.Event.time = Engine.now t.engine; node = t.id; instance; kind }
+
 (* ------------------------------------------------------------------ *)
 (* Outbound helpers: charge the sending thread, then hit the network. *)
 (* ------------------------------------------------------------------ *)
@@ -157,6 +164,10 @@ let dispatch_request t (req : Messages.request) =
   if not state.dispatched then begin
     state.dispatched <- true;
     state.dispatch_time <- Engine.now t.engine;
+    if Bftaudit.Bus.active () then
+      audit t
+        (Bftaudit.Event.Request_dispatched
+           { client = req.desc.id.client; rid = req.desc.id.rid });
     Array.iteri
       (fun i replica_thread ->
         let replica = t.replicas.(i) in
@@ -192,9 +203,14 @@ let propagate_request t (req : Messages.request) =
   let state = request_state t req.desc.id in
   if not state.propagated then begin
     state.propagated <- true;
-    if not t.faults.no_propagate then
+    if not t.faults.no_propagate then begin
+      if Bftaudit.Bus.active () then
+        audit t
+          (Bftaudit.Event.Request_propagated
+             { client = req.desc.id.client; rid = req.desc.id.rid });
       broadcast_nodes_from t t.propagation
         (Messages.Propagate { req; from = t.id; junk = false })
+    end
   end;
   note_sender t state t.id (Some req)
 
@@ -207,9 +223,14 @@ let note_invalid_from t peer =
     t.invalid_counts.(peer) <- t.invalid_counts.(peer) + 1;
     if t.invalid_counts.(peer) > t.params.Params.flood_threshold then begin
       t.invalid_counts.(peer) <- 0;
-      Trace.emitf t.engine Trace.Warn ~component:(Printf.sprintf "node%d" t.id)
-        "closing NIC of flooding node %d for %s" peer
-        (Time.to_string t.params.Params.flood_close_time);
+      if Bftaudit.Bus.active () then
+        audit t
+          (Bftaudit.Event.Nic_closed
+             {
+               peer;
+               until =
+                 Time.add (Engine.now t.engine) t.params.Params.flood_close_time;
+             });
       Network.close_nic t.net ~node:t.id ~peer:(Principal.node peer)
         ~for_:t.params.Params.flood_close_time
     end
@@ -242,8 +263,8 @@ let verify_signature_once t (req : Messages.request) =
         end
         else if not (List.mem req.desc.id.client t.blacklist) then begin
           (* Invalid signature: blacklist the client (Sec. IV-B, step 1). *)
-          Trace.emitf t.engine Trace.Warn ~component:(Printf.sprintf "node%d" t.id)
-            "blacklisting client %d (invalid signature)" req.desc.id.client;
+          if Bftaudit.Bus.active () then
+            audit t (Bftaudit.Event.Blacklisted { client = req.desc.id.client });
           t.blacklist <- req.desc.id.client :: t.blacklist
         end)
   end
@@ -262,6 +283,14 @@ let handle_client_request t (req : Messages.request) =
     | None -> ()
   end
   else begin
+    if Bftaudit.Bus.active () then
+      audit t
+        (Bftaudit.Event.Request_received
+           {
+             client = req.desc.id.client;
+             rid = req.desc.id.rid;
+             size = req.desc.op_size;
+           });
     let state = request_state t req.desc.id in
     if state.sig_checked then
       Resource.submit t.propagation ~cost:(Time.ns 200) (fun () ->
@@ -286,11 +315,9 @@ let handle_propagate t ~from (req : Messages.request) ~junk =
 (* ------------------------------------------------------------------ *)
 
 let perform_instance_change t target_cpi =
-  Trace.emitf t.engine Trace.Info ~component:(Printf.sprintf "node%d" t.id)
-    "protocol instance change (cpi %d -> %d, recovery %s)" target_cpi (target_cpi + 1)
-    (match t.params.Params.recovery with
-     | Params.Change_primaries -> "change-primaries"
-     | Params.Switch_master -> "switch-master");
+  if Bftaudit.Bus.active () then
+    audit t ~instance:t.master_instance
+      (Bftaudit.Event.Instance_changed { cpi = target_cpi; recovery = false });
   t.cpi <- target_cpi + 1;
   t.instance_changes <- t.instance_changes + 1;
   t.last_change_at <- Engine.now t.engine;
@@ -315,6 +342,9 @@ let send_instance_change t =
   if t.ic_sent_for < t.cpi then begin
     t.ic_sent_for <- t.cpi;
     t.ic_votes <- (t.id, t.cpi) :: t.ic_votes;
+    if Bftaudit.Bus.active () then
+      audit t ~instance:t.master_instance
+        (Bftaudit.Event.Instance_change_vote { cpi = t.cpi });
     broadcast_nodes_from t t.dispatch
       (Messages.Instance_change { cpi = t.cpi; node = t.id });
     check_ic_quorum t
@@ -341,6 +371,14 @@ let execute_request t (desc : request_desc) =
           let result = t.service.Service.execute desc.op in
           Request_id_table.replace t.executed desc.id result;
           t.exec_count <- t.exec_count + 1;
+          if Bftaudit.Bus.active () then
+            audit t ~instance:t.master_instance
+              (Bftaudit.Event.Executed
+                 {
+                   client = desc.id.client;
+                   rid = desc.id.rid;
+                   digest = desc.digest;
+                 });
           Bftmetrics.Throughput.record t.exec_counter ~now:(Engine.now t.engine);
           t.exec_digest <-
             Sha256.digest_string (t.exec_digest ^ desc.digest);
@@ -369,10 +407,20 @@ let on_ordered t ~instance descs =
             held by the previous primary; their latency says nothing
             about the current one. *)
          if is_master && state.dispatch_time >= t.last_change_at then begin
-           if
-             Monitoring.lambda_violation t.monitoring ~latency
-             || Monitoring.omega_violation t.monitoring ~client:desc.id.client
-           then begin
+           let lambda = Monitoring.lambda_violation t.monitoring ~latency in
+           let omega =
+             Monitoring.omega_violation t.monitoring ~client:desc.id.client
+           in
+           if lambda || omega then begin
+             if Bftaudit.Bus.active () then begin
+               if lambda then
+                 audit t ~instance
+                   (Bftaudit.Event.Lambda_exceeded
+                      { client = desc.id.client; latency });
+               if omega then
+                 audit t ~instance
+                   (Bftaudit.Event.Omega_exceeded { client = desc.id.client })
+             end;
              t.suspicious <- true;
              send_instance_change t
            end
@@ -391,6 +439,7 @@ let make_replica t ~instance thread =
       Pbftcore.Replica.n = n_nodes t;
       f = t.params.Params.f;
       replica_id = t.id;
+      instance;
       primary_of_view = (fun view -> Params.primary_of t.params ~instance ~view);
       batch_size = t.params.Params.batch_size;
       batch_delay = t.params.Params.batch_delay;
@@ -448,6 +497,14 @@ let on_delivery t (d : Messages.t Network.delivery) =
 let monitoring_tick t =
   let verdict = Monitoring.tick t.monitoring ~now:(Engine.now t.engine) in
   Array.fill t.invalid_counts 0 (Array.length t.invalid_counts) 0;
+  if Bftaudit.Bus.active () then
+    audit t ~instance:t.master_instance
+      (Bftaudit.Event.Monitor_verdict
+         {
+           master_rate = verdict.Monitoring.master_rate;
+           backup_rate = verdict.Monitoring.backup_rate;
+           suspicious = verdict.Monitoring.suspicious;
+         });
   t.suspicious <- verdict.Monitoring.suspicious;
   if t.suspicious then begin
     (* Allow re-voting for the current cpi each period while the

@@ -47,6 +47,7 @@ let dynamic_shape ~quick ~rate =
 
 let run_shape_rbft ?(transport = Bftnet.Network.Tcp) ?(tweak = fun p -> p) ~f
     ~payload ~shape ~attack () =
+  Audit.begin_run ~n:((3 * f) + 1) ~f;
   let params = tweak (Rbft.Params.default ~f) in
   let cluster =
     Rbft.Cluster.create ~transport ~clients:(Loadshape.max_clients shape)
@@ -68,6 +69,7 @@ let run_shape_rbft ?(transport = Bftnet.Network.Tcp) ?(tweak = fun p -> p) ~f
   (window_rate counter ~from_:(Time.ms 200) ~until:total, cluster)
 
 let run_shape_aardvark ?(tweak = fun c -> c) ~f ~payload ~shape ~attack () =
+  Audit.begin_run ~n:((3 * f) + 1) ~f;
   let cfg = tweak (aardvark_config ~f) in
   let cluster =
     Aardvark.Cluster.create ~clients:(Loadshape.max_clients shape)
@@ -83,6 +85,7 @@ let run_shape_aardvark ?(tweak = fun c -> c) ~f ~payload ~shape ~attack () =
   (window_rate counter ~from_:(Time.ms 200) ~until:total, cluster)
 
 let run_shape_spinning ~f ~payload ~shape ~attack () =
+  Audit.begin_run ~n:((3 * f) + 1) ~f;
   let cfg = Spinning.Node.default_config ~f in
   let cluster =
     Spinning.Cluster.create ~clients:(Loadshape.max_clients shape)
@@ -98,6 +101,7 @@ let run_shape_spinning ~f ~payload ~shape ~attack () =
   (window_rate counter ~from_:(Time.ms 200) ~until:total, cluster)
 
 let run_shape_prime ?(exec_cost = Time.us 100) ~f ~payload ~shape ~attack () =
+  Audit.begin_run ~n:((3 * f) + 1) ~f;
   let cfg = { (Prime.Node.default_config ~f) with Prime.Node.exec_cost = exec_cost } in
   let cluster =
     Prime.Cluster.create ~clients:(Loadshape.max_clients shape)
@@ -132,6 +136,7 @@ let fig1 ~quick =
        faulty, ignores the load shape and floods at its own rate; the
        malicious primary stretches its ordering period to the
        monitored limit. *)
+    Audit.declare_faulty [ 0 ];
     let heavy = Prime.Cluster.client cluster 0 in
     (Prime.Client.behaviour heavy).Prime.Client.heavy <- true;
     Prime.Client.set_rate heavy 300.0;
@@ -175,6 +180,7 @@ let fig1 ~quick =
 let fig2 ~quick =
   let sizes = request_sizes ~quick in
   let attack cluster =
+    Audit.declare_faulty [ 0 ];
     (Aardvark.Node.faults (Aardvark.Cluster.node cluster 0)).Aardvark.Node.track_required <-
       true
   in
@@ -252,6 +258,7 @@ let fig3 ~quick =
   let attack cluster =
     (* All f faulty nodes delay their proposals by a little less than
        Stimeout whenever the rotation hands them the primary slot. *)
+    Audit.declare_faulty [ 3 ];
     (Spinning.Node.faults (Spinning.Cluster.node cluster 3)).Spinning.Node.delay_fraction <-
       0.95
   in
@@ -531,6 +538,7 @@ let fig12 ~quick =
       delta = 0.5 (* keep the throughput check out of the way, as the paper does *);
     }
   in
+  Audit.begin_run ~n:4 ~f:1;
   let cluster = Rbft.Cluster.create ~clients:2 ~payload_size:4096 params in
   (* Per-request ordering latencies observed at correct node 1. *)
   let samples = ref [] in
@@ -547,6 +555,7 @@ let fig12 ~quick =
   (* The faulty master primary (node 0): fair for the first 500
      requests, then holds client 0's requests by 0.5 ms, then by 1 ms
      (the paper's escalation at request ~1000). *)
+  Audit.declare_faulty [ 0 ];
   let replica = Rbft.Node.replica (Rbft.Cluster.node cluster 0) ~instance:0 in
   (Pbftcore.Replica.adversary replica).Pbftcore.Replica.client_hold <-
     (fun id ->
@@ -719,6 +728,7 @@ let ablation_switch_master ~quick =
   let rate = Calibrate.saturating_rate Calibrate.Rbft ~size:8 in
   let shape = static_shape ~quick ~duration:(Time.of_sec_f 2.5) ~rate in
   let slow_master cluster =
+    Audit.declare_faulty [ 0 ];
     (Pbftcore.Replica.adversary
        (Rbft.Node.replica (Rbft.Cluster.node cluster 0) ~instance:0))
       .Pbftcore.Replica.pp_rate_limit <- (fun () -> 0.3 *. rate)
@@ -756,6 +766,7 @@ let ablation_closed_loop ~quick =
   let params = { (Rbft.Params.default ~f:1) with Rbft.Params.delta = 0.9 } in
   let duration = scale ~quick (Time.of_sec_f 2.5) in
   let run ~closed =
+    Audit.begin_run ~n:4 ~f:1;
     let cluster = Rbft.Cluster.create ~clients:20 params in
     Array.iter
       (fun c ->
@@ -767,6 +778,7 @@ let ablation_closed_loop ~quick =
        itself to ~40 % of capacity. *)
     Rbft.Cluster.run_for cluster (Time.ms 500);
     let attack_start = Engine.now (Rbft.Cluster.engine cluster) in
+    Audit.declare_faulty [ 0 ];
     let replica = Rbft.Node.replica (Rbft.Cluster.node cluster 0) ~instance:0 in
     (Pbftcore.Replica.adversary replica).Pbftcore.Replica.pp_rate_limit <-
       (fun () -> 0.4 *. Calibrate.peak_rate Calibrate.Rbft ~size:8);

@@ -165,6 +165,18 @@ let deliver_to t ~src ~dst =
      | None -> None
      | Some handler -> Some (port.c_ingress, handler))
 
+(* Audited from the receiver's perspective: [node] is the destination
+   (or -1 for a client), [src] names the sender whose traffic was
+   dropped. *)
+let audit_drop t ~src ~dst ~reason =
+  Bftaudit.Bus.emit
+    {
+      Bftaudit.Event.time = Engine.now t.engine;
+      node = (match dst with Principal.Node j -> j | Principal.Client _ -> -1);
+      instance = -1;
+      kind = Net_dropped { src = Principal.to_string src; reason };
+    }
+
 let send t ~src ~dst ~size payload =
   match egress_of t ~src ~dst with
   | None -> t.dropped <- t.dropped + 1
@@ -192,14 +204,21 @@ let send t ~src ~dst ~size payload =
         ignore
           (Engine.after t.engine delay (fun () ->
                match deliver_to t ~src ~dst with
-               | None -> t.dropped <- t.dropped + 1
+               | None ->
+                 t.dropped <- t.dropped + 1;
+                 if Bftaudit.Bus.active () then
+                   audit_drop t ~src ~dst ~reason:"no-handler"
                | Some (ingress, handler) ->
                  let closed =
                    match dst with
                    | Principal.Node j -> nic_closed t ~node:j ~peer:src
                    | Principal.Client _ -> false
                  in
-                 if closed then t.dropped <- t.dropped + 1
+                 if closed then begin
+                   t.dropped <- t.dropped + 1;
+                   if Bftaudit.Bus.active () then
+                     audit_drop t ~src ~dst ~reason:"nic-closed"
+                 end
                  else
                    Resource.submit ingress ~cost:ser (fun () ->
                        t.delivered <- t.delivered + 1;

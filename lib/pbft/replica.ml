@@ -5,6 +5,7 @@ type config = {
   n : int;
   f : int;
   replica_id : int;
+  instance : int;  (* protocol instance id for audit events (RBFT runs f+1) *)
   primary_of_view : view -> int;
   batch_size : int;
   batch_delay : Time.t;
@@ -19,6 +20,7 @@ let default_config ~n ~f ~replica_id =
     n;
     f;
     replica_id;
+    instance = 0;
     primary_of_view = (fun v -> v mod n);
     batch_size = 64;
     batch_delay = Time.ms 2;
@@ -164,7 +166,48 @@ let matching_votes (e : entry) votes =
 (* Delivery and checkpoints                                           *)
 (* ------------------------------------------------------------------ *)
 
-let broadcast t msg = if not t.adv.silent then t.cb.broadcast msg
+let audit t kind =
+  Bftaudit.Bus.emit
+    {
+      Bftaudit.Event.time = Engine.now t.engine;
+      node = t.cfg.replica_id;
+      instance = t.cfg.instance;
+      kind;
+    }
+
+let audit_pp t ~view (pp : Messages.pre_prepare) =
+  audit t
+    (Bftaudit.Event.Pre_prepare_sent
+       {
+         view;
+         seq = pp.seq;
+         count = List.length pp.descs;
+         digest = Messages.batch_digest pp.descs;
+       })
+
+(* Audit events for outgoing protocol messages are emitted here, inside
+   the silence gate, so a muted Byzantine replica's suppressed votes
+   never enter the audit record. *)
+let audit_msg t (msg : Messages.t) =
+  match msg with
+  | Messages.Pre_prepare pp -> audit_pp t ~view:pp.view pp
+  | Messages.Prepare { view; seq; digest; _ } ->
+    audit t (Bftaudit.Event.Prepare_sent { view; seq; digest })
+  | Messages.Commit { view; seq; digest; _ } ->
+    audit t (Bftaudit.Event.Commit_sent { view; seq; digest })
+  | Messages.Checkpoint { seq; state_digest; _ } ->
+    audit t (Bftaudit.Event.Checkpoint_sent { seq; digest = state_digest })
+  | Messages.View_change { new_view; _ } ->
+    audit t (Bftaudit.Event.View_change_sent { view = new_view })
+  | Messages.New_view { view; pre_prepares; _ } ->
+    (* The new primary's re-proposals stand for its pre-prepares. *)
+    List.iter (audit_pp t ~view) pre_prepares
+
+let broadcast t msg =
+  if not t.adv.silent then begin
+    if Bftaudit.Bus.active () then audit_msg t msg;
+    t.cb.broadcast msg
+  end
 
 let gc_below t seq =
   Hashtbl.iter
@@ -195,6 +238,8 @@ let accept_checkpoint t ~seq ~state_digest ~replica =
     match List.assoc_opt state_digest !votes with
     | Some replicas when List.length replicas >= (2 * t.cfg.f) + 1 ->
       t.last_stable <- seq;
+      if Bftaudit.Bus.active () then
+        audit t (Bftaudit.Event.Checkpoint_stable { seq; digest = state_digest });
       (* State transfer: a replica that lags behind a stable checkpoint
          (e.g. a view change purged its in-flight quorum state) adopts
          the checkpointed state instead of waiting for batches nobody
@@ -238,6 +283,10 @@ let rec try_deliver t =
     in
     List.iter (fun d -> Request_id_table.replace t.delivered_ids d.id ()) fresh;
     t.ordered_count <- t.ordered_count + List.length fresh;
+    if Bftaudit.Bus.active () then
+      audit t
+        (Bftaudit.Event.Ordered
+           { seq; count = List.length fresh; digest = e.digest });
     t.chain_digest <-
       Bftcrypto.Sha256.digest_string (t.chain_digest ^ Messages.batch_digest pp.descs);
     t.cb.deliver seq fresh;
@@ -473,9 +522,9 @@ let rec start_view_change t target =
   end
 
 and enter_view t v =
-  Trace.emitf t.engine Trace.Info
-    ~component:(Printf.sprintf "replica%d" t.cfg.replica_id)
-    "entering view %d (primary %d)" v (t.cfg.primary_of_view v);
+  if Bftaudit.Bus.active () then
+    audit t
+      (Bftaudit.Event.View_entered { view = v; primary = t.cfg.primary_of_view v });
   t.view <- v;
   t.in_vc <- false;
   t.vc_completed <- t.vc_completed + 1;

@@ -23,6 +23,10 @@ type config = {
   n : int;
   f : int;
   replica_id : int;  (** this replica's id (= node id in RBFT) *)
+  instance : int;
+      (** protocol instance this replica belongs to, used to tag audit
+          events (RBFT runs f+1 instances per node; single-instance
+          protocols keep the default 0) *)
   primary_of_view : view -> int;
   batch_size : int;  (** max requests per PRE-PREPARE *)
   batch_delay : Time.t;  (** max wait before sending a partial batch *)

@@ -193,6 +193,10 @@ let exec_cost_of t (desc : request_desc) =
   if desc.flagged_heavy then Time.max t.cfg.heavy_exec_cost (t.service.Service.exec_cost desc.op)
   else Time.max t.cfg.exec_cost (t.service.Service.exec_cost desc.op)
 
+let audit t kind =
+  Bftaudit.Bus.emit
+    { Bftaudit.Event.time = Engine.now t.engine; node = t.id; instance = 0; kind }
+
 let execute_one t (desc : request_desc) =
   if not (Request_id_table.mem t.executed desc.id) then begin
     (* Execution happens on the main thread: heavy requests delay
@@ -201,6 +205,10 @@ let execute_one t (desc : request_desc) =
     let result = t.service.Service.execute desc.op in
     Request_id_table.replace t.executed desc.id result;
     t.exec_count <- t.exec_count + 1;
+    if Bftaudit.Bus.active () then
+      audit t
+        (Bftaudit.Event.Executed
+           { client = desc.id.client; rid = desc.id.rid; digest = desc.digest });
     Bftmetrics.Throughput.record t.exec_counter ~now:(Engine.now t.engine);
     t.exec_digest <- Sha256.digest_string (t.exec_digest ^ desc.digest);
     send_from t ~dst:(Principal.client desc.id.client)
@@ -220,6 +228,33 @@ let rec try_deliver t =
     in
     if ready then begin
       e.delivered <- true;
+      if Bftaudit.Bus.active () then begin
+        (* Digest over the summary vector alone (the agreed content):
+           Prime's own [vector_digest] also covers the view, which
+           would make the same seq hash differently across views and
+           defeat the auditor's cross-node agreement check. *)
+        let buf = Buffer.create 64 in
+        Array.iter
+          (fun upto ->
+            Buffer.add_string buf (string_of_int upto);
+            Buffer.add_char buf ',')
+          vector;
+        let count =
+          let c = ref 0 in
+          Array.iteri
+            (fun origin upto ->
+              c := !c + Stdlib.max 0 (upto - t.ordered_vector.(origin)))
+            vector;
+          !c
+        in
+        audit t
+          (Bftaudit.Event.Ordered
+             {
+               seq = t.next_deliver;
+               count;
+               digest = Sha256.digest_string (Buffer.contents buf);
+             })
+      end;
       t.next_deliver <- t.next_deliver + 1;
       let exec_start = Engine.now t.engine in
       let buffers = !(t.po_buffers) in

@@ -8,18 +8,27 @@ let sink : (event -> unit) option ref = ref None
 
 let set_sink s = sink := s
 
+(* Secondary tap for the structured event bus (lib/audit installs it
+   while subscribers exist), so legacy string traces surface there
+   without this bottom-layer library depending on bftaudit. *)
+let forward : (event -> unit) option ref = ref None
+
+let set_forward f = forward := f
+
+let dispatch e =
+  (match !sink with None -> () | Some s -> s e);
+  match !forward with None -> () | Some f -> f e
+
 let emit engine level ~component message =
-  match !sink with
-  | None -> ()
-  | Some s -> s { time = Engine.now engine; level; component; message }
+  if !sink != None || !forward != None then
+    dispatch { time = Engine.now engine; level; component; message }
 
 let emitf engine level ~component fmt =
-  Printf.ksprintf
-    (fun message ->
-      match !sink with
-      | None -> ()
-      | Some s -> s { time = Engine.now engine; level; component; message })
-    fmt
+  Printf.ksprintf (emit engine level ~component) fmt
+
+let pp_event fmt e =
+  Format.fprintf fmt "[%a] %-5s %-16s %s" Time.pp e.time (level_name e.level)
+    e.component e.message
 
 module Ring = struct
   type t = { capacity : int; buffer : event option array; mutable next : int; mutable count : int }
@@ -39,9 +48,7 @@ module Ring = struct
         | Some e -> e
         | None -> assert false)
 
-  let pp_event fmt e =
-    Format.fprintf fmt "[%a] %-5s %-16s %s" Time.pp e.time (level_name e.level)
-      e.component e.message
+  let pp_event = pp_event
 end
 
-let console_sink e = Format.printf "%a@." Ring.pp_event e
+let console_sink e = Format.printf "%a@." pp_event e

@@ -15,14 +15,22 @@ type event = { time : Time.t; level : level; component : string; message : strin
 val set_sink : (event -> unit) option -> unit
 (** Install (or clear) the global sink. *)
 
+val set_forward : (event -> unit) option -> unit
+(** Install (or clear) a secondary tap that observes every event in
+    addition to the sink. The structured event bus ([Bftaudit.Bus])
+    installs this while it has subscribers, turning legacy string
+    traces into structured [Log] events. *)
+
 val emit : Engine.t -> level -> component:string -> string -> unit
 (** [emit engine level ~component msg] sends an event to the sink, if
     any, stamped with the engine's current virtual time. *)
 
 val emitf :
   Engine.t -> level -> component:string -> ('a, unit, string, unit) format4 -> 'a
-(** Printf-style {!emit}; the message is only built when a sink is
-    installed. *)
+(** Printf-style {!emit}. *)
+
+val pp_event : Format.formatter -> event -> unit
+(** One-line human-readable rendering. *)
 
 module Ring : sig
   (** A bounded in-memory sink keeping the most recent events. *)

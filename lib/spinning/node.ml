@@ -95,6 +95,10 @@ let broadcast_nodes t thread m =
     end
   done
 
+let audit t kind =
+  Bftaudit.Bus.emit
+    { Bftaudit.Event.time = Engine.now t.engine; node = t.id; instance = 0; kind }
+
 let execute_batch t descs =
   List.iter
     (fun (desc : request_desc) ->
@@ -105,6 +109,14 @@ let execute_batch t descs =
               let result = t.service.Service.execute desc.op in
               Request_id_table.replace t.executed desc.id result;
               t.exec_count <- t.exec_count + 1;
+              if Bftaudit.Bus.active () then
+                audit t
+                  (Bftaudit.Event.Executed
+                     {
+                       client = desc.id.client;
+                       rid = desc.id.rid;
+                       digest = desc.digest;
+                     });
               Bftmetrics.Throughput.record t.exec_counter ~now:(Engine.now t.engine);
               t.exec_digest <- Sha256.digest_string (t.exec_digest ^ desc.digest);
               Resource.charge t.execution
@@ -146,7 +158,17 @@ let on_delivery t (d : msg Network.delivery) =
               (Reply { id = desc.id; result; node = t.id })
           | None -> ()
         end
-        else Replica.submit (replica t) desc)
+        else begin
+          if Bftaudit.Bus.active () then
+            audit t
+              (Bftaudit.Event.Request_received
+                 {
+                   client = desc.id.client;
+                   rid = desc.id.rid;
+                   size = desc.op_size;
+                 });
+          Replica.submit (replica t) desc
+        end)
   | Order m ->
     let from =
       match d.Network.src with Principal.Node i -> i | Principal.Client _ -> -1

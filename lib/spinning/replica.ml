@@ -132,7 +132,40 @@ let batch_digest descs = Pbftcore.Messages.batch_digest descs
 (* Delivery                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let broadcast t msg = if not t.adv.silent then t.cb.broadcast msg
+let audit t kind =
+  Bftaudit.Bus.emit
+    {
+      Bftaudit.Event.time = Engine.now t.engine;
+      node = t.cfg.replica_id;
+      instance = 0;
+      kind;
+    }
+
+(* Spinning rotates the proposer per sequence; the [attempt] counter
+   plays the role of a per-sequence view in the audit events. Emitted
+   inside the silence gate so a muted replica's votes never appear. *)
+let audit_msg t msg =
+  match msg with
+  | Pre_prepare { seq; descs; attempt } ->
+    audit t
+      (Bftaudit.Event.Pre_prepare_sent
+         {
+           view = attempt;
+           seq;
+           count = List.length descs;
+           digest = Pbftcore.Messages.batch_digest descs;
+         })
+  | Prepare { seq; digest; attempt; _ } ->
+    audit t (Bftaudit.Event.Prepare_sent { view = attempt; seq; digest })
+  | Commit { seq; digest; attempt; _ } ->
+    audit t (Bftaudit.Event.Commit_sent { view = attempt; seq; digest })
+  | Accuse { seq; _ } -> audit t (Bftaudit.Event.Accusation { seq })
+
+let broadcast t msg =
+  if not t.adv.silent then begin
+    if Bftaudit.Bus.active () then audit_msg t msg;
+    t.cb.broadcast msg
+  end
 
 let rec rearm_timer t =
   (* Watch the oldest undelivered batch whenever requests are pending. *)
@@ -227,6 +260,10 @@ and try_deliver t =
             Request_id_table.remove t.claimed d.id)
           descs;
         t.ordered <- t.ordered + List.length fresh;
+        if Bftaudit.Bus.active () then
+          audit t
+            (Bftaudit.Event.Ordered
+               { seq; count = List.length fresh; digest = e.digest });
         (* A successful batch resets the timeout (Section III-C). *)
         t.timeout <- t.cfg.s_timeout;
         t.cb.deliver seq fresh;
