@@ -8,6 +8,10 @@
      dune exec bench/main.exe -- --only fig7a,fig12
      dune exec bench/main.exe -- --skip-micro | --only-micro
      dune exec bench/main.exe -- --audit     -- safety-audit every run
+     dune exec bench/main.exe -- --metrics BENCH_rbft.json
+                                          -- machine-readable perf report
+     dune exec bench/main.exe -- --prom FILE -- Prometheus dump of the
+                                             end-of-run metric registry
 *)
 
 open Bftharness
@@ -120,7 +124,40 @@ let micro_benchmarks () =
   let token = Bftaudit.Bus.subscribe (fun _ -> ()) in
   run_tests
     [ Test.make ~name:"audit-emit-null-sink" (Staged.stage emit_guarded) ];
-  Bftaudit.Bus.unsubscribe token
+  Bftaudit.Bus.unsubscribe token;
+  (* Metric-registry update cost, same discipline: the handle is
+     registered once outside the loop, the update site is guarded, so
+     the disabled case is a ref read and a branch and the enabled case
+     a field mutation — no allocation either way. *)
+  let was_active = Bftmetrics.Registry.active () in
+  Bftmetrics.Registry.disable ();
+  let bench_ctr =
+    Bftmetrics.Registry.counter Bftmetrics.Registry.default
+      "bench_micro_increments_total" ~help:"Micro-benchmark counter"
+      ~labels:[ ("site", "bench") ]
+  in
+  let bench_hist =
+    Bftmetrics.Registry.histogram Bftmetrics.Registry.default
+      "bench_micro_latency_seconds" ~help:"Micro-benchmark histogram"
+      ~labels:[ ("site", "bench") ]
+  in
+  let inc_guarded () =
+    if Bftmetrics.Registry.active () then
+      Bftmetrics.Registry.Counter.inc bench_ctr
+  in
+  let observe_guarded () =
+    if Bftmetrics.Registry.active () then
+      Bftmetrics.Hist.add bench_hist 1.2e-4
+  in
+  run_tests
+    [ Test.make ~name:"metrics-counter-disabled" (Staged.stage inc_guarded) ];
+  Bftmetrics.Registry.enable ();
+  run_tests
+    [
+      Test.make ~name:"metrics-counter-enabled" (Staged.stage inc_guarded);
+      Test.make ~name:"metrics-hist-observe" (Staged.stage observe_guarded);
+    ];
+  if not was_active then Bftmetrics.Registry.disable ()
 
 let want only id = match only with [] -> true | ids -> List.mem id ids
 
@@ -129,6 +166,8 @@ let () =
   let skip_micro = ref false in
   let only_micro = ref false in
   let only = ref [] in
+  let metrics = ref None in
+  let prom = ref None in
   let rec parse = function
     | [] -> ()
     | "--quick" :: rest ->
@@ -146,10 +185,17 @@ let () =
     | "--audit" :: rest ->
       Audit.enabled := true;
       parse rest
+    | "--metrics" :: path :: rest ->
+      metrics := Some path;
+      parse rest
+    | "--prom" :: path :: rest ->
+      prom := Some path;
+      parse rest
     | _ :: rest -> parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
   let quick = !quick in
+  if !prom <> None then Bftmetrics.Registry.enable ();
   Printf.printf "RBFT reproduction benchmarks (%s mode)\n"
     (if quick then "quick" else "full");
   if not !only_micro then begin
@@ -172,7 +218,7 @@ let () =
       (fun (label, ids, run) ->
         if List.exists (want !only) ids then begin
           let t = Unix.gettimeofday () in
-          let tables = run () in
+          let tables = Bftmetrics.Profile.time ("experiments:" ^ label) run in
           List.iter Report.print (List.filter (fun t -> want !only t.Report.id) tables);
           Printf.printf "  (%s took %.1fs)\n%!" label (Unix.gettimeofday () -. t)
         end)
@@ -182,4 +228,18 @@ let () =
     | Some s -> Printf.printf "Safety audit: %s\n%!" s
     | None -> ()
   end;
-  if (not !skip_micro) && !only = [] then micro_benchmarks ()
+  if (not !skip_micro) && !only = [] then
+    Bftmetrics.Profile.time "micro-benchmarks" micro_benchmarks;
+  (match !metrics with
+   | Some path -> Perfreport.write ~quick ~path
+   | None -> ());
+  (match !prom with
+   | Some path ->
+     Bftmetrics.Export.to_channel_or_file ~path
+       (Bftmetrics.Export.prometheus Bftmetrics.Registry.default);
+     if path <> "-" then Printf.printf "prometheus dump -> %s\n%!" path
+   | None -> ());
+  if Bftmetrics.Profile.total () > 0.0 then begin
+    print_endline "\n== Wall-clock profile ==";
+    Bftmetrics.Profile.print stdout
+  end

@@ -18,7 +18,7 @@ open Dessim
 (* ------------------------------------------------------------------ *)
 
 let run_cluster f clients rate seconds payload attack transport seed trace chrome
-    audit =
+    audit metrics prom =
   (* Structured observability: a capture (for file export and the run
      digest) whenever any trace output is requested, a console printer
      for [--trace -], and an online safety auditor for [--audit]. *)
@@ -52,9 +52,21 @@ let run_cluster f clients rate seconds payload attack transport seed trace chrom
   let transport =
     match transport with "udp" -> Bftnet.Network.Udp | _ -> Bftnet.Network.Tcp
   in
+  (* Metrics: enable the registry whenever an export was requested;
+     [--metrics] additionally attaches the sim-time sampler so the CSV
+     carries a time series rather than only end-of-run totals. *)
+  if metrics <> None || prom <> None then Bftmetrics.Registry.enable ();
   let cluster =
     Rbft.Cluster.create ~seed:(Int64.of_int seed) ~transport ~clients
       ~payload_size:payload params
+  in
+  let sampler =
+    match metrics with
+    | Some _ ->
+      Some
+        (Bftmetrics.Sampler.attach ~period:(Time.ms 100)
+           (Rbft.Cluster.engine cluster) Bftmetrics.Registry.default)
+    | None -> None
   in
   (match attack with
    | "none" -> ()
@@ -87,6 +99,22 @@ let run_cluster f clients rate seconds payload attack transport seed trace chrom
     (Rbft.Cluster.agreement_ok cluster ~faulty);
   Printf.printf "events simulated: %d\n"
     (Engine.events_processed (Rbft.Cluster.engine cluster));
+  (match sampler with
+   | Some s ->
+     Bftmetrics.Sampler.detach s;
+     let path = Option.get metrics in
+     Bftmetrics.Export.to_channel_or_file ~path
+       (Bftmetrics.Export.csv_of_series s);
+     if path <> "-" then
+       Printf.printf "metrics: %d sample points -> %s\n"
+         (Bftmetrics.Sampler.count s) path
+   | None -> ());
+  (match prom with
+   | Some path ->
+     Bftmetrics.Export.to_channel_or_file ~path
+       (Bftmetrics.Export.prometheus Bftmetrics.Registry.default);
+     if path <> "-" then Printf.printf "prometheus dump -> %s\n" path
+   | None -> ());
   (match capture with
    | Some c ->
      (match trace with
@@ -169,11 +197,29 @@ let run_cmd =
              execution, checkpoint and instance-change consistency) and report \
              its verdict.")
   in
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Enable the metric registry, sample it every 100 ms of virtual \
+             time and write the series as CSV to $(docv) ('-' for stdout).")
+  in
+  let prom =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prom" ] ~docv:"FILE"
+          ~doc:
+            "Enable the metric registry and write an end-of-run Prometheus \
+             text-format dump to $(docv) ('-' for stdout).")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate an RBFT cluster")
     Term.(
       const run_cluster $ f $ clients $ rate $ seconds $ payload $ attack $ transport
-      $ seed $ trace $ chrome $ audit)
+      $ seed $ trace $ chrome $ audit $ metrics $ prom)
 
 (* ------------------------------------------------------------------ *)
 (* experiment                                                         *)

@@ -1,0 +1,56 @@
+(** Online safety auditor.
+
+    Subscribes to {!Bus} and checks global safety invariants while a
+    simulation runs, across every node and protocol instance:
+    agreement, no double execution, prepare quorum, checkpoint
+    consistency, and instance-change quorum (see the implementation
+    header for precise definitions).
+
+    Nodes under adversarial control are excluded from the checks'
+    conclusions (their votes still count, as they do in the real
+    protocol).  Attack installers register them with
+    {!declare_faulty}; violations raise {!Violation} with a readable
+    report that includes the most recent bus events for context. *)
+
+open Dessim
+
+exception Violation of string
+
+type violation = { time : Time.t; invariant : string; detail : string }
+
+val declare_faulty : int list -> unit
+(** Register Byzantine node ids in a global set consulted by every
+    live auditor (attack installers run after the auditor attaches). *)
+
+val reset_declared : unit -> unit
+(** Clear the global faulty set; call between runs. *)
+
+type t
+
+val create :
+  ?faulty:int list -> ?raise_on_violation:bool -> n:int -> f:int -> unit -> t
+(** Standalone auditor (not subscribed); feed it with {!on_event}.
+    [raise_on_violation] defaults to [true]; when [false], violations
+    are only recorded and available via {!violations}. *)
+
+val attach :
+  ?faulty:int list -> ?raise_on_violation:bool -> n:int -> f:int -> unit -> t
+(** {!create} + subscribe to the bus. *)
+
+val detach : t -> unit
+(** Unsubscribe from the bus; idempotent. *)
+
+val on_event : t -> Event.t -> unit
+(** Check one event (called by the bus subscription). *)
+
+val events_checked : t -> int
+val violations : t -> violation list
+(** Recorded violations, oldest first. *)
+
+val recent_events : t -> Event.t list
+(** The last few bus events seen, oldest first (context ring). *)
+
+val report : t -> violation -> string
+(** Multi-line human-readable report with recent-event context. *)
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -7,9 +7,11 @@
     network drops).  {!Auditor} subscribes to it and checks global
     safety invariants online; {!Capture} records events for JSONL /
     Chrome trace export and computes a deterministic per-run SHA-256
-    trace digest. *)
+    trace digest; {!Metrics_bridge} derives {!Bftmetrics.Registry}
+    counters from the same stream. *)
 
 module Event = Event
 module Bus = Bus
 module Auditor = Auditor
 module Capture = Capture
+module Metrics_bridge = Metrics_bridge

@@ -1,0 +1,36 @@
+(** In-memory trace capture with a chained per-run SHA-256 digest.
+
+    The digest is folded over each event's canonical JSON line as it
+    arrives, so two runs of the same binary with the same seed produce
+    byte-identical digests — the determinism regression check — while
+    the full event list supports JSONL and Chrome [trace_event]
+    export after the run. *)
+
+type t
+
+val create : unit -> t
+(** Standalone capture (not subscribed); feed it with {!record}. *)
+
+val record : t -> Event.t -> unit
+
+val attach : unit -> t
+(** {!create} + subscribe to the bus. *)
+
+val detach : t -> unit
+(** Unsubscribe from the bus; idempotent. *)
+
+val count : t -> int
+val events : t -> Event.t list
+(** Captured events, oldest first. *)
+
+val iter_events : t -> (Event.t -> unit) -> unit
+
+val digest : t -> string
+(** Hex SHA-256 chained over every event's canonical JSON. *)
+
+val write_jsonl : t -> string -> unit
+(** One canonical JSON object per line, in event order. *)
+
+val write_chrome_trace : t -> string -> unit
+(** Chrome about:tracing / Perfetto JSON; lanes are grouped with
+    pid = node and tid = protocol instance. *)

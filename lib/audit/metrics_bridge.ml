@@ -1,0 +1,84 @@
+(* Bus -> registry bridge: derives metric families from the structured
+   audit event stream instead of dedicated instrumentation sites.
+
+   Anything already on the bus (event kinds, monitoring verdicts,
+   network drops with reasons) can become a metric without touching
+   protocol code; counters are registered lazily per label value the
+   first time an event of that shape is seen.  The bridge is a regular
+   bus sink, so it only costs anything while attached. *)
+
+module Registry = Bftmetrics.Registry
+
+type t = {
+  registry : Registry.t;
+  mutable token : Bus.token option;
+  (* kind-name -> counter, filled lazily as kinds are first seen. *)
+  kind_counters : (string, Registry.Counter.t) Hashtbl.t;
+  drop_counters : (string, Registry.Counter.t) Hashtbl.t;
+  suspicious_counters : (int, Registry.Counter.t) Hashtbl.t;
+}
+
+let kind_counter t kind =
+  match Hashtbl.find_opt t.kind_counters kind with
+  | Some c -> c
+  | None ->
+    let c =
+      Registry.counter t.registry "bft_audit_events_total"
+        ~help:"Structured audit-bus events seen by the metrics bridge"
+        ~labels:[ ("kind", kind) ]
+    in
+    Hashtbl.replace t.kind_counters kind c;
+    c
+
+let drop_counter t reason =
+  match Hashtbl.find_opt t.drop_counters reason with
+  | Some c -> c
+  | None ->
+    let c =
+      Registry.counter t.registry "bft_net_drops_total"
+        ~help:"Network messages dropped, by reason (from audit events)"
+        ~labels:[ ("reason", reason) ]
+    in
+    Hashtbl.replace t.drop_counters reason c;
+    c
+
+let suspicious_counter t node =
+  match Hashtbl.find_opt t.suspicious_counters node with
+  | Some c -> c
+  | None ->
+    let c =
+      Registry.counter t.registry "bft_monitor_suspicious_total"
+        ~help:"Monitoring verdicts that flagged the master as suspicious"
+        ~labels:[ ("node", string_of_int node) ]
+    in
+    Hashtbl.replace t.suspicious_counters node c;
+    c
+
+let on_event t (ev : Event.t) =
+  Registry.Counter.inc (kind_counter t (Event.kind_name ev.kind));
+  match ev.kind with
+  | Event.Net_dropped { reason; _ } ->
+    Registry.Counter.inc (drop_counter t reason)
+  | Event.Monitor_verdict { suspicious = true; _ } ->
+    Registry.Counter.inc (suspicious_counter t ev.node)
+  | _ -> ()
+
+let attach ?(registry = Registry.default) () =
+  let t =
+    {
+      registry;
+      token = None;
+      kind_counters = Hashtbl.create 32;
+      drop_counters = Hashtbl.create 8;
+      suspicious_counters = Hashtbl.create 8;
+    }
+  in
+  t.token <- Some (Bus.subscribe (on_event t));
+  t
+
+let detach t =
+  match t.token with
+  | Some tok ->
+    Bus.unsubscribe tok;
+    t.token <- None
+  | None -> ()

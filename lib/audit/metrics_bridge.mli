@@ -1,0 +1,23 @@
+(** Derives metric families from the {!Bus} event stream.
+
+    A regular bus sink that turns structured audit events into
+    registry counters without dedicated instrumentation sites:
+
+    - [bft_audit_events_total{kind}] — every event, by kind name;
+    - [bft_net_drops_total{reason}] — [Net_dropped] events, by reason;
+    - [bft_monitor_suspicious_total{node}] — suspicious
+      [Monitor_verdict]s, by monitoring node.
+
+    Counters are registered lazily the first time a label value is
+    seen.  Like every bus sink, attaching the bridge flips
+    [Bus.active ()] on, so it has a cost — attach it only for
+    observed runs. *)
+
+type t
+
+val attach : ?registry:Bftmetrics.Registry.t -> unit -> t
+(** Subscribe to the bus, registering counters in [registry]
+    (default: {!Bftmetrics.Registry.default}). *)
+
+val detach : t -> unit
+(** Unsubscribe; idempotent. *)

@@ -24,6 +24,16 @@ let create ?(seed = 42L) ?(transport = Bftnet.Network.Tcp)
         Client.create engine net params ~id ~payload_size ())
   in
   Array.iter Node.start nodes;
+  (* Engine-level gauges are callback-backed: read only at sample or
+     export time, and re-registering rebinds them to the newest
+     cluster's engine. *)
+  Bftmetrics.Registry.gauge_fn Bftmetrics.Registry.default
+    "dessim_events_processed"
+    ~help:"Events processed by the simulation engine" ~labels:[]
+    (fun () -> float_of_int (Engine.events_processed engine));
+  Bftmetrics.Registry.gauge_fn Bftmetrics.Registry.default "dessim_queue_size"
+    ~help:"Pending events in the simulation engine queue" ~labels:[]
+    (fun () -> float_of_int (Engine.queue_size engine));
   { engine; net; params; nodes; clients }
 
 let engine t = t.engine

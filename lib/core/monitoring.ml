@@ -48,6 +48,7 @@ type verdict = {
   rates : float array;
   master_rate : float;
   backup_rate : float;
+  ratio : float;
   suspicious : bool;
 }
 
@@ -88,7 +89,12 @@ let tick t ~now =
     backup_rate >= min_meaningful_rate
     && master_rate < t.params.Params.delta *. backup_rate
   in
-  { rates; master_rate; backup_rate; suspicious }
+  (* The quantity the Δ test compares against the threshold; NaN when
+     the backups are idle and the test is not applied. *)
+  let ratio =
+    if backup_rate > 0.0 then master_rate /. backup_rate else Float.nan
+  in
+  { rates; master_rate; backup_rate; ratio; suspicious }
 
 let lambda_violation t ~latency =
   t.params.Params.lambda > Time.zero && latency > t.params.Params.lambda

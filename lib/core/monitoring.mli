@@ -30,6 +30,9 @@ type verdict = {
   rates : float array;  (** per-instance raw throughput over the window, req/s *)
   master_rate : float;
   backup_rate : float;  (** average of the backup instances *)
+  ratio : float;
+      (** master/backup throughput ratio the Δ test compares against
+          the threshold; NaN while the backups are idle *)
   suspicious : bool;
       (** true when the Δ test fires: the master primary looks slow *)
 }

@@ -14,6 +14,7 @@ type faults = {
 
 (* Book-keeping for one request on its way through the node. *)
 type request_state = {
+  first_seen : Time.t;  (* when this node first learned of the request *)
   mutable req : Messages.request option;  (* full request, once known *)
   mutable senders : int list;  (* distinct PROPAGATE senders (incl. self) *)
   mutable propagated : bool;  (* we sent our own PROPAGATE *)
@@ -22,6 +23,64 @@ type request_state = {
   mutable dispatched : bool;
   mutable dispatch_time : Time.t;
 }
+
+(* Metric handles, registered once per node; hot paths only mutate
+   them behind the [Registry.active] gate. *)
+type node_metrics = {
+  nm_received : Bftmetrics.Registry.Counter.t;
+  nm_dispatched : Bftmetrics.Registry.Counter.t;
+  nm_executed : Bftmetrics.Registry.Counter.t;
+  nm_instance_changes : Bftmetrics.Registry.Counter.t;
+  nm_dispatch_latency : Bftmetrics.Hist.t;  (* first seen -> dispatched *)
+  nm_ordering_latency : Bftmetrics.Hist.t array;  (* dispatch -> ordered *)
+  nm_execution_latency : Bftmetrics.Hist.t;  (* dispatch -> executed *)
+  nm_master_rate : Bftmetrics.Registry.Gauge.t;
+  nm_backup_rate : Bftmetrics.Registry.Gauge.t;
+  nm_ratio : Bftmetrics.Registry.Gauge.t;
+  nm_delta : Bftmetrics.Registry.Gauge.t;
+}
+
+let register_node_metrics ~id ~instances =
+  let module Registry = Bftmetrics.Registry in
+  let reg = Registry.default in
+  let node = string_of_int id in
+  let counter name help =
+    Registry.counter reg name ~help ~labels:[ ("node", node) ]
+  in
+  let gauge name help =
+    Registry.gauge reg name ~help ~labels:[ ("node", node) ]
+  in
+  {
+    nm_received = counter "bft_requests_received_total"
+        "Fresh client requests entering verification";
+    nm_dispatched = counter "bft_requests_dispatched_total"
+        "Requests handed to the local replicas";
+    nm_executed = counter "bft_requests_executed_total"
+        "Requests executed and replied to";
+    nm_instance_changes = counter "bft_instance_changes_total"
+        "Protocol instance changes performed";
+    nm_dispatch_latency =
+      Registry.histogram reg "bft_request_dispatch_latency_seconds"
+        ~help:"First sight of a request to replica dispatch"
+        ~labels:[ ("node", node) ];
+    nm_ordering_latency =
+      Array.init instances (fun i ->
+          Registry.histogram reg "bft_ordering_latency_seconds"
+            ~help:"Replica dispatch to total-order delivery"
+            ~labels:[ ("node", node); ("instance", string_of_int i) ]);
+    nm_execution_latency =
+      Registry.histogram reg "bft_execution_latency_seconds"
+        ~help:"Replica dispatch to execution completion"
+        ~labels:[ ("node", node) ];
+    nm_master_rate = gauge "bft_monitor_master_rate"
+        "Monitoring: averaged master-instance throughput (req/s)";
+    nm_backup_rate = gauge "bft_monitor_backup_rate"
+        "Monitoring: averaged mean backup-instance throughput (req/s)";
+    nm_ratio = gauge "bft_monitor_ratio"
+        "Monitoring: master/backup throughput ratio the delta test checks";
+    nm_delta = gauge "bft_monitor_delta_threshold"
+        "Monitoring: configured delta acceptance threshold";
+  }
 
 type t = {
   engine : Engine.t;
@@ -56,6 +115,7 @@ type t = {
   invalid_counts : int array;
   mutable latency_probe : (instance:int -> client:int -> Time.t -> unit) option;
   mutable started : bool;
+  m : node_metrics;
 }
 
 let id t = t.id
@@ -143,6 +203,7 @@ let request_state t rid =
   | None ->
     let state =
       {
+        first_seen = Engine.now t.engine;
         req = None;
         senders = [];
         propagated = false;
@@ -164,6 +225,11 @@ let dispatch_request t (req : Messages.request) =
   if not state.dispatched then begin
     state.dispatched <- true;
     state.dispatch_time <- Engine.now t.engine;
+    if Bftmetrics.Registry.active () then begin
+      Bftmetrics.Registry.Counter.inc t.m.nm_dispatched;
+      Bftmetrics.Hist.add t.m.nm_dispatch_latency
+        (Time.to_sec_f (Time.sub state.dispatch_time state.first_seen))
+    end;
     if Bftaudit.Bus.active () then
       audit t
         (Bftaudit.Event.Request_dispatched
@@ -283,6 +349,8 @@ let handle_client_request t (req : Messages.request) =
     | None -> ()
   end
   else begin
+    if Bftmetrics.Registry.active () then
+      Bftmetrics.Registry.Counter.inc t.m.nm_received;
     if Bftaudit.Bus.active () then
       audit t
         (Bftaudit.Event.Request_received
@@ -315,6 +383,8 @@ let handle_propagate t ~from (req : Messages.request) ~junk =
 (* ------------------------------------------------------------------ *)
 
 let perform_instance_change t target_cpi =
+  if Bftmetrics.Registry.active () then
+    Bftmetrics.Registry.Counter.inc t.m.nm_instance_changes;
   if Bftaudit.Bus.active () then
     audit t ~instance:t.master_instance
       (Bftaudit.Event.Instance_changed { cpi = target_cpi; recovery = false });
@@ -380,6 +450,15 @@ let execute_request t (desc : request_desc) =
                    digest = desc.digest;
                  });
           Bftmetrics.Throughput.record t.exec_counter ~now:(Engine.now t.engine);
+          if Bftmetrics.Registry.active () then begin
+            Bftmetrics.Registry.Counter.inc t.m.nm_executed;
+            match Request_id_table.find_opt t.requests desc.id with
+            | Some state when state.dispatched ->
+              Bftmetrics.Hist.add t.m.nm_execution_latency
+                (Time.to_sec_f
+                   (Time.sub (Engine.now t.engine) state.dispatch_time))
+            | Some _ | None -> ()
+          end;
           t.exec_digest <-
             Sha256.digest_string (t.exec_digest ^ desc.digest);
           Resource.charge t.execution
@@ -400,6 +479,10 @@ let on_ordered t ~instance descs =
          let latency = Time.sub now state.dispatch_time in
          Monitoring.note_latency t.monitoring ~instance ~client:desc.id.client
            latency;
+         if Bftmetrics.Registry.active () then
+           Bftmetrics.Hist.add
+             t.m.nm_ordering_latency.(instance)
+             (Time.to_sec_f latency);
          (match t.latency_probe with
           | Some probe -> probe ~instance ~client:desc.id.client latency
           | None -> ());
@@ -497,6 +580,14 @@ let on_delivery t (d : Messages.t Network.delivery) =
 let monitoring_tick t =
   let verdict = Monitoring.tick t.monitoring ~now:(Engine.now t.engine) in
   Array.fill t.invalid_counts 0 (Array.length t.invalid_counts) 0;
+  if Bftmetrics.Registry.active () then begin
+    Bftmetrics.Registry.Gauge.set t.m.nm_master_rate
+      verdict.Monitoring.master_rate;
+    Bftmetrics.Registry.Gauge.set t.m.nm_backup_rate
+      verdict.Monitoring.backup_rate;
+    Bftmetrics.Registry.Gauge.set t.m.nm_ratio verdict.Monitoring.ratio;
+    Bftmetrics.Registry.Gauge.set t.m.nm_delta t.params.Params.delta
+  end;
   if Bftaudit.Bus.active () then
     audit t ~instance:t.master_instance
       (Bftaudit.Event.Monitor_verdict
@@ -597,10 +688,30 @@ let create engine net params ~id ~service =
       invalid_counts = Array.make (Params.n params) 0;
       latency_probe = None;
       started = false;
+      m = register_node_metrics ~id ~instances;
     }
   in
   t.replicas <-
     Array.init instances (fun i -> make_replica t ~instance:i t.replica_threads.(i));
+  (* Queue-depth gauges are callback-backed: read only at sample or
+     export time, so the module threads pay nothing. *)
+  List.iter
+    (fun (name, r) ->
+      Bftmetrics.Registry.gauge_fn Bftmetrics.Registry.default
+        "bft_thread_backlog"
+        ~help:"Queued jobs on a node module thread"
+        ~labels:[ ("node", string_of_int id); ("thread", name) ]
+        (fun () -> float_of_int (Resource.backlog r)))
+    ([
+       ("verification", t.verification);
+       ("propagation", t.propagation);
+       ("dispatch", t.dispatch);
+       ("execution", t.execution);
+     ]
+    @ Array.to_list
+        (Array.mapi
+           (fun i r -> (Printf.sprintf "replica%d" i, r))
+           t.replica_threads));
   Network.register_node net id (fun d -> on_delivery t d);
   t
 

@@ -4,3 +4,4 @@ module Report = Report
 module Calibrate = Calibrate
 module Experiments = Experiments
 module Audit = Audit
+module Perfreport = Perfreport

@@ -1,0 +1,202 @@
+(* Machine-readable performance report (BENCH_rbft.json).
+
+   One quick evaluation pass over fault-free RBFT at the two request
+   sizes the paper reports (8 B and 4 kB) plus the two worst attacks,
+   with the metric registry enabled, reduced to the headline numbers a
+   CI job can diff: achieved throughput, client end-to-end latency
+   percentiles, master-instance ordering percentiles, the under-attack
+   throughput ratios, the registry's own hot-path overhead (the same
+   fault-free run with collection off vs on) and the wall-clock
+   self-profile. *)
+
+open Dessim
+open Bftworkload
+
+type run_result = {
+  throughput : float;  (* req/s at a correct node *)
+  p50_ms : float;  (* client end-to-end latency *)
+  p99_ms : float;
+  order_p50_ms : float;  (* master-instance ordering latency at node 1 *)
+  order_p99_ms : float;
+}
+
+let duration ~quick = Time.of_sec_f (if quick then 1.0 else 2.0)
+
+(* Mirrors the harness' static saturated runner, with the registry
+   optionally live (reset per run so counters describe one run). *)
+let static_run ?(attack = fun _ -> ()) ~with_metrics ~quick ~payload () =
+  let module Registry = Bftmetrics.Registry in
+  (* Calibrate before touching the registry so the probe runs don't
+     pollute this run's counters. *)
+  Registry.disable ();
+  let rate = Calibrate.saturating_rate Calibrate.Rbft ~size:payload in
+  Registry.reset Registry.default;
+  if with_metrics then Registry.enable () else Registry.disable ();
+  let clients = 20 in
+  let shape =
+    Loadshape.static ~duration:(duration ~quick) ~clients
+      ~rate:(rate /. float_of_int clients)
+  in
+  let params = Rbft.Params.default ~f:1 in
+  let cluster =
+    Rbft.Cluster.create ~clients:(Loadshape.max_clients shape)
+      ~payload_size:payload params
+  in
+  attack cluster;
+  let engine = Rbft.Cluster.engine cluster in
+  Loadshape.apply engine shape ~set_rate:(fun c r ->
+      Rbft.Client.set_rate (Rbft.Cluster.client cluster c) r);
+  let total = Loadshape.total_duration shape in
+  Rbft.Cluster.run_for cluster (Time.add total (Time.ms 200));
+  let counter = Rbft.Node.executed_counter (Rbft.Cluster.node cluster 1) in
+  let throughput =
+    Bftmetrics.Throughput.rate_between counter (Time.ms 200) total
+  in
+  (* Client end-to-end latency, merged over every client that got a
+     reply (values are seconds). *)
+  let merged =
+    Array.fold_left
+      (fun acc c ->
+        let h = Rbft.Client.latencies c in
+        if Bftmetrics.Hist.count h = 0 then acc
+        else
+          match acc with
+          | None -> Some (Bftmetrics.Hist.copy h)
+          | Some m -> Some (Bftmetrics.Hist.merge m h))
+      None (Rbft.Cluster.clients cluster)
+  in
+  let pctl h p =
+    match h with
+    | None -> 0.0
+    | Some h -> 1e3 *. Bftmetrics.Hist.percentile h p
+  in
+  (* Master-instance ordering latency at correct node 1, read back
+     from the registry (re-registration returns the live child). *)
+  let order =
+    Bftmetrics.Registry.histogram Bftmetrics.Registry.default
+      "bft_ordering_latency_seconds"
+      ~labels:[ ("node", "1"); ("instance", "0") ]
+  in
+  let opctl p =
+    if Bftmetrics.Hist.count order = 0 then 0.0
+    else 1e3 *. Bftmetrics.Hist.percentile order p
+  in
+  {
+    throughput;
+    p50_ms = pctl merged 50.0;
+    p99_ms = pctl merged 99.0;
+    order_p50_ms = opctl 50.0;
+    order_p99_ms = opctl 99.0;
+  }
+
+let size_key = function 8 -> "8B" | 4096 -> "4kB" | n -> string_of_int n ^ "B"
+
+let json_of_result r =
+  Printf.sprintf
+    {|{"throughput_req_s":%s,"latency_p50_ms":%s,"latency_p99_ms":%s,"ordering_p50_ms":%s,"ordering_p99_ms":%s}|}
+    (Bftmetrics.Export.json_float r.throughput)
+    (Bftmetrics.Export.json_float r.p50_ms)
+    (Bftmetrics.Export.json_float r.p99_ms)
+    (Bftmetrics.Export.json_float r.order_p50_ms)
+    (Bftmetrics.Export.json_float r.order_p99_ms)
+
+let generate ~quick =
+  let module Profile = Bftmetrics.Profile in
+  let sizes = [ 8; 4096 ] in
+  (* Fault-free baselines, and the wall-clock cost of the very same
+     8 B run with the registry off — the hot-path overhead measure. *)
+  let t_off = ref 0.0 in
+  Profile.time "perfreport:baseline-nometrics" (fun () ->
+      let t0 = Unix.gettimeofday () in
+      ignore (static_run ~with_metrics:false ~quick ~payload:8 ());
+      t_off := Unix.gettimeofday () -. t0);
+  let t_on = ref 0.0 in
+  let fault_free =
+    List.map
+      (fun payload ->
+        Profile.time
+          (Printf.sprintf "perfreport:fault-free-%s" (size_key payload))
+          (fun () ->
+            let t0 = Unix.gettimeofday () in
+            let r = static_run ~with_metrics:true ~quick ~payload () in
+            if payload = 8 then t_on := Unix.gettimeofday () -. t0;
+            (payload, r)))
+      sizes
+  in
+  let attacks =
+    [ ("worst1", Rbft.Attacks.worst_attack_1);
+      ("worst2", Rbft.Attacks.worst_attack_2) ]
+  in
+  let under_attack =
+    List.map
+      (fun (name, attack) ->
+        ( name,
+          List.map
+            (fun payload ->
+              Profile.time
+                (Printf.sprintf "perfreport:%s-%s" name (size_key payload))
+                (fun () ->
+                  let att =
+                    static_run ~attack ~with_metrics:true ~quick ~payload ()
+                  in
+                  let ff = List.assoc payload fault_free in
+                  let rel =
+                    if ff.throughput > 0.0 then att.throughput /. ff.throughput
+                    else 0.0
+                  in
+                  (payload, att, rel)))
+            sizes ))
+      attacks
+  in
+  Bftmetrics.Registry.disable ();
+  let overhead_pct =
+    if !t_off > 0.0 then 100.0 *. ((!t_on /. !t_off) -. 1.0) else 0.0
+  in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf {|  "bench": "rbft",%s  "mode": "%s",%s|} "\n"
+       (if quick then "quick" else "full")
+       "\n");
+  Buffer.add_string buf "  \"fault_free\": {\n";
+  Buffer.add_string buf
+    (String.concat ",\n"
+       (List.map
+          (fun (payload, r) ->
+            Printf.sprintf {|    "%s": %s|} (size_key payload)
+              (json_of_result r))
+          fault_free));
+  Buffer.add_string buf "\n  },\n";
+  Buffer.add_string buf "  \"under_attack\": {\n";
+  Buffer.add_string buf
+    (String.concat ",\n"
+       (List.map
+          (fun (name, rows) ->
+            Printf.sprintf {|    "%s": {%s}|} name
+              (String.concat ","
+                 (List.map
+                    (fun (payload, att, rel) ->
+                      Printf.sprintf
+                        {|"%s":{"throughput_req_s":%s,"relative_throughput":%s}|}
+                        (size_key payload)
+                        (Bftmetrics.Export.json_float att.throughput)
+                        (Bftmetrics.Export.json_float rel))
+                    rows)))
+          under_attack));
+  Buffer.add_string buf "\n  },\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       {|  "metrics_overhead": {"run_no_metrics_s":%s,"run_with_metrics_s":%s,"overhead_pct":%s},%s|}
+       (Bftmetrics.Export.json_float !t_off)
+       (Bftmetrics.Export.json_float !t_on)
+       (Bftmetrics.Export.json_float overhead_pct)
+       "\n");
+  Buffer.add_string buf
+    (Printf.sprintf {|  "profile": %s%s|} (Bftmetrics.Profile.json ()) "\n");
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write ~quick ~path =
+  let json = generate ~quick in
+  Bftmetrics.Export.to_channel_or_file ~path json;
+  if path <> "-" then Printf.printf "performance report -> %s\n%!" path

@@ -1,0 +1,14 @@
+(** Machine-readable performance report ([BENCH_rbft.json]).
+
+    Runs a short evaluation pass — fault-free RBFT at 8 B and 4 kB,
+    the two worst attacks, and an instrumentation-off rerun to price
+    the registry's hot-path overhead — and reduces it to a JSON
+    document with the headline numbers (throughput, client p50/p99,
+    master-instance ordering p50/p99, relative under-attack
+    throughput, self-profile). *)
+
+val generate : quick:bool -> string
+(** Run the pass and return the JSON document. *)
+
+val write : quick:bool -> path:string -> unit
+(** {!generate} and write to [path] ('-' for stdout). *)

@@ -1,6 +1,15 @@
-(** Measurement utilities: online statistics, latency histograms and
-    windowed throughput counters. *)
+(** Measurement and observability utilities.
+
+    Low-level accumulators ({!Stats}, {!Hist}, {!Throughput}) plus the
+    metrics pipeline: a labeled-family {!Registry} sampled cheaply on
+    hot paths, a sim-time {!Sampler} that turns it into time series,
+    {!Export}ers (Prometheus text, CSV, JSON) and a wall-clock
+    {!Profile}r for per-subsystem time attribution in the harness. *)
 
 module Stats = Stats
 module Hist = Hist
 module Throughput = Throughput
+module Registry = Registry
+module Sampler = Sampler
+module Export = Export
+module Profile = Profile

@@ -70,3 +70,47 @@ let percentile t p =
 
 let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
 let max_observed t = t.max_observed
+let sum t = t.sum
+
+let reset t =
+  Array.fill t.buckets 0 (Array.length t.buckets) 0;
+  t.underflow <- 0;
+  t.count <- 0;
+  t.sum <- 0.0;
+  t.max_observed <- 0.0
+
+let compatible a b =
+  a.min_value = b.min_value && a.log_gamma = b.log_gamma
+
+let merge a b =
+  if not (compatible a b) then
+    invalid_arg "Hist.merge: different bucket layouts";
+  let n = Stdlib.max (Array.length a.buckets) (Array.length b.buckets) in
+  let buckets = Array.make n 0 in
+  Array.iteri (fun i c -> buckets.(i) <- c) a.buckets;
+  Array.iteri (fun i c -> buckets.(i) <- buckets.(i) + c) b.buckets;
+  {
+    min_value = a.min_value;
+    log_gamma = a.log_gamma;
+    buckets;
+    underflow = a.underflow + b.underflow;
+    count = a.count + b.count;
+    sum = a.sum +. b.sum;
+    max_observed = Stdlib.max a.max_observed b.max_observed;
+  }
+
+let copy t = { t with buckets = Array.copy t.buckets }
+
+(* Cumulative count of samples whose value is <= [bound], accurate to
+   one bucket width. Drives the fixed-boundary Prometheus exposition:
+   monotone in [bound], and exact at the extremes. *)
+let cumulative_le t bound =
+  if t.count = 0 || bound < t.min_value then 0
+  else if bound >= t.max_observed then t.count
+  else begin
+    let acc = ref t.underflow in
+    Array.iteri
+      (fun i n -> if n > 0 && value_of t i <= bound then acc := !acc + n)
+      t.buckets;
+    Stdlib.min !acc t.count
+  end

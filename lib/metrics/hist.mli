@@ -17,3 +17,23 @@ val percentile : t -> float -> float
 
 val mean : t -> float
 val max_observed : t -> float
+
+val sum : t -> float
+(** Sum of all recorded values (0 when empty). *)
+
+val reset : t -> unit
+(** Drop every sample; the bucket layout is kept. *)
+
+val merge : t -> t -> t
+(** Combine two histograms sample-wise into a fresh one. The inputs
+    must share [min_value] and [gamma] ([Invalid_argument]
+    otherwise); neither input is modified. *)
+
+val copy : t -> t
+(** Independent snapshot of the current samples. *)
+
+val cumulative_le : t -> float -> int
+(** [cumulative_le t bound] is the number of samples with value
+    [<= bound], accurate to one bucket width, monotone in [bound],
+    and exact at the extremes (0 below [min_value] on an empty
+    histogram; [count t] at or above [max_observed t]). *)

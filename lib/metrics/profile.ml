@@ -1,0 +1,68 @@
+(* Wall-clock self-profiler: coarse per-subsystem time attribution for
+   the bench harness (where did the real seconds go, and how much does
+   enabling the registry cost). Spans are meant to wrap subsystem-
+   sized work — experiment groups, export passes — not hot paths. *)
+
+type slot = { mutable seconds : float; mutable calls : int }
+
+let slots : (string, slot) Hashtbl.t = Hashtbl.create 16
+let order : string list ref = ref []  (* first-use order, reversed *)
+
+let slot label =
+  match Hashtbl.find_opt slots label with
+  | Some s -> s
+  | None ->
+    let s = { seconds = 0.0; calls = 0 } in
+    Hashtbl.add slots label s;
+    order := label :: !order;
+    s
+
+let add label seconds =
+  let s = slot label in
+  s.seconds <- s.seconds +. seconds;
+  s.calls <- s.calls + 1
+
+let time label f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () -> add label (Unix.gettimeofday () -. t0))
+    f
+
+let report () =
+  List.rev_map
+    (fun label ->
+      let s = Hashtbl.find slots label in
+      (label, s.seconds, s.calls))
+    !order
+  |> List.sort (fun (_, a, _) (_, b, _) -> compare b a)
+
+let reset () =
+  Hashtbl.reset slots;
+  order := []
+
+let total () = Hashtbl.fold (fun _ s acc -> acc +. s.seconds) slots 0.0
+
+let print oc =
+  let rows = report () in
+  if rows <> [] then begin
+    let total = total () in
+    Printf.fprintf oc "\n== Self-profile (wall clock) ==\n";
+    List.iter
+      (fun (label, seconds, calls) ->
+        Printf.fprintf oc "  %-32s %8.2fs %5.1f%%  (%d call%s)\n" label seconds
+          (if total > 0.0 then 100.0 *. seconds /. total else 0.0)
+          calls
+          (if calls = 1 then "" else "s"))
+      rows;
+    Printf.fprintf oc "  %-32s %8.2fs\n" "total" total
+  end
+
+let json () =
+  "["
+  ^ String.concat ","
+      (List.map
+         (fun (label, seconds, calls) ->
+           Printf.sprintf {|{"label":"%s","seconds":%.6f,"calls":%d}|}
+             (Export.json_escape label) seconds calls)
+         (report ()))
+  ^ "]"

@@ -1,0 +1,23 @@
+(** Wall-clock self-profiler: coarse per-subsystem time attribution
+    (a global label -> accumulated seconds table). Wrap subsystem-
+    sized work — experiment groups, export passes — not hot paths. *)
+
+val time : string -> (unit -> 'a) -> 'a
+(** [time label f] runs [f] and charges its wall-clock duration to
+    [label] (exception-safe). *)
+
+val add : string -> float -> unit
+(** Charge [seconds] to [label] directly (one call). *)
+
+val report : unit -> (string * float * int) list
+(** [(label, seconds, calls)], sorted by descending seconds. *)
+
+val total : unit -> float
+
+val reset : unit -> unit
+
+val print : out_channel -> unit
+(** Aligned table with percentages; silent when nothing was timed. *)
+
+val json : unit -> string
+(** JSON array of [{label, seconds, calls}]. *)

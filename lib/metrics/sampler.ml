@@ -1,0 +1,38 @@
+(* Periodic sim-time snapshots of a registry into a time series. *)
+
+open Dessim
+
+type point = { p_time : Time.t; p_samples : Registry.sample list }
+
+type t = {
+  engine : Engine.t;
+  registry : Registry.t;
+  period : Time.t;
+  mutable points : point list;  (* newest first *)
+  mutable stopped : bool;
+}
+
+let sample_now t =
+  t.points <-
+    { p_time = Engine.now t.engine; p_samples = Registry.snapshot t.registry }
+    :: t.points
+
+let rec arm t =
+  ignore
+    (Engine.after t.engine t.period (fun () ->
+         if not t.stopped then begin
+           sample_now t;
+           arm t
+         end))
+
+let attach ?(period = Time.ms 100) engine registry =
+  Registry.enable ();
+  let t = { engine; registry; period; points = []; stopped = false } in
+  arm t;
+  t
+
+let detach t = t.stopped <- true
+
+let period t = t.period
+let points t = List.rev t.points
+let count t = List.length t.points

@@ -1,5 +1,9 @@
 (* Timestamps are stored as a sorted array of (time, cumulative count)
-   breakpoints, appended in order and binary-searched on query. *)
+   breakpoints, appended in order and binary-searched on query.
+
+   Windows are half-open [start, stop): adjacent windows tile exactly
+   (count [a,b) + count [b,c) = count [a,c)) and a partition of
+   [zero, horizon) with horizon past the last event sums to [total]. *)
 
 type t = {
   mutable times : Dessim.Time.t array;
@@ -22,6 +26,12 @@ let grow t =
 let record_many t ~now n =
   assert (n >= 0);
   if n > 0 then begin
+    (* The binary search requires sorted breakpoints. A caller whose
+       clock stepped backwards (merged streams, replays) is clamped to
+       the last breakpoint instead of silently corrupting queries. *)
+    let now =
+      if t.len > 0 && now < t.times.(t.len - 1) then t.times.(t.len - 1) else now
+    in
     t.total <- t.total + n;
     if t.len > 0 && t.times.(t.len - 1) = now then
       t.cumulative.(t.len - 1) <- t.total
@@ -47,8 +57,10 @@ let cumulative_before t bound =
   if !lo = 0 then 0 else t.cumulative.(!lo - 1)
 
 let count_between t start stop =
-  Stdlib.max 0 (cumulative_before t stop - cumulative_before t start)
+  if stop <= start then 0
+  else cumulative_before t stop - cumulative_before t start
 
 let rate_between t start stop =
   let window = Dessim.Time.to_sec_f (Dessim.Time.sub stop start) in
-  if window <= 0.0 then 0.0 else float_of_int (count_between t start stop) /. window
+  if window <= 0.0 || not (Float.is_finite window) then 0.0
+  else float_of_int (count_between t start stop) /. window

@@ -10,15 +10,22 @@ type t
 val create : unit -> t
 
 val record : t -> now:Dessim.Time.t -> unit
-(** Count one event at virtual time [now]. Events must be recorded in
-    non-decreasing time order (the simulator guarantees this). *)
+(** Count one event at virtual time [now]. Events should be recorded
+    in non-decreasing time order (the simulator guarantees this); a
+    record whose [now] is earlier than the latest one is clamped to
+    that latest time rather than corrupting later queries. *)
 
 val record_many : t -> now:Dessim.Time.t -> int -> unit
 
 val total : t -> int
 
 val count_between : t -> Dessim.Time.t -> Dessim.Time.t -> int
-(** Events with [start <= time < stop]. *)
+(** Events in the half-open window [start <= time < stop]. Windows
+    tile exactly: [count_between t a b + count_between t b c =
+    count_between t a c] for [a <= b <= c], and a partition of
+    [\[zero, horizon)] with [horizon] strictly past the last event
+    sums to {!total}. Empty and reversed windows return 0. *)
 
 val rate_between : t -> Dessim.Time.t -> Dessim.Time.t -> float
-(** Events per second over the window. *)
+(** Events per second over the window; 0.0 (never NaN, never raises)
+    for zero-length or reversed windows. *)

@@ -51,6 +51,41 @@ type 'a client_port = {
   mutable c_handler : ('a delivery -> unit) option;
 }
 
+(* Per-channel metric handles (node-node, node-client, client-node),
+   registered once per network; updated behind [Registry.active]. *)
+type chan_metrics = {
+  m_msgs : Bftmetrics.Registry.Counter.t;
+  m_bytes : Bftmetrics.Registry.Counter.t;
+  m_drops : Bftmetrics.Registry.Counter.t;
+}
+
+type net_metrics = {
+  nn : chan_metrics;
+  nc : chan_metrics;
+  cn : chan_metrics;
+}
+
+let register_metrics () =
+  let module Registry = Bftmetrics.Registry in
+  let reg = Registry.default in
+  let chan c =
+    {
+      m_msgs =
+        Registry.counter reg "bft_net_messages_total"
+          ~help:"Messages delivered, by channel"
+          ~labels:[ ("channel", c) ];
+      m_bytes =
+        Registry.counter reg "bft_net_bytes_total"
+          ~help:"Payload bytes delivered, by channel"
+          ~labels:[ ("channel", c) ];
+      m_drops =
+        Registry.counter reg "bft_net_dropped_total"
+          ~help:"Messages dropped (closed NIC, no handler), by channel"
+          ~labels:[ ("channel", c) ];
+    }
+  in
+  { nn = chan "node-node"; nc = chan "node-client"; cn = chan "client-node" }
+
 type 'a t = {
   engine : Engine.t;
   cfg : config;
@@ -64,7 +99,14 @@ type 'a t = {
   mutable delivered : int;
   mutable dropped : int;
   mutable bytes : int;
+  m : net_metrics;
 }
+
+let chan_of t ~src ~dst =
+  match (src, dst) with
+  | Principal.Node _, Principal.Node _ -> t.m.nn
+  | Principal.Node _, Principal.Client _ -> t.m.nc
+  | Principal.Client _, _ -> t.m.cn
 
 let create engine cfg =
   let make_ports i =
@@ -91,6 +133,7 @@ let create engine cfg =
     delivered = 0;
     dropped = 0;
     bytes = 0;
+    m = register_metrics ();
   }
 
 let engine t = t.engine
@@ -179,7 +222,10 @@ let audit_drop t ~src ~dst ~reason =
 
 let send t ~src ~dst ~size payload =
   match egress_of t ~src ~dst with
-  | None -> t.dropped <- t.dropped + 1
+  | None ->
+    t.dropped <- t.dropped + 1;
+    if Bftmetrics.Registry.active () then
+      Bftmetrics.Registry.Counter.inc (chan_of t ~src ~dst).m_drops
   | Some egress ->
     let sent_at = Engine.now t.engine in
     let ser = serialization_time t ~size in
@@ -206,6 +252,8 @@ let send t ~src ~dst ~size payload =
                match deliver_to t ~src ~dst with
                | None ->
                  t.dropped <- t.dropped + 1;
+                 if Bftmetrics.Registry.active () then
+                   Bftmetrics.Registry.Counter.inc (chan_of t ~src ~dst).m_drops;
                  if Bftaudit.Bus.active () then
                    audit_drop t ~src ~dst ~reason:"no-handler"
                | Some (ingress, handler) ->
@@ -216,6 +264,8 @@ let send t ~src ~dst ~size payload =
                  in
                  if closed then begin
                    t.dropped <- t.dropped + 1;
+                   if Bftmetrics.Registry.active () then
+                     Bftmetrics.Registry.Counter.inc (chan_of t ~src ~dst).m_drops;
                    if Bftaudit.Bus.active () then
                      audit_drop t ~src ~dst ~reason:"nic-closed"
                  end
@@ -223,6 +273,11 @@ let send t ~src ~dst ~size payload =
                    Resource.submit ingress ~cost:ser (fun () ->
                        t.delivered <- t.delivered + 1;
                        t.bytes <- t.bytes + size;
+                       if Bftmetrics.Registry.active () then begin
+                         let cm = chan_of t ~src ~dst in
+                         Bftmetrics.Registry.Counter.inc cm.m_msgs;
+                         Bftmetrics.Registry.Counter.add cm.m_bytes size
+                       end;
                        handler
                          {
                            src;

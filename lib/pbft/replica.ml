@@ -56,7 +56,54 @@ type entry = {
   mutable sent_prepare : bool;
   mutable sent_commit : bool;
   mutable delivered : bool;
+  (* Phase timestamps for latency metrics: when the PRE-PREPARE fixed
+     the batch digest locally, and when this replica sent its COMMIT
+     (the prepared point). Always set before delivery. *)
+  mutable t_pp : Time.t;
+  mutable t_prepared : Time.t;
 }
+
+(* Metric handles, registered once per replica; hot paths only mutate
+   them behind the [Registry.active] gate. *)
+type metrics = {
+  prepare_latency : Bftmetrics.Hist.t;  (* pre-prepare -> prepared *)
+  commit_latency : Bftmetrics.Hist.t;   (* prepared -> delivered *)
+  batch_occupancy : Bftmetrics.Hist.t;
+  requests_ordered : Bftmetrics.Registry.Counter.t;
+  batches_ordered : Bftmetrics.Registry.Counter.t;
+  view_changes : Bftmetrics.Registry.Counter.t;
+}
+
+let register_metrics (cfg : config) =
+  let module Registry = Bftmetrics.Registry in
+  let reg = Registry.default in
+  let node = string_of_int cfg.replica_id in
+  let instance = string_of_int cfg.instance in
+  let phase p =
+    Registry.histogram reg "bft_phase_latency_seconds"
+      ~help:"Ordering pipeline phase latency per replica"
+      ~labels:[ ("node", node); ("instance", instance); ("phase", p) ]
+  in
+  {
+    prepare_latency = phase "prepare";
+    commit_latency = phase "commit";
+    batch_occupancy =
+      Registry.histogram reg "bft_batch_occupancy" ~min_value:1.0 ~gamma:1.2
+        ~help:"Requests per flushed batch (primary side)"
+        ~labels:[ ("node", node); ("instance", instance) ];
+    requests_ordered =
+      Registry.counter reg "bft_requests_ordered_total"
+        ~help:"Requests delivered in total order"
+        ~labels:[ ("node", node); ("instance", instance) ];
+    batches_ordered =
+      Registry.counter reg "bft_batches_ordered_total"
+        ~help:"Batches delivered in total order"
+        ~labels:[ ("node", node); ("instance", instance) ];
+    view_changes =
+      Registry.counter reg "bft_view_changes_total"
+        ~help:"Views entered (view-change completions)"
+        ~labels:[ ("node", node); ("instance", instance) ];
+  }
 
 type t = {
   engine : Engine.t;
@@ -83,6 +130,7 @@ type t = {
   mutable pp_release : Time.t;  (* pacing floor for adversarial PP delays *)
   (* PPs held because some requests are not yet known locally *)
   mutable waiting_pps : Messages.pre_prepare list;
+  m : metrics;
 }
 
 let create engine cfg cb =
@@ -115,6 +163,7 @@ let create engine cfg cb =
     state_transfers = 0;
     pp_release = Time.zero;
     waiting_pps = [];
+    m = register_metrics cfg;
   }
 
 let config t = t.cfg
@@ -147,6 +196,8 @@ let entry_for t seq =
         sent_prepare = false;
         sent_commit = false;
         delivered = false;
+        t_pp = Time.zero;
+        t_prepared = Time.zero;
       }
     in
     Hashtbl.add t.entries seq e;
@@ -287,6 +338,15 @@ let rec try_deliver t =
       audit t
         (Bftaudit.Event.Ordered
            { seq; count = List.length fresh; digest = e.digest });
+    if Bftmetrics.Registry.active () then begin
+      let now = Engine.now t.engine in
+      Bftmetrics.Hist.add t.m.prepare_latency
+        (Time.to_sec_f (Time.sub e.t_prepared e.t_pp));
+      Bftmetrics.Hist.add t.m.commit_latency
+        (Time.to_sec_f (Time.sub now e.t_prepared));
+      Bftmetrics.Registry.Counter.add t.m.requests_ordered (List.length fresh);
+      Bftmetrics.Registry.Counter.inc t.m.batches_ordered
+    end;
     t.chain_digest <-
       Bftcrypto.Sha256.digest_string (t.chain_digest ^ Messages.batch_digest pp.descs);
     t.cb.deliver seq fresh;
@@ -311,6 +371,7 @@ let maybe_send_commit t seq (e : entry) =
     && matching_votes e e.prepares >= 2 * t.cfg.f
   then begin
     e.sent_commit <- true;
+    e.t_prepared <- Engine.now t.engine;
     e.commits <- (t.cfg.replica_id, e.digest) :: e.commits;
     broadcast t
       (Messages.Commit
@@ -322,7 +383,8 @@ let record_pp t (pp : Messages.pre_prepare) =
   let e = entry_for t pp.seq in
   e.pp <- Some pp;
   e.pp_view <- pp.view;
-  e.digest <- Messages.batch_digest pp.descs
+  e.digest <- Messages.batch_digest pp.descs;
+  e.t_pp <- Engine.now t.engine
 
 let rec flush_batch t =
   cancel_batch_timer t;
@@ -339,6 +401,9 @@ let rec flush_batch t =
         split t.cfg.batch_size [] descs
     in
     t.pending_batch <- List.rev rest;
+    if Bftmetrics.Registry.active () then
+      Bftmetrics.Hist.add t.m.batch_occupancy
+        (float_of_int (List.length batch));
     let seq = t.next_seq in
     t.next_seq <- seq + 1;
     let pp = { Messages.view = t.view; seq; descs = batch } in
@@ -450,6 +515,7 @@ let accept_pp t ~from (pp : Messages.pre_prepare) =
       e.pp <- Some pp;
       e.pp_view <- pp.view;
       e.digest <- digest;
+      e.t_pp <- Engine.now t.engine;
       (* Track requests for cross-view re-proposal. *)
       List.iter
         (fun d ->
@@ -528,6 +594,8 @@ and enter_view t v =
   t.view <- v;
   t.in_vc <- false;
   t.vc_completed <- t.vc_completed + 1;
+  if Bftmetrics.Registry.active () then
+    Bftmetrics.Registry.Counter.inc t.m.view_changes;
   t.pp_release <- Time.zero;
   (* Reset per-view quorum state for undelivered entries — except:
      - locally committed entries are final (quorum intersection) and

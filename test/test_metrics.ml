@@ -89,6 +89,289 @@ let prop_throughput_counts =
       + Throughput.count_between t mid (Time.us 10_001)
       = List.length times)
 
+let test_throughput_zero_and_reversed () =
+  let t = Throughput.create () in
+  Throughput.record_many t ~now:(Time.ms 5) 10;
+  Alcotest.(check int) "zero-length count" 0
+    (Throughput.count_between t (Time.ms 5) (Time.ms 5));
+  Alcotest.(check (float 0.0)) "zero-length rate" 0.0
+    (Throughput.rate_between t (Time.ms 5) (Time.ms 5));
+  Alcotest.(check int) "reversed count" 0
+    (Throughput.count_between t (Time.ms 9) (Time.ms 1));
+  Alcotest.(check (float 0.0)) "reversed rate" 0.0
+    (Throughput.rate_between t (Time.ms 9) (Time.ms 1));
+  Alcotest.(check bool) "rate is finite" true
+    (Float.is_finite (Throughput.rate_between t Time.zero Time.zero))
+
+(* Windows are half-open [start, stop): any tiling of a range must see
+   each event exactly once, wherever the cuts fall relative to event
+   timestamps. *)
+let prop_throughput_tiling =
+  QCheck.Test.make ~name:"half-open windows tile exactly"
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 0 200) (int_range 0 10_000))
+        (list_of_size Gen.(int_range 0 8) (int_range 0 10_000)))
+    (fun (times, cuts) ->
+      let t = Throughput.create () in
+      List.iter (fun x -> Throughput.record t ~now:(Time.us x)) times;
+      let bounds =
+        List.sort_uniq compare ((0 :: cuts) @ [ 10_001 ])
+      in
+      let rec windows = function
+        | a :: (b :: _ as rest) ->
+          Throughput.count_between t (Time.us a) (Time.us b) + windows rest
+        | _ -> 0
+      in
+      windows bounds = List.length times)
+
+let prop_throughput_degenerate =
+  QCheck.Test.make ~name:"degenerate windows are 0, never NaN"
+    QCheck.(pair (list_of_size Gen.(int_range 0 50) (int_range 0 1000)) (int_range 0 1000))
+    (fun (times, at) ->
+      let t = Throughput.create () in
+      List.iter (fun x -> Throughput.record t ~now:(Time.us x)) times;
+      Throughput.count_between t (Time.us at) (Time.us at) = 0
+      && Throughput.rate_between t (Time.us at) (Time.us at) = 0.0
+      && Throughput.count_between t (Time.us (at + 1)) (Time.us at) = 0
+      && Throughput.rate_between t (Time.us (at + 1)) (Time.us at) = 0.0)
+
+let test_hist_single_sample () =
+  let h = Hist.create () in
+  Hist.add h 0.007;
+  Alcotest.(check int) "count" 1 (Hist.count h);
+  let within p =
+    let v = Hist.percentile h p in
+    v > 0.005 && v < 0.009
+  in
+  Alcotest.(check bool) "p1 ~ sample" true (within 1.0);
+  Alcotest.(check bool) "p50 ~ sample" true (within 50.0);
+  Alcotest.(check bool) "p99 ~ sample" true (within 99.0);
+  Alcotest.(check (float 1e-9)) "max observed" 0.007 (Hist.max_observed h)
+
+let test_hist_all_equal () =
+  let h = Hist.create () in
+  for _ = 1 to 100 do
+    Hist.add h 2.5e-4
+  done;
+  let p50 = Hist.percentile h 50.0 and p99 = Hist.percentile h 99.0 in
+  Alcotest.(check (float 1e-12)) "p50 = p99 when all equal" p50 p99;
+  Alcotest.(check bool) "in bucket" true (p50 > 1.5e-4 && p50 < 3.5e-4)
+
+let test_hist_beyond_top_bucket () =
+  let h = Hist.create () in
+  Hist.add h 1e9;
+  (* way past the top bucket *)
+  Hist.add h 1e-3;
+  let p99 = Hist.percentile h 99.0 in
+  Alcotest.(check bool) "p99 finite" true (Float.is_finite p99);
+  Alcotest.(check bool) "p99 at top bucket or above observed floor" true
+    (p99 >= 1e-3);
+  Alcotest.(check (float 1e-3)) "max observed exact" 1e9 (Hist.max_observed h);
+  Alcotest.(check int) "cumulative_le +inf sees all" 2
+    (Hist.cumulative_le h Float.infinity)
+
+let test_hist_reset_merge () =
+  let a = Hist.create () and b = Hist.create () in
+  List.iter (Hist.add a) [ 1e-3; 2e-3 ];
+  List.iter (Hist.add b) [ 4e-3 ];
+  let m = Hist.merge a b in
+  Alcotest.(check int) "merged count" 3 (Hist.count m);
+  Alcotest.(check (float 1e-9)) "merged sum" 7e-3 (Hist.sum m);
+  Alcotest.(check (float 1e-9)) "merged max" 4e-3 (Hist.max_observed m);
+  Hist.reset a;
+  Alcotest.(check int) "reset count" 0 (Hist.count a);
+  Alcotest.(check (float 0.0)) "reset p50" 0.0 (Hist.percentile a 50.0)
+
+(* --- registry ----------------------------------------------------- *)
+
+let test_registry_families () =
+  let r = Registry.create () in
+  let c1 = Registry.counter r "reqs_total" ~labels:[ ("node", "0") ] in
+  let c2 = Registry.counter r "reqs_total" ~labels:[ ("node", "1") ] in
+  let c1' = Registry.counter r "reqs_total" ~labels:[ ("node", "0") ] in
+  Registry.Counter.inc c1;
+  Registry.Counter.add c1' 2;
+  Registry.Counter.inc c2;
+  Alcotest.(check int) "re-registration returns the same child" 3
+    (Registry.Counter.value c1);
+  Alcotest.(check int) "one family" 1 (List.length (Registry.families r));
+  Alcotest.(check int) "two children" 2
+    (List.length (Registry.children_of (List.hd (Registry.families r))));
+  Alcotest.check_raises "kind mismatch rejected"
+    (Invalid_argument "Registry: reqs_total already registered as a counter")
+    (fun () -> ignore (Registry.gauge r "reqs_total" ~labels:[ ("node", "9") ]))
+
+let test_registry_reset_keeps_handles () =
+  let r = Registry.create () in
+  let c = Registry.counter r "c_total" ~labels:[] in
+  let g = Registry.gauge r "g" ~labels:[] in
+  let h = Registry.histogram r "h_seconds" ~labels:[] in
+  Registry.Counter.add c 5;
+  Registry.Gauge.set g 2.5;
+  Hist.add h 1e-3;
+  Registry.reset r;
+  Alcotest.(check int) "counter zeroed" 0 (Registry.Counter.value c);
+  Alcotest.(check (float 0.0)) "gauge zeroed" 0.0 (Registry.Gauge.value g);
+  Alcotest.(check int) "hist zeroed" 0 (Hist.count h);
+  (* The same handles keep working after reset. *)
+  Registry.Counter.inc c;
+  Alcotest.(check int) "handle live after reset" 1 (Registry.Counter.value c)
+
+let test_registry_merge () =
+  let a = Registry.create () and b = Registry.create () in
+  let ca = Registry.counter a "m_total" ~labels:[ ("k", "x") ] in
+  let cb = Registry.counter b "m_total" ~labels:[ ("k", "x") ] in
+  let hb = Registry.histogram b "lat_seconds" ~labels:[] in
+  Registry.Counter.add ca 2;
+  Registry.Counter.add cb 3;
+  Hist.add hb 1e-3;
+  Registry.merge ~into:a b;
+  Alcotest.(check int) "counters add" 5 (Registry.Counter.value ca);
+  let ha = Registry.histogram a "lat_seconds" ~labels:[] in
+  Alcotest.(check int) "histograms merge samplewise" 1 (Hist.count ha)
+
+let test_registry_snapshot_gauge_fn () =
+  let r = Registry.create () in
+  let calls = ref 0 in
+  Registry.gauge_fn r "cb" ~labels:[] (fun () ->
+      incr calls;
+      42.0);
+  Alcotest.(check int) "callback not read eagerly" 0 !calls;
+  let snap = Registry.snapshot r in
+  Alcotest.(check int) "callback read once per snapshot" 1 !calls;
+  (match snap with
+   | [ { Registry.s_name = "cb"; s_value = Registry.Gauge_v v; _ } ] ->
+     Alcotest.(check (float 0.0)) "value" 42.0 v
+   | _ -> Alcotest.fail "unexpected snapshot shape");
+  (* Re-registering replaces the callback. *)
+  Registry.gauge_fn r "cb" ~labels:[] (fun () -> 7.0);
+  match Registry.snapshot r with
+  | [ { Registry.s_value = Registry.Gauge_v v; _ } ] ->
+    Alcotest.(check (float 0.0)) "replaced" 7.0 v
+  | _ -> Alcotest.fail "unexpected snapshot shape"
+
+(* --- sampler ------------------------------------------------------ *)
+
+let test_sampler_series () =
+  let e = Engine.create () in
+  let r = Registry.create () in
+  let c = Registry.counter r "ticks_total" ~labels:[] in
+  ignore (Engine.after e (Time.ms 25) (fun () -> Registry.Counter.add c 10));
+  let s = Sampler.attach ~period:(Time.ms 10) e r in
+  Engine.run ~until:(Time.ms 55) e;
+  Sampler.detach s;
+  let pts = Sampler.points s in
+  Alcotest.(check bool) "collected several points" true (List.length pts >= 4);
+  let times = List.map (fun p -> p.Sampler.p_time) pts in
+  Alcotest.(check bool) "oldest first" true (List.sort compare times = times);
+  let value_at p =
+    match
+      List.find_opt (fun s -> s.Registry.s_name = "ticks_total") p.Sampler.p_samples
+    with
+    | Some { Registry.s_value = Registry.Counter_v v; _ } -> v
+    | _ -> -1
+  in
+  Alcotest.(check int) "first sample before the tick" 0 (value_at (List.hd pts));
+  Alcotest.(check int) "last sample after the tick" 10
+    (value_at (List.nth pts (List.length pts - 1)));
+  (* Detached: running further adds no points. *)
+  let n = Sampler.count s in
+  ignore (Engine.after e (Time.ms 100) (fun () -> ()));
+  Engine.run ~until:(Time.ms 200) e;
+  Alcotest.(check int) "no points after detach" n (Sampler.count s)
+
+(* --- exporters ---------------------------------------------------- *)
+
+let starts_with s prefix =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_export_prometheus () =
+  let r = Registry.create () in
+  let c = Registry.counter r "req_total" ~help:"Requests" ~labels:[ ("node", "0") ] in
+  Registry.Counter.add c 7;
+  let g = Registry.gauge r "ratio" ~labels:[] in
+  Registry.Gauge.set g Float.nan;
+  let h = Registry.histogram r "lat_seconds" ~labels:[] in
+  Hist.add h 1e-3;
+  let text = Export.prometheus r in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (contains text needle))
+    [
+      "# HELP req_total Requests";
+      "# TYPE req_total counter";
+      "req_total{node=\"0\"} 7";
+      "# TYPE ratio gauge";
+      "ratio NaN";
+      "# TYPE lat_seconds histogram";
+      "lat_seconds_bucket{le=\"+Inf\"} 1";
+      "lat_seconds_count 1";
+    ];
+  let bucket_counts =
+    String.split_on_char '\n' text
+    |> List.filter_map (fun line ->
+           if starts_with line "lat_seconds_bucket" then
+             String.rindex_opt line ' '
+             |> Option.map (fun i ->
+                    int_of_string
+                      (String.sub line (i + 1) (String.length line - i - 1)))
+           else None)
+  in
+  Alcotest.(check bool) "has bucket lines" true (bucket_counts <> []);
+  Alcotest.(check bool) "cumulative buckets monotone" true
+    (List.sort compare bucket_counts = bucket_counts)
+
+let test_export_csv_json () =
+  let e = Engine.create () in
+  let r = Registry.create () in
+  let c = Registry.counter r "x_total" ~labels:[] in
+  let s = Sampler.attach ~period:(Time.ms 10) e r in
+  ignore (Engine.after e (Time.ms 5) (fun () -> Registry.Counter.inc c));
+  Engine.run ~until:(Time.ms 30) e;
+  Sampler.detach s;
+  let csv = Export.csv_of_series s in
+  (match String.split_on_char '\n' csv with
+   | header :: _ ->
+     Alcotest.(check string) "csv header" "time_s,metric,labels,field,value" header
+   | [] -> Alcotest.fail "empty csv");
+  let json = Export.json_of_snapshot r in
+  Alcotest.(check bool) "json mentions metric" true (contains json "\"x_total\"");
+  Alcotest.(check string) "json_float nan" "null" (Export.json_float Float.nan);
+  Alcotest.(check string) "json escaping" {|"a\"b"|} ({|"|} ^ Export.json_escape {|a"b|} ^ {|"|})
+
+(* --- audit bridge ------------------------------------------------- *)
+
+let test_metrics_bridge () =
+  let r = Registry.create () in
+  let bridge = Bftaudit.Metrics_bridge.attach ~registry:r () in
+  let emit kind =
+    Bftaudit.Bus.emit { Bftaudit.Event.time = Time.ms 1; node = 2; instance = 0; kind }
+  in
+  emit (Bftaudit.Event.Net_dropped { src = "node0"; reason = "nic-closed" });
+  emit (Bftaudit.Event.Net_dropped { src = "node0"; reason = "nic-closed" });
+  emit
+    (Bftaudit.Event.Monitor_verdict
+       { master_rate = 10.0; backup_rate = 100.0; suspicious = true });
+  Bftaudit.Metrics_bridge.detach bridge;
+  (* Detached: further events derive nothing. *)
+  emit (Bftaudit.Event.Net_dropped { src = "node0"; reason = "nic-closed" });
+  let value name labels =
+    Registry.Counter.value (Registry.counter r name ~labels)
+  in
+  Alcotest.(check int) "drop reason counted" 2
+    (value "bft_net_drops_total" [ ("reason", "nic-closed") ]);
+  Alcotest.(check int) "suspicious verdict counted" 1
+    (value "bft_monitor_suspicious_total" [ ("node", "2") ]);
+  Alcotest.(check int) "event kinds counted" 2
+    (value "bft_audit_events_total" [ ("kind", "net-dropped") ])
+
 let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
 
 let suites =
@@ -104,11 +387,40 @@ let suites =
         Alcotest.test_case "percentiles" `Quick test_hist_percentiles;
         Alcotest.test_case "empty" `Quick test_hist_empty;
         Alcotest.test_case "mean" `Quick test_hist_mean;
+        Alcotest.test_case "single sample" `Quick test_hist_single_sample;
+        Alcotest.test_case "all equal" `Quick test_hist_all_equal;
+        Alcotest.test_case "beyond top bucket" `Quick test_hist_beyond_top_bucket;
+        Alcotest.test_case "reset and merge" `Quick test_hist_reset_merge;
       ] );
     ( "metrics.throughput",
       [
         Alcotest.test_case "windows" `Quick test_throughput_windows;
         Alcotest.test_case "batched records" `Quick test_throughput_batch;
+        Alcotest.test_case "zero-length and reversed" `Quick
+          test_throughput_zero_and_reversed;
       ]
-      @ qsuite [ prop_throughput_counts ] );
+      @ qsuite
+          [
+            prop_throughput_counts;
+            prop_throughput_tiling;
+            prop_throughput_degenerate;
+          ] );
+    ( "metrics.registry",
+      [
+        Alcotest.test_case "families and children" `Quick test_registry_families;
+        Alcotest.test_case "reset keeps handles" `Quick
+          test_registry_reset_keeps_handles;
+        Alcotest.test_case "merge" `Quick test_registry_merge;
+        Alcotest.test_case "snapshot and gauge_fn" `Quick
+          test_registry_snapshot_gauge_fn;
+      ] );
+    ( "metrics.sampler",
+      [ Alcotest.test_case "time series" `Quick test_sampler_series ] );
+    ( "metrics.export",
+      [
+        Alcotest.test_case "prometheus text" `Quick test_export_prometheus;
+        Alcotest.test_case "csv and json" `Quick test_export_csv_json;
+      ] );
+    ( "metrics.bridge",
+      [ Alcotest.test_case "audit events to counters" `Quick test_metrics_bridge ] );
   ]
