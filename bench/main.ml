@@ -12,6 +12,8 @@
                                           -- machine-readable perf report
      dune exec bench/main.exe -- --prom FILE -- Prometheus dump of the
                                              end-of-run metric registry
+     dune exec bench/main.exe -- --seeds 5  -- fault-free baselines across
+                                             5 seeds, mean +/- spread
 *)
 
 open Bftharness
@@ -168,6 +170,7 @@ let () =
   let only = ref [] in
   let metrics = ref None in
   let prom = ref None in
+  let seeds = ref 0 in
   let rec parse = function
     | [] -> ()
     | "--quick" :: rest ->
@@ -191,6 +194,9 @@ let () =
     | "--prom" :: path :: rest ->
       prom := Some path;
       parse rest
+    | "--seeds" :: n :: rest ->
+      seeds := (match int_of_string_opt n with Some n when n > 0 -> n | _ -> 0);
+      parse rest
     | _ :: rest -> parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
@@ -198,7 +204,12 @@ let () =
   if !prom <> None then Bftmetrics.Registry.enable ();
   Printf.printf "RBFT reproduction benchmarks (%s mode)\n"
     (if quick then "quick" else "full");
-  if not !only_micro then begin
+  if !seeds > 0 then begin
+    let t = Unix.gettimeofday () in
+    Report.print (Experiments.seed_sweep ~quick ~seeds:!seeds);
+    Printf.printf "  (seed sweep took %.1fs)\n%!" (Unix.gettimeofday () -. t)
+  end
+  else if not !only_micro then begin
     let t0 = Unix.gettimeofday () in
     let groups =
       [
@@ -228,7 +239,7 @@ let () =
     | Some s -> Printf.printf "Safety audit: %s\n%!" s
     | None -> ()
   end;
-  if (not !skip_micro) && !only = [] then
+  if (not !skip_micro) && !only = [] && !seeds = 0 then
     Bftmetrics.Profile.time "micro-benchmarks" micro_benchmarks;
   (match !metrics with
    | Some path -> Perfreport.write ~quick ~path

@@ -4,11 +4,15 @@
      run        simulate an RBFT cluster (fault-free or under attack)
      compare    show calibrated peaks of the four protocols
      experiment run one named experiment from the benchmark harness
+     scenario   replay a chaos scenario file and judge it
+     explore    randomized chaos sweep with shrinking of failures
 
    Examples:
      rbft_sim run --f 1 --clients 10 --rate 2000 --seconds 2
      rbft_sim run --attack worst2 --payload 4096
-     rbft_sim experiment --id fig12 *)
+     rbft_sim experiment --id fig12
+     rbft_sim scenario --file examples/scenarios/flapping_partition.scn
+     rbft_sim explore --count 200 --seed 7 *)
 
 open Cmdliner
 open Dessim
@@ -283,8 +287,160 @@ let compare_cmd =
     (Cmd.info "compare" ~doc:"Show calibrated peaks of all protocols")
     Term.(const compare_protocols $ payload)
 
+(* ------------------------------------------------------------------ *)
+(* scenario                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let print_result r =
+  print_endline (Bftchaos.Runner.summary r);
+  List.iter
+    (fun v -> Format.printf "  %a@." Bftaudit.Auditor.pp_violation v)
+    r.Bftchaos.Runner.safety_violations;
+  (match r.Bftchaos.Runner.digest with
+   | Some d -> Printf.printf "audit digest: %s\n" d
+   | None -> ());
+  if not (Bftchaos.Runner.liveness_ok r) then
+    Printf.printf "liveness: %d of %d requests incomplete after drain\n"
+      (r.Bftchaos.Runner.sent - r.Bftchaos.Runner.completed)
+      r.Bftchaos.Runner.sent
+
+let run_scenario file verbose =
+  match Bftchaos.Scenario.load file with
+  | Error e ->
+    Printf.eprintf "cannot load %s: %s\n" file e;
+    exit 2
+  | Ok s ->
+    if verbose then
+      List.iter
+        (fun f -> print_endline ("  " ^ Bftchaos.Fault.describe f))
+        s.Bftchaos.Scenario.faults;
+    let r = Bftchaos.Runner.run ~capture:true s in
+    print_result r;
+    if not (Bftchaos.Runner.ok r) then exit 1
+
+let scenario_cmd =
+  let file =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "file" ] ~docv:"FILE" ~doc:"Scenario file (.scn) to replay.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Print the fault plan first.")
+  in
+  Cmd.v
+    (Cmd.info "scenario"
+       ~doc:
+         "Replay a chaos scenario deterministically, print the audit digest \
+          and exit non-zero on any safety or liveness violation")
+    Term.(const run_scenario $ file $ verbose)
+
+(* ------------------------------------------------------------------ *)
+(* explore                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_explore count seed f duration drain protocols out_dir shrink_budget verbose =
+  let protocols =
+    match protocols with
+    | "" -> Bftchaos.Scenario.all_protocols
+    | names ->
+      names |> String.split_on_char ','
+      |> List.map (fun n ->
+             match Bftchaos.Scenario.protocol_of_name (String.trim n) with
+             | Some p -> p
+             | None -> failwith ("unknown protocol: " ^ n))
+      |> Array.of_list
+  in
+  let grammar =
+    {
+      Bftchaos.Explorer.default_grammar with
+      Bftchaos.Explorer.protocols;
+      f;
+      duration = Time.of_sec_f duration;
+      drain = Time.of_sec_f drain;
+    }
+  in
+  let progress r =
+    if verbose || not (Bftchaos.Runner.ok r) then
+      print_endline (Bftchaos.Runner.summary r)
+  in
+  let sweep =
+    Bftchaos.Explorer.sweep ~grammar ~progress ~seed:(Int64.of_int seed) ~count ()
+  in
+  Printf.printf "%d/%d scenarios passed\n" sweep.Bftchaos.Explorer.passed
+    sweep.Bftchaos.Explorer.total;
+  let failures = sweep.Bftchaos.Explorer.failures in
+  if failures <> [] then begin
+    (match out_dir with
+     | Some dir ->
+       (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+       List.iter
+         (fun r ->
+           let s = r.Bftchaos.Runner.scenario in
+           let still_fails c = not (Bftchaos.Runner.ok (Bftchaos.Runner.run c)) in
+           let minimized, spent =
+             Bftchaos.Shrink.minimize ~budget:shrink_budget still_fails s
+           in
+           let path =
+             Filename.concat dir (minimized.Bftchaos.Scenario.name ^ ".scn")
+           in
+           Bftchaos.Scenario.save minimized path;
+           Printf.printf "shrunk %s (%d candidate runs) -> %s\n"
+             s.Bftchaos.Scenario.name spent path)
+         failures
+     | None -> ());
+    exit 1
+  end
+
+let explore_cmd =
+  let count =
+    Arg.(value & opt int 50 & info [ "count" ] ~doc:"Scenarios to sample.")
+  in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Sweep seed.") in
+  let f = Arg.(value & opt int 1 & info [ "f" ] ~doc:"Faults tolerated (n = 3f+1).") in
+  let duration =
+    Arg.(
+      value & opt float 1.0
+      & info [ "duration" ] ~doc:"Chaos phase, virtual seconds.")
+  in
+  let drain =
+    Arg.(
+      value & opt float 1.5
+      & info [ "drain" ] ~doc:"Drain phase (liveness bound), virtual seconds.")
+  in
+  let protocols =
+    Arg.(
+      value & opt string ""
+      & info [ "protocols" ]
+          ~doc:"Comma-separated subset: rbft,rbft-udp,aardvark,spinning,prime.")
+  in
+  let out_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Where to write minimized .scn repro files for failures.")
+  in
+  let shrink_budget =
+    Arg.(
+      value & opt int 150
+      & info [ "shrink-budget" ] ~doc:"Max candidate runs per shrink.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Print every run, not only failures.")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Sample random fault scenarios across protocols, check safety and \
+          liveness oracles, shrink and save any failure")
+    Term.(
+      const run_explore $ count $ seed $ f $ duration $ drain $ protocols $ out_dir
+      $ shrink_budget $ verbose)
+
 let () =
   let doc = "RBFT: Redundant Byzantine Fault Tolerance (ICDCS 2013) reproduction" in
   exit
     (Cmd.eval
-       (Cmd.group (Cmd.info "rbft_sim" ~doc) [ run_cmd; experiment_cmd; compare_cmd ]))
+       (Cmd.group (Cmd.info "rbft_sim" ~doc)
+          [ run_cmd; experiment_cmd; compare_cmd; scenario_cmd; explore_cmd ]))

@@ -68,6 +68,8 @@ let create engine net ~f ~id ?(payload_size = 8) () =
     }
   in
   Network.register_client net id (fun d ->
+      if d.Network.corrupted then ()  (* failed authenticator: ignore *)
+      else
       match d.Network.payload with
       | Node.Reply { id; result; node } -> on_reply t id ~node ~result
       | Node.Request _ | Node.Order _ -> ());

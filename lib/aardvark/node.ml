@@ -40,6 +40,7 @@ type faults = { mutable track_required : bool; mutable attack_margin : float }
 
 type t = {
   engine : Engine.t;
+  clock : Clock.t;  (* local periodic timers; skewable by the chaos engine *)
   net : msg Network.t;
   cfg : config;
   id : int;
@@ -67,6 +68,11 @@ let executed_count t = t.exec_count
 let executed_counter t = t.exec_counter
 let execution_digest t = t.exec_digest
 let view_changes t = Pbftcore.Replica.view_changes_completed (replica t)
+
+let set_clock_factor t k = Clock.set_factor t.clock k
+
+let set_cpu_factor t s =
+  List.iter (fun r -> Resource.set_speed r s) [ t.verification; t.ordering; t.execution ]
 
 let n_nodes t = (3 * t.cfg.f) + 1
 
@@ -164,7 +170,7 @@ let make_replica t =
     execute_batch t descs
   in
   let on_view_change _v = Policy.on_view_start t.policy ~now:(Engine.now t.engine) in
-  Pbftcore.Replica.create t.engine cfg
+  Pbftcore.Replica.create ~clock:t.clock t.engine cfg
     { Pbftcore.Replica.send; broadcast; deliver; on_view_change }
 
 let handle_request t (desc : request_desc) ~sig_valid =
@@ -197,6 +203,10 @@ let on_delivery t (d : msg Network.delivery) =
       (Costmodel.recv t.cfg.costs ~bytes)
       (Costmodel.mac_verify t.cfg.costs ~bytes:d.Network.size)
   in
+  if d.Network.corrupted then
+    (* Failed authenticator: pay the verification cost, then drop. *)
+    Resource.submit t.verification ~cost:base (fun () -> ())
+  else
   match d.Network.payload with
   | Request { desc; sig_valid } ->
     Resource.submit t.verification ~cost:base (fun () ->
@@ -237,7 +247,7 @@ let monitoring_tick t =
 
 let rec arm_monitoring t =
   ignore
-    (Engine.after t.engine t.cfg.monitoring_period (fun () ->
+    (Clock.after t.clock t.cfg.monitoring_period (fun () ->
          Resource.submit t.ordering ~cost:(Time.us 2) (fun () -> monitoring_tick t);
          arm_monitoring t))
 
@@ -246,6 +256,7 @@ let create engine net cfg ~id ~service =
   let t =
     {
       engine;
+      clock = Clock.create engine;
       net;
       cfg;
       id;

@@ -61,3 +61,9 @@ val executed_count : t -> int
 val executed_counter : t -> Bftmetrics.Throughput.t
 val execution_digest : t -> string
 val view_changes : t -> int
+
+val set_clock_factor : t -> float -> unit
+(** Skew the node's local clock (monitoring and batch timers). *)
+
+val set_cpu_factor : t -> float -> unit
+(** Run the node's module threads at the given speed multiple. *)

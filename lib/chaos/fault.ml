@@ -1,0 +1,43 @@
+open Dessim
+
+type link_rates = {
+  drop : float;
+  duplicate : float;
+  corrupt : float;
+  delay : Time.t;
+  jitter : Time.t;
+}
+
+let benign_rates =
+  { drop = 0.0; duplicate = 0.0; corrupt = 0.0; delay = Time.zero; jitter = Time.zero }
+
+type kind =
+  | Crash of { node : int }
+  | Partition of { group : int list }
+  | Link_chaos of { src : int option; dst : int option; rates : link_rates }
+  | Clock_skew of { node : int; factor : float }
+  | Cpu_skew of { node : int; factor : float }
+
+type t = { at : Time.t; until : Time.t; kind : kind }
+
+type plan = t list
+
+let describe f =
+  let kind =
+    match f.kind with
+    | Crash { node } -> Printf.sprintf "crash node %d" node
+    | Partition { group } ->
+      Printf.sprintf "partition {%s}"
+        (String.concat "," (List.map string_of_int group))
+    | Link_chaos { src; dst; rates } ->
+      let endpoint = function None -> "*" | Some i -> string_of_int i in
+      Printf.sprintf
+        "link-chaos %s->%s drop=%.3f dup=%.3f corrupt=%.3f delay=%s jitter=%s"
+        (endpoint src) (endpoint dst) rates.drop rates.duplicate rates.corrupt
+        (Time.to_string rates.delay) (Time.to_string rates.jitter)
+    | Clock_skew { node; factor } ->
+      Printf.sprintf "clock-skew node %d x%.3f" node factor
+    | Cpu_skew { node; factor } ->
+      Printf.sprintf "cpu-skew node %d x%.3f" node factor
+  in
+  Printf.sprintf "[%s, %s) %s" (Time.to_string f.at) (Time.to_string f.until) kind

@@ -1,0 +1,53 @@
+(** Declarative fault descriptions.
+
+    A fault is a [kind] active over a virtual-time window [\[at,
+    until)]. A {!plan} is an unordered list of faults; the
+    {!Injector} schedules their activation and expiry on the
+    simulation engine.
+
+    Semantics of the kinds:
+
+    - [Crash]: fail-stop at the network boundary. While active, the
+      node is bidirectionally isolated — nothing it sends is delivered
+      and nothing sent to it (by nodes or clients) arrives. Its timers
+      and in-memory state keep running, which models a process that is
+      alive but unreachable; on expiry it rejoins and catches up
+      through the protocol's own checkpoint state transfer.
+    - [Partition]: messages between a node inside [group] and a node
+      outside it are dropped, in both directions. Client traffic is
+      unaffected (clients reach every replica); only the replica mesh
+      is cut.
+    - [Link_chaos]: per-message randomized misbehaviour on matching
+      links. [src]/[dst] filter on node ids ([None] matches any
+      endpoint, including clients). Probabilities are evaluated
+      independently per message from the injector's own seeded stream.
+    - [Clock_skew]: the node's local timers run [factor] times slower
+      ([factor > 1]) or faster ([factor < 1]).
+    - [Cpu_skew]: the node's module threads run at [factor] times
+      nominal speed ([factor < 1] is a slow machine). *)
+
+open Dessim
+
+type link_rates = {
+  drop : float;  (** per-message loss probability *)
+  duplicate : float;  (** probability of one extra copy *)
+  corrupt : float;  (** probability of authenticator corruption *)
+  delay : Time.t;  (** fixed extra latency *)
+  jitter : Time.t;  (** extra uniform latency in [\[0, jitter)] *)
+}
+
+val benign_rates : link_rates
+
+type kind =
+  | Crash of { node : int }
+  | Partition of { group : int list }
+  | Link_chaos of { src : int option; dst : int option; rates : link_rates }
+  | Clock_skew of { node : int; factor : float }
+  | Cpu_skew of { node : int; factor : float }
+
+type t = { at : Time.t; until : Time.t; kind : kind }
+
+type plan = t list
+
+val describe : t -> string
+(** One-line human-readable rendering, for logs and reports. *)

@@ -1,0 +1,224 @@
+open Dessim
+
+type result = {
+  scenario : Scenario.t;
+  executed : int;
+  sent : int;
+  completed : int;
+  safety_violations : Bftaudit.Auditor.violation list;
+  events_checked : int;
+  digest : string option;
+}
+
+(* A protocol-agnostic view of a freshly built cluster. *)
+type sys = {
+  hooks : Injector.hooks;
+  run_for : Time.t -> unit;
+  set_rates : float -> unit;
+  totals : unit -> int * int;  (* sent, completed *)
+  executed : unit -> int;
+}
+
+let sum_totals sent completed clients =
+  Array.fold_left (fun (s, c) cl -> (s + sent cl, c + completed cl)) (0, 0) clients
+
+let build_rbft ~transport (s : Scenario.t) =
+  let params = Rbft.Params.default ~f:s.Scenario.f in
+  let cluster =
+    Rbft.Cluster.create ~seed:s.Scenario.seed ~transport
+      ~clients:s.Scenario.workload.Scenario.clients
+      ~payload_size:s.Scenario.workload.Scenario.payload params
+  in
+  let net = Rbft.Cluster.network cluster in
+  {
+    hooks =
+      {
+        Injector.engine = Rbft.Cluster.engine cluster;
+        n = (3 * s.Scenario.f) + 1;
+        set_fault_hook = Bftnet.Network.set_fault_hook net;
+        set_cpu_factor =
+          (fun ~node k -> Rbft.Node.set_cpu_factor (Rbft.Cluster.node cluster node) k);
+        set_clock_factor =
+          (fun ~node k ->
+            Rbft.Node.set_clock_factor (Rbft.Cluster.node cluster node) k);
+      };
+    run_for = Rbft.Cluster.run_for cluster;
+    set_rates =
+      (fun r -> Array.iter (fun c -> Rbft.Client.set_rate c r) (Rbft.Cluster.clients cluster));
+    totals =
+      (fun () ->
+        sum_totals Rbft.Client.sent Rbft.Client.completed (Rbft.Cluster.clients cluster));
+    executed = (fun () -> Rbft.Cluster.total_executed cluster);
+  }
+
+(* Aardvark's paper policy times (5 s grace) dwarf a chaos scenario;
+   compress them the same way the harness experiments do so that the
+   protocol can actually react within the run. *)
+let aardvark_config ~f =
+  {
+    (Aardvark.Node.default_config ~f) with
+    Aardvark.Node.policy =
+      {
+        (Aardvark.Policy.default_config ~n:((3 * f) + 1)) with
+        Aardvark.Policy.grace = Time.of_sec_f 1.2;
+        view_warmup = Time.ms 500;
+      };
+    post_vc_quiet = Time.ms 120;
+  }
+
+let build_aardvark (s : Scenario.t) =
+  let cluster =
+    Aardvark.Cluster.create ~seed:s.Scenario.seed
+      ~clients:s.Scenario.workload.Scenario.clients
+      ~payload_size:s.Scenario.workload.Scenario.payload
+      (aardvark_config ~f:s.Scenario.f)
+  in
+  let net = Aardvark.Cluster.network cluster in
+  {
+    hooks =
+      {
+        Injector.engine = Aardvark.Cluster.engine cluster;
+        n = (3 * s.Scenario.f) + 1;
+        set_fault_hook = Bftnet.Network.set_fault_hook net;
+        set_cpu_factor =
+          (fun ~node k ->
+            Aardvark.Node.set_cpu_factor (Aardvark.Cluster.node cluster node) k);
+        set_clock_factor =
+          (fun ~node k ->
+            Aardvark.Node.set_clock_factor (Aardvark.Cluster.node cluster node) k);
+      };
+    run_for = Aardvark.Cluster.run_for cluster;
+    set_rates =
+      (fun r ->
+        Array.iter
+          (fun c -> Aardvark.Client.set_rate c r)
+          (Aardvark.Cluster.clients cluster));
+    totals =
+      (fun () ->
+        sum_totals Aardvark.Client.sent Aardvark.Client.completed
+          (Aardvark.Cluster.clients cluster));
+    executed = (fun () -> Aardvark.Cluster.total_executed cluster);
+  }
+
+let build_spinning (s : Scenario.t) =
+  let cluster =
+    Spinning.Cluster.create ~seed:s.Scenario.seed
+      ~clients:s.Scenario.workload.Scenario.clients
+      ~payload_size:s.Scenario.workload.Scenario.payload
+      (Spinning.Node.default_config ~f:s.Scenario.f)
+  in
+  let net = Spinning.Cluster.network cluster in
+  {
+    hooks =
+      {
+        Injector.engine = Spinning.Cluster.engine cluster;
+        n = (3 * s.Scenario.f) + 1;
+        set_fault_hook = Bftnet.Network.set_fault_hook net;
+        set_cpu_factor =
+          (fun ~node k ->
+            Spinning.Node.set_cpu_factor (Spinning.Cluster.node cluster node) k);
+        set_clock_factor =
+          (fun ~node k ->
+            Spinning.Node.set_clock_factor (Spinning.Cluster.node cluster node) k);
+      };
+    run_for = Spinning.Cluster.run_for cluster;
+    set_rates =
+      (fun r ->
+        Array.iter
+          (fun c -> Spinning.Client.set_rate c r)
+          (Spinning.Cluster.clients cluster));
+    totals =
+      (fun () ->
+        sum_totals Spinning.Client.sent Spinning.Client.completed
+          (Spinning.Cluster.clients cluster));
+    executed = (fun () -> Spinning.Cluster.total_executed cluster);
+  }
+
+let build_prime (s : Scenario.t) =
+  let cluster =
+    Prime.Cluster.create ~seed:s.Scenario.seed
+      ~clients:s.Scenario.workload.Scenario.clients
+      ~payload_size:s.Scenario.workload.Scenario.payload
+      (Prime.Node.default_config ~f:s.Scenario.f)
+  in
+  let net = Prime.Cluster.network cluster in
+  {
+    hooks =
+      {
+        Injector.engine = Prime.Cluster.engine cluster;
+        n = (3 * s.Scenario.f) + 1;
+        set_fault_hook = Bftnet.Network.set_fault_hook net;
+        set_cpu_factor =
+          (fun ~node k -> Prime.Node.set_cpu_factor (Prime.Cluster.node cluster node) k);
+        set_clock_factor =
+          (fun ~node k ->
+            Prime.Node.set_clock_factor (Prime.Cluster.node cluster node) k);
+      };
+    run_for = Prime.Cluster.run_for cluster;
+    set_rates =
+      (fun r ->
+        Array.iter (fun c -> Prime.Client.set_rate c r) (Prime.Cluster.clients cluster));
+    totals =
+      (fun () ->
+        sum_totals Prime.Client.sent Prime.Client.completed
+          (Prime.Cluster.clients cluster));
+    executed = (fun () -> Prime.Cluster.total_executed cluster);
+  }
+
+let build (s : Scenario.t) =
+  match s.Scenario.protocol with
+  | Scenario.Rbft -> build_rbft ~transport:Bftnet.Network.Tcp s
+  | Scenario.Rbft_udp -> build_rbft ~transport:Bftnet.Network.Udp s
+  | Scenario.Aardvark -> build_aardvark s
+  | Scenario.Spinning -> build_spinning s
+  | Scenario.Prime -> build_prime s
+
+let run ?(capture = false) (s : Scenario.t) =
+  (* Chaos faults are benign (crash, partition, message-level chaos):
+     no node is Byzantine, so the auditor checks all of them. *)
+  Bftaudit.Auditor.reset_declared ();
+  let auditor =
+    Bftaudit.Auditor.attach ~raise_on_violation:false ~n:((3 * s.Scenario.f) + 1)
+      ~f:s.Scenario.f ()
+  in
+  let cap = if capture then Some (Bftaudit.Capture.attach ()) else None in
+  let sys = build s in
+  let injector = Injector.install sys.hooks ~seed:s.Scenario.seed s.Scenario.faults in
+  sys.set_rates s.Scenario.workload.Scenario.rate;
+  sys.run_for s.Scenario.duration;
+  Injector.heal injector;
+  sys.set_rates 0.0;
+  sys.run_for s.Scenario.drain;
+  let sent, completed = sys.totals () in
+  let result =
+    {
+      scenario = s;
+      executed = sys.executed ();
+      sent;
+      completed;
+      safety_violations = Bftaudit.Auditor.violations auditor;
+      events_checked = Bftaudit.Auditor.events_checked auditor;
+      digest = Option.map Bftaudit.Capture.digest cap;
+    }
+  in
+  Bftaudit.Auditor.detach auditor;
+  Option.iter Bftaudit.Capture.detach cap;
+  result
+
+let liveness_ok r =
+  r.completed = r.sent
+  && (r.scenario.Scenario.workload.Scenario.rate <= 0.0
+      || r.scenario.Scenario.workload.Scenario.clients = 0
+      || r.sent > 0)
+
+let safety_ok r = r.safety_violations = []
+let ok r = safety_ok r && liveness_ok r
+
+let summary r =
+  Printf.sprintf "%s [%s]: %s, %d/%d completed, %d executed, %d violations, %d events"
+    r.scenario.Scenario.name
+    (Scenario.protocol_name r.scenario.Scenario.protocol)
+    (if ok r then "OK" else "FAIL")
+    r.completed r.sent r.executed
+    (List.length r.safety_violations)
+    r.events_checked

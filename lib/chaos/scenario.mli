@@ -1,0 +1,47 @@
+(** A chaos scenario: everything needed to reproduce one run.
+
+    [(seed, workload, fault plan)] plus the protocol and cluster size
+    fully determine a simulation, so a failing exploration can be
+    saved to a file and replayed bit-identically (same audit digest)
+    later — see {!Runner}.
+
+    The on-disk format is an s-expression; all times are integer
+    nanoseconds and floats print with 17 significant digits, so
+    [load (save s) = s] exactly (the codec round-trip property tested
+    in [test_chaos.ml]). *)
+
+open Dessim
+
+type protocol = Rbft | Rbft_udp | Aardvark | Spinning | Prime
+
+val protocol_name : protocol -> string
+val protocol_of_name : string -> protocol option
+val all_protocols : protocol array
+
+type workload = {
+  clients : int;
+  rate : float;  (** requests per second per client *)
+  payload : int;  (** request payload bytes *)
+}
+
+type t = {
+  name : string;
+  protocol : protocol;
+  f : int;  (** cluster size is 3f+1 *)
+  seed : int64;  (** engine seed; also seeds the injector stream *)
+  duration : Time.t;  (** chaos phase: workload + faults *)
+  drain : Time.t;  (** post-heal settle phase used as the liveness bound *)
+  workload : workload;
+  faults : Fault.plan;
+}
+
+val to_sexp : t -> Sexp.t
+val of_sexp : Sexp.t -> (t, string) result
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+
+val save : t -> string -> unit
+(** Write to a file (the conventional extension is [.scn]). *)
+
+val load : string -> (t, string) result

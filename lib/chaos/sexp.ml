@@ -1,0 +1,182 @@
+type t = Atom of string | List of t list
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let needs_quoting s =
+  s = ""
+  || String.exists
+       (fun c ->
+         match c with
+         | ' ' | '\t' | '\n' | '\r' | '(' | ')' | '"' | ';' | '\\' -> true
+         | _ -> false)
+       s
+
+let quote s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let atom_to_string s = if needs_quoting s then quote s else s
+
+(* Lists of atoms print on one line; anything containing a sublist
+   breaks across lines, indented. *)
+let rec pp buf indent s =
+  match s with
+  | Atom a -> Buffer.add_string buf (atom_to_string a)
+  | List items ->
+    if List.for_all (function Atom _ -> true | List _ -> false) items then begin
+      Buffer.add_char buf '(';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ' ';
+          pp buf indent item)
+        items;
+      Buffer.add_char buf ')'
+    end
+    else begin
+      Buffer.add_char buf '(';
+      List.iteri
+        (fun i item ->
+          match item with
+          | Atom _ when i = 0 -> pp buf indent item
+          | _ ->
+            Buffer.add_char buf '\n';
+            Buffer.add_string buf (String.make (indent + 2) ' ');
+            pp buf (indent + 2) item)
+        items;
+      Buffer.add_char buf ')'
+    end
+
+let to_string s =
+  let buf = Buffer.create 256 in
+  pp buf 0 s;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type cursor = { src : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    c.pos <- c.pos + 1;
+    skip_ws c
+  | Some ';' ->
+    while peek c <> None && peek c <> Some '\n' do
+      c.pos <- c.pos + 1
+    done;
+    skip_ws c
+  | _ -> ()
+
+let parse_quoted c =
+  (* cursor on the opening quote *)
+  c.pos <- c.pos + 1;
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek c with
+    | None -> Error (Printf.sprintf "unterminated string at %d" c.pos)
+    | Some '"' ->
+      c.pos <- c.pos + 1;
+      Ok (Atom (Buffer.contents buf))
+    | Some '\\' -> (
+      c.pos <- c.pos + 1;
+      match peek c with
+      | Some 'n' ->
+        Buffer.add_char buf '\n';
+        c.pos <- c.pos + 1;
+        loop ()
+      | Some ch ->
+        Buffer.add_char buf ch;
+        c.pos <- c.pos + 1;
+        loop ()
+      | None -> Error (Printf.sprintf "dangling escape at %d" c.pos))
+    | Some ch ->
+      Buffer.add_char buf ch;
+      c.pos <- c.pos + 1;
+      loop ()
+  in
+  loop ()
+
+let parse_bare c =
+  let start = c.pos in
+  let rec loop () =
+    match peek c with
+    | Some (' ' | '\t' | '\n' | '\r' | '(' | ')' | '"' | ';') | None -> ()
+    | Some _ ->
+      c.pos <- c.pos + 1;
+      loop ()
+  in
+  loop ();
+  Ok (Atom (String.sub c.src start (c.pos - start)))
+
+let rec parse_one c =
+  skip_ws c;
+  match peek c with
+  | None -> Error "unexpected end of input"
+  | Some ')' -> Error (Printf.sprintf "unexpected ')' at %d" c.pos)
+  | Some '(' ->
+    c.pos <- c.pos + 1;
+    let rec items acc =
+      skip_ws c;
+      match peek c with
+      | Some ')' ->
+        c.pos <- c.pos + 1;
+        Ok (List (List.rev acc))
+      | None -> Error (Printf.sprintf "unterminated list at %d" c.pos)
+      | Some _ -> (
+        match parse_one c with Ok item -> items (item :: acc) | Error e -> Error e)
+    in
+    items []
+  | Some '"' -> parse_quoted c
+  | Some _ -> parse_bare c
+
+let of_string src =
+  let c = { src; pos = 0 } in
+  match parse_one c with
+  | Error e -> Error e
+  | Ok s ->
+    skip_ws c;
+    if c.pos < String.length src then
+      Error (Printf.sprintf "trailing input at %d" c.pos)
+    else Ok s
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let atom = function
+  | Atom a -> Ok a
+  | List _ -> Error "expected atom, found list"
+
+let children = function List items -> items | Atom _ -> []
+
+let field s name =
+  let matches = function
+    | List (Atom head :: _) when String.equal head name -> true
+    | _ -> false
+  in
+  match List.find_opt matches (children s) with
+  | Some (List [ _; v ]) -> Some v
+  | Some child -> Some child
+  | None -> None
+
+let field_all s name =
+  List.filter
+    (function
+      | List (Atom head :: _) when String.equal head name -> true | _ -> false)
+    (children s)

@@ -1,0 +1,28 @@
+(** Minimal s-expression reader/printer for the scenario file format.
+
+    Self-contained (no external dependency): atoms and lists, with
+    double-quoted atoms when they contain whitespace, parentheses,
+    quotes or are empty. [;] starts a comment running to end of line.
+    The printer and parser round-trip: [of_string (to_string s) = Ok s]
+    for every [s]. *)
+
+type t = Atom of string | List of t list
+
+val to_string : t -> string
+(** Pretty-printed with two-space indentation; nested lists after the
+    head atom go on their own lines. *)
+
+val of_string : string -> (t, string) result
+(** Parses exactly one s-expression (surrounding whitespace and
+    comments allowed); [Error msg] names the offending position. *)
+
+val atom : t -> (string, string) result
+(** [atom s] is the atom's content, or [Error] on a list. *)
+
+val field : t -> string -> t option
+(** [field (List [Atom head; ...]) name] finds the first child of the
+    form [(name ...)] and returns its payload: the single value for
+    [(name v)], or the whole child for longer forms. *)
+
+val field_all : t -> string -> t list
+(** All [(name ...)] children's payloads, in order, as whole children. *)

@@ -1,0 +1,149 @@
+open Dessim
+
+(* Candidate generators, from most to least aggressive. Each returns a
+   list of scenarios strictly "smaller" than the input, so acceptance
+   always makes progress and the greedy loop terminates. *)
+
+let without_fault (s : Scenario.t) =
+  List.mapi
+    (fun i _ ->
+      {
+        s with
+        Scenario.faults = List.filteri (fun j _ -> j <> i) s.Scenario.faults;
+      })
+    s.Scenario.faults
+
+let halve_window (s : Scenario.t) =
+  List.mapi
+    (fun i _ ->
+      {
+        s with
+        Scenario.faults =
+          List.mapi
+            (fun j (f : Fault.t) ->
+              if j <> i then f
+              else
+                let len = Time.sub f.Fault.until f.Fault.at in
+                if len <= Time.us 1 then f
+                else { f with Fault.until = Time.add f.Fault.at (Time.mul_f len 0.5) })
+            s.Scenario.faults;
+      })
+    s.Scenario.faults
+
+(* Move a value halfway toward its benign point. *)
+let soften_float v benign = benign +. ((v -. benign) *. 0.5)
+let soften_time v = Time.mul_f v 0.5
+
+let soften_kind (k : Fault.kind) =
+  match k with
+  | Fault.Crash _ | Fault.Partition _ -> None
+  | Fault.Link_chaos { src; dst; rates } ->
+    let softened =
+      {
+        Fault.drop = soften_float rates.Fault.drop 0.0;
+        duplicate = soften_float rates.Fault.duplicate 0.0;
+        corrupt = soften_float rates.Fault.corrupt 0.0;
+        delay = soften_time rates.Fault.delay;
+        jitter = soften_time rates.Fault.jitter;
+      }
+    in
+    if softened = rates then None
+    else Some (Fault.Link_chaos { src; dst; rates = softened })
+  | Fault.Clock_skew { node; factor } ->
+    let f' = soften_float factor 1.0 in
+    if abs_float (f' -. factor) < 1e-9 then None
+    else Some (Fault.Clock_skew { node; factor = f' })
+  | Fault.Cpu_skew { node; factor } ->
+    let f' = soften_float factor 1.0 in
+    if abs_float (f' -. factor) < 1e-9 then None
+    else Some (Fault.Cpu_skew { node; factor = f' })
+
+let soften_fault (s : Scenario.t) =
+  List.concat
+    (List.mapi
+       (fun i (f : Fault.t) ->
+         match soften_kind f.Fault.kind with
+         | None -> []
+         | Some kind ->
+           [
+             {
+               s with
+               Scenario.faults =
+                 List.mapi
+                   (fun j g -> if j = i then { f with Fault.kind = kind } else g)
+                   s.Scenario.faults;
+             };
+           ])
+       s.Scenario.faults)
+
+let smaller_workload (s : Scenario.t) =
+  let w = s.Scenario.workload in
+  let candidates = ref [] in
+  if w.Scenario.rate > 10.0 then
+    candidates :=
+      { s with Scenario.workload = { w with Scenario.rate = w.Scenario.rate /. 2.0 } }
+      :: !candidates;
+  if w.Scenario.clients > 1 then
+    candidates :=
+      {
+        s with
+        Scenario.workload = { w with Scenario.clients = w.Scenario.clients / 2 };
+      }
+      :: !candidates;
+  if s.Scenario.duration > Time.ms 100 then begin
+    (* Shorten the chaos phase; clamp fault windows into it. *)
+    let duration = Time.mul_f s.Scenario.duration 0.5 in
+    let faults =
+      List.map
+        (fun (f : Fault.t) ->
+          {
+            f with
+            Fault.at = Time.min f.Fault.at duration;
+            until = Time.min f.Fault.until duration;
+          })
+        s.Scenario.faults
+    in
+    candidates := { s with Scenario.duration = duration; faults } :: !candidates
+  end;
+  List.rev !candidates
+
+let canonical_seed (s : Scenario.t) =
+  List.filter_map
+    (fun seed -> if s.Scenario.seed = seed then None else Some { s with Scenario.seed = seed })
+    [ 0L; 1L; 2L ]
+
+let moves = [ without_fault; halve_window; soften_fault; smaller_workload; canonical_seed ]
+
+let minimize ?(budget = 200) still_fails scenario =
+  let spent = ref 0 in
+  let current = ref scenario in
+  let progress = ref true in
+  while !progress && !spent < budget do
+    progress := false;
+    List.iter
+      (fun move ->
+        (* Retry a move class as long as it keeps succeeding (e.g.
+           removing several faults one by one). *)
+        let again = ref true in
+        while !again && !spent < budget do
+          again := false;
+          let candidates = move !current in
+          match
+            List.find_opt
+              (fun c ->
+                if !spent >= budget then false
+                else begin
+                  incr spent;
+                  still_fails c
+                end)
+              candidates
+          with
+          | Some c ->
+            current := c;
+            progress := true;
+            again := true
+          | None -> ()
+        done)
+      moves
+  done;
+  ({ !current with Scenario.name = !current.Scenario.name ^ "-min" }, !spent)

@@ -1,0 +1,23 @@
+(** Greedy scenario minimization.
+
+    Given a failing scenario and a predicate [still_fails] (typically
+    [fun s -> not (Runner.ok (Runner.run s))]), repeatedly applies
+    simplification moves and keeps any result that still fails:
+
+    - drop one fault entirely;
+    - halve a fault's window;
+    - move a fault's rates/factors halfway toward benign;
+    - halve the workload (rate, then clients) and shorten the chaos
+      phase;
+    - replace the seed with a small canonical one.
+
+    Moves run to a fixpoint or until the run [budget] is exhausted.
+    The result is a locally-minimal scenario: no single remaining move
+    preserves the failure. Minimized repro files are what the CI job
+    uploads when a sweep fails. *)
+
+val minimize :
+  ?budget:int -> (Scenario.t -> bool) -> Scenario.t -> Scenario.t * int
+(** [minimize still_fails s] returns the shrunk scenario and the
+    number of candidate runs spent. [budget] (default 200) bounds how
+    many candidates are tried. [s] itself is assumed to fail. *)

@@ -129,6 +129,8 @@ let create engine net params ~id ?(payload_size = 8) () =
     }
   in
   Network.register_client net id (fun d ->
+      if d.Network.corrupted then ()  (* failed authenticator: ignore *)
+      else
       match d.Network.payload with
       | Messages.Reply { id; result; node } -> on_reply t id ~node ~result
       | Messages.Request _ | Messages.Propagate _ | Messages.Instance _

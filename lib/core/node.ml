@@ -84,6 +84,7 @@ let register_node_metrics ~id ~instances =
 
 type t = {
   engine : Engine.t;
+  clock : Clock.t;  (* local periodic timers; skewable by the chaos engine *)
   net : Messages.t Network.t;
   params : Params.t;
   id : int;
@@ -131,6 +132,15 @@ let cpi t = t.cpi
 let instance_changes t = t.instance_changes
 let blacklisted_clients t = t.blacklist
 let is_blacklisted t ~client = List.mem client t.blacklist
+
+(* Chaos knobs: per-node clock drift and CPU slowdown. *)
+let set_clock_factor t k = Clock.set_factor t.clock k
+
+let set_cpu_factor t s =
+  List.iter
+    (fun r -> Resource.set_speed r s)
+    ([ t.verification; t.propagation; t.dispatch; t.execution ]
+    @ Array.to_list t.replica_threads)
 
 let costs t = t.params.Params.costs
 let n_nodes t = Params.n t.params
@@ -539,7 +549,7 @@ let make_replica t ~instance thread =
     Resource.submit t.dispatch ~cost:(Time.ns 500) (fun () ->
         on_ordered t ~instance descs)
   in
-  Pbftcore.Replica.create t.engine cfg
+  Pbftcore.Replica.create ~clock:t.clock t.engine cfg
     { Pbftcore.Replica.send; broadcast; deliver; on_view_change = (fun _ -> ()) }
 
 (* ------------------------------------------------------------------ *)
@@ -550,6 +560,15 @@ let on_delivery t (d : Messages.t Network.delivery) =
   let recv_cost = Costmodel.recv (costs t) ~bytes:(cost_bytes t d.Network.payload) in
   let mac_cost = Costmodel.mac_verify (costs t) ~bytes:d.Network.size in
   let base = Time.add recv_cost mac_cost in
+  if d.Network.corrupted then
+    (* Chaos-corrupted on the wire: the authenticator check fails. The
+       node still pays the verification cost, and invalid traffic from a
+       peer node feeds the flood defence exactly like junk messages. *)
+    Resource.submit t.verification ~cost:base (fun () ->
+        match d.Network.src with
+        | Principal.Node i -> note_invalid_from t i
+        | Principal.Client _ -> ())
+  else
   match d.Network.payload with
   | Messages.Request req ->
     Resource.submit t.verification ~cost:base (fun () -> handle_client_request t req)
@@ -606,7 +625,7 @@ let monitoring_tick t =
 
 let rec arm_monitoring t =
   ignore
-    (Engine.after t.engine t.params.Params.monitoring_period (fun () ->
+    (Clock.after t.clock t.params.Params.monitoring_period (fun () ->
          Resource.submit t.dispatch ~cost:(Time.us 2) (fun () -> monitoring_tick t);
          arm_monitoring t))
 
@@ -633,7 +652,7 @@ let start_flooding t =
       if rate > 0.0 then Time.of_sec_f (1.0 /. rate) else Time.ms 10
     in
     ignore
-      (Engine.after t.engine period (fun () ->
+      (Clock.after t.clock period (fun () ->
            if t.faults.flood_rate > 0.0 then
              List.iter
                (fun target ->
@@ -652,6 +671,7 @@ let create engine net params ~id ~service =
   let t =
     {
       engine;
+      clock = Clock.create engine;
       net;
       params;
       id;

@@ -89,3 +89,16 @@ val set_latency_probe : t -> (instance:int -> client:int -> Dessim.Time.t -> uni
 
 val blacklisted_clients : t -> int list
 val is_blacklisted : t -> client:int -> bool
+
+(** {2 Chaos hooks} *)
+
+val set_clock_factor : t -> float -> unit
+(** Skew the node's local clock: all periodic timers (monitoring,
+    flooding, batch timers of the hosted replicas) are stretched by the
+    given factor from now on. 1.0 restores nominal timing. *)
+
+val set_cpu_factor : t -> float -> unit
+(** Run every module thread of the node (verification, propagation,
+    dispatch, execution, per-instance replica threads) at the given
+    speed multiple; costs scale by its inverse. 1.0 restores nominal
+    speed. *)

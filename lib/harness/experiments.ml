@@ -45,12 +45,12 @@ let dynamic_shape ~quick ~rate =
     ~step:(scale ~quick (Time.ms 300))
     ~rate:(0.022 *. rate) ()
 
-let run_shape_rbft ?(transport = Bftnet.Network.Tcp) ?(tweak = fun p -> p) ~f
-    ~payload ~shape ~attack () =
+let run_shape_rbft ?seed ?(transport = Bftnet.Network.Tcp) ?(tweak = fun p -> p)
+    ~f ~payload ~shape ~attack () =
   Audit.begin_run ~n:((3 * f) + 1) ~f;
   let params = tweak (Rbft.Params.default ~f) in
   let cluster =
-    Rbft.Cluster.create ~transport ~clients:(Loadshape.max_clients shape)
+    Rbft.Cluster.create ?seed ~transport ~clients:(Loadshape.max_clients shape)
       ~payload_size:payload params
   in
   attack cluster;
@@ -68,11 +68,11 @@ let run_shape_rbft ?(transport = Bftnet.Network.Tcp) ?(tweak = fun p -> p) ~f
   let counter = Rbft.Node.executed_counter correct_node in
   (window_rate counter ~from_:(Time.ms 200) ~until:total, cluster)
 
-let run_shape_aardvark ?(tweak = fun c -> c) ~f ~payload ~shape ~attack () =
+let run_shape_aardvark ?seed ?(tweak = fun c -> c) ~f ~payload ~shape ~attack () =
   Audit.begin_run ~n:((3 * f) + 1) ~f;
   let cfg = tweak (aardvark_config ~f) in
   let cluster =
-    Aardvark.Cluster.create ~clients:(Loadshape.max_clients shape)
+    Aardvark.Cluster.create ?seed ~clients:(Loadshape.max_clients shape)
       ~payload_size:payload cfg
   in
   attack cluster;
@@ -84,11 +84,11 @@ let run_shape_aardvark ?(tweak = fun c -> c) ~f ~payload ~shape ~attack () =
   let counter = Aardvark.Node.executed_counter (Aardvark.Cluster.node cluster 1) in
   (window_rate counter ~from_:(Time.ms 200) ~until:total, cluster)
 
-let run_shape_spinning ~f ~payload ~shape ~attack () =
+let run_shape_spinning ?seed ~f ~payload ~shape ~attack () =
   Audit.begin_run ~n:((3 * f) + 1) ~f;
   let cfg = Spinning.Node.default_config ~f in
   let cluster =
-    Spinning.Cluster.create ~clients:(Loadshape.max_clients shape)
+    Spinning.Cluster.create ?seed ~clients:(Loadshape.max_clients shape)
       ~payload_size:payload cfg
   in
   attack cluster;
@@ -100,11 +100,11 @@ let run_shape_spinning ~f ~payload ~shape ~attack () =
   let counter = Spinning.Node.executed_counter (Spinning.Cluster.node cluster 1) in
   (window_rate counter ~from_:(Time.ms 200) ~until:total, cluster)
 
-let run_shape_prime ?(exec_cost = Time.us 100) ~f ~payload ~shape ~attack () =
+let run_shape_prime ?seed ?(exec_cost = Time.us 100) ~f ~payload ~shape ~attack () =
   Audit.begin_run ~n:((3 * f) + 1) ~f;
   let cfg = { (Prime.Node.default_config ~f) with Prime.Node.exec_cost = exec_cost } in
   let cluster =
-    Prime.Cluster.create ~clients:(Loadshape.max_clients shape)
+    Prime.Cluster.create ?seed ~clients:(Loadshape.max_clients shape)
       ~payload_size:payload cfg
   in
   attack cluster;
@@ -825,3 +825,71 @@ let all ~quick =
   @ fig10_11 ~quick
   @ [ fig12 ~quick ]
   @ ablations ~quick
+
+(* ------------------------------------------------------------------ *)
+(* Fault-free baselines across seeds                                  *)
+(* ------------------------------------------------------------------ *)
+
+let mean_spread samples =
+  let n = float_of_int (List.length samples) in
+  let mean = List.fold_left ( +. ) 0.0 samples /. n in
+  let var =
+    List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 samples /. n
+  in
+  (mean, sqrt var)
+
+let seed_sweep ~quick ~seeds =
+  let size = 8 in
+  let no_attack _ = () in
+  let run proto seed =
+    let seed = Int64.of_int seed in
+    let rate = Calibrate.saturating_rate proto ~size in
+    let shape = static_shape ~quick ~duration:(Time.of_sec_f 2.0) ~rate in
+    match proto with
+    | Calibrate.Rbft ->
+      fst (run_shape_rbft ~seed ~f:1 ~payload:size ~shape ~attack:no_attack ())
+    | Calibrate.Rbft_udp ->
+      fst
+        (run_shape_rbft ~seed ~transport:Bftnet.Network.Udp ~f:1 ~payload:size
+           ~shape ~attack:no_attack ())
+    | Calibrate.Aardvark ->
+      fst (run_shape_aardvark ~seed ~f:1 ~payload:size ~shape ~attack:no_attack ())
+    | Calibrate.Spinning ->
+      fst (run_shape_spinning ~seed ~f:1 ~payload:size ~shape ~attack:no_attack ())
+    | Calibrate.Prime ->
+      fst (run_shape_prime ~seed ~f:1 ~payload:size ~shape ~attack:no_attack ())
+  in
+  let row proto =
+    let samples = List.init seeds (fun s -> run proto (s + 1)) in
+    let mean, sd = mean_spread samples in
+    let rel_spread = if mean > 0.0 then 100.0 *. sd /. mean else 0.0 in
+    [
+      Calibrate.name proto;
+      Report.kreq mean;
+      Report.kreq sd;
+      Printf.sprintf "%.2f%%" rel_spread;
+    ]
+  in
+  {
+    Report.id = "seed-sweep";
+    title =
+      Printf.sprintf
+        "Fault-free saturated throughput across %d seeds (8 B requests, f = 1)"
+        seeds;
+    columns = [ "protocol"; "mean(kreq/s)"; "sd(kreq/s)"; "spread" ];
+    rows =
+      List.map row
+        [
+          Calibrate.Rbft;
+          Calibrate.Rbft_udp;
+          Calibrate.Aardvark;
+          Calibrate.Spinning;
+          Calibrate.Prime;
+        ];
+    notes =
+      [
+        "the simulation is deterministic per seed; the spread quantifies \
+         sensitivity of the fault-free baselines to scheduling randomness \
+         (client phases, network jitter draws)";
+      ];
+  }

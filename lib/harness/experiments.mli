@@ -37,3 +37,9 @@ val ablations : quick:bool -> Report.table list
     closed-loop demonstration of Section II's scoping argument. *)
 
 val all : quick:bool -> Report.table list
+
+val seed_sweep : quick:bool -> seeds:int -> Report.table
+(** Fault-free saturated baselines of every protocol at 8 B requests,
+    re-run under [seeds] different simulation seeds; reports mean,
+    standard deviation and relative spread of the measured throughput
+    (the [--seeds N] flag of bench/main.exe). *)

@@ -31,7 +31,22 @@ type 'a delivery = {
   payload : 'a;
   sent_at : Time.t;
   delivered_at : Time.t;
+  corrupted : bool;
 }
+
+(* Chaos interposition: an installed hook rules on every message at
+   send time. The default verdict lets everything through untouched. *)
+type fault_verdict = {
+  fv_drop : bool;
+  fv_duplicates : int;
+  fv_extra_delay : Time.t;
+  fv_corrupt : bool;
+}
+
+let pass_verdict =
+  { fv_drop = false; fv_duplicates = 0; fv_extra_delay = Time.zero; fv_corrupt = false }
+
+type fault_hook = src:Principal.t -> dst:Principal.t -> size:int -> fault_verdict
 
 (* Each node owns, per peer node: an egress NIC queue and an ingress
    NIC queue (the same physical NIC, two directions). Client traffic
@@ -99,6 +114,7 @@ type 'a t = {
   mutable delivered : int;
   mutable dropped : int;
   mutable bytes : int;
+  mutable fault_hook : fault_hook option;
   m : net_metrics;
 }
 
@@ -133,6 +149,7 @@ let create engine cfg =
     delivered = 0;
     dropped = 0;
     bytes = 0;
+    fault_hook = None;
     m = register_metrics ();
   }
 
@@ -176,10 +193,21 @@ let nic_closed t ~node ~peer =
   | None -> false
   | Some until -> Engine.now t.engine < until
 
+(* Overlapping closures extend the window: the NIC stays closed until
+   the *latest* expiry requested so far. A second, shorter closure must
+   never reopen a NIC early — that would let a flooder reset its own
+   punishment by triggering a smaller penalty. *)
 let close_nic t ~node ~peer ~for_ =
   let until = Time.add (Engine.now t.engine) for_ in
   let ports = t.node_ports.(node) in
+  let until =
+    match Principal.Map.find_opt peer ports.closed_until with
+    | Some prev -> Time.max prev until
+    | None -> until
+  in
   ports.closed_until <- Principal.Map.add peer until ports.closed_until
+
+let set_fault_hook t hook = t.fault_hook <- hook
 
 (* Resolve the egress queue at the sender and the ingress queue at the
    receiver for a (src, dst) pair. *)
@@ -220,7 +248,7 @@ let audit_drop t ~src ~dst ~reason =
       kind = Net_dropped { src = Principal.to_string src; reason };
     }
 
-let send t ~src ~dst ~size payload =
+let send_copy t ~src ~dst ~size ~corrupt ~extra_delay payload =
   match egress_of t ~src ~dst with
   | None ->
     t.dropped <- t.dropped + 1;
@@ -230,7 +258,7 @@ let send t ~src ~dst ~size payload =
     let sent_at = Engine.now t.engine in
     let ser = serialization_time t ~size in
     Resource.submit egress ~cost:ser (fun () ->
-        let delay = propagation_delay t in
+        let delay = Time.add (propagation_delay t) extra_delay in
         let delay =
           match t.cfg.transport with
           | Udp -> delay
@@ -286,7 +314,26 @@ let send t ~src ~dst ~size payload =
                            payload;
                            sent_at;
                            delivered_at = Engine.now t.engine;
+                           corrupted = corrupt;
                          }))))
+
+let send t ~src ~dst ~size payload =
+  match t.fault_hook with
+  | None ->
+    send_copy t ~src ~dst ~size ~corrupt:false ~extra_delay:Time.zero payload
+  | Some hook ->
+    let v = hook ~src ~dst ~size in
+    if v.fv_drop then begin
+      t.dropped <- t.dropped + 1;
+      if Bftmetrics.Registry.active () then
+        Bftmetrics.Registry.Counter.inc (chan_of t ~src ~dst).m_drops;
+      if Bftaudit.Bus.active () then audit_drop t ~src ~dst ~reason:"chaos"
+    end
+    else
+      for _ = 0 to v.fv_duplicates do
+        send_copy t ~src ~dst ~size ~corrupt:v.fv_corrupt
+          ~extra_delay:v.fv_extra_delay payload
+      done
 
 let messages_delivered t = t.delivered
 let messages_dropped t = t.dropped

@@ -43,7 +43,33 @@ type 'a delivery = {
   payload : 'a;
   sent_at : Time.t;
   delivered_at : Time.t;
+  corrupted : bool;
+      (** set by the chaos engine: the payload reached the receiver but
+          its MAC/digest check must fail. Receivers treat such messages
+          exactly like messages with an invalid authenticator. *)
 }
+
+(** {2 Fault interposition}
+
+    The chaos engine ({!Bftchaos}) installs a single hook that rules on
+    every message at send time. The hook must be deterministic given the
+    scenario seed: it is consulted exactly once per [send]. *)
+
+type fault_verdict = {
+  fv_drop : bool;  (** silently lose the message *)
+  fv_duplicates : int;  (** deliver this many {e extra} copies *)
+  fv_extra_delay : Time.t;  (** added to the propagation delay *)
+  fv_corrupt : bool;  (** deliver with [corrupted = true] *)
+}
+
+val pass_verdict : fault_verdict
+(** Verdict that lets the message through untouched. *)
+
+type fault_hook = src:Principal.t -> dst:Principal.t -> size:int -> fault_verdict
+
+val set_fault_hook : 'a t -> fault_hook option -> unit
+(** Installs (or clears) the fault hook. At most one hook is active;
+    installing a new one replaces the previous. *)
 
 val create : Engine.t -> config -> 'a t
 
@@ -65,7 +91,15 @@ val send : 'a t -> src:Principal.t -> dst:Principal.t -> size:int -> 'a -> unit
 val close_nic : 'a t -> node:int -> peer:Principal.t -> for_:Time.t -> unit
 (** [close_nic t ~node ~peer ~for_] makes node [node] drop everything
     arriving from [peer] for the given duration — the flood defence the
-    paper describes in Section V. *)
+    paper describes in Section V.
+
+    Re-open semantics: the NIC reopens exactly when the closure window
+    expires — a message arriving at [now + for_] or later is delivered,
+    one arriving strictly before is dropped. Overlapping calls {e
+    extend} the window to the latest requested expiry; a second,
+    shorter closure never truncates an earlier longer one (otherwise a
+    flooder could reset its own punishment by triggering a smaller
+    penalty). *)
 
 val nic_closed : 'a t -> node:int -> peer:Principal.t -> bool
 

@@ -107,6 +107,7 @@ let register_metrics (cfg : config) =
 
 type t = {
   engine : Engine.t;
+  clock : Clock.t;  (* local timers; scalable by the chaos engine *)
   cfg : config;
   cb : callbacks;
   adv : adversary;
@@ -133,9 +134,10 @@ type t = {
   m : metrics;
 }
 
-let create engine cfg cb =
+let create ?clock engine cfg cb =
   {
     engine;
+    clock = (match clock with Some c -> c | None -> Clock.create engine);
     cfg;
     cb;
     adv =
@@ -449,7 +451,7 @@ let maybe_batch t =
     if List.length t.pending_batch >= t.cfg.batch_size then flush_batch t
     else if t.batch_timer = None && t.pending_batch <> [] then
       t.batch_timer <-
-        Some (Engine.after t.engine t.cfg.batch_delay (fun () ->
+        Some (Clock.after t.clock t.cfg.batch_delay (fun () ->
                   t.batch_timer <- None;
                   flush_batch t))
   end

@@ -74,7 +74,10 @@ type adversary = {
 
 type t
 
-val create : Engine.t -> config -> callbacks -> t
+val create : ?clock:Clock.t -> Engine.t -> config -> callbacks -> t
+(** [?clock] routes the replica's local timers (the batch timer) through
+    a skewable {!Dessim.Clock}; defaults to an unskewed clock on
+    [engine]. *)
 
 val config : t -> config
 val adversary : t -> adversary

@@ -50,6 +50,7 @@ type seq_entry = {
 
 type t = {
   engine : Engine.t;
+  clock : Clock.t;  (* pp/ping loops; skewable by the chaos engine *)
   net : msg Network.t;
   cfg : config;
   id : int;
@@ -86,6 +87,9 @@ let executed_count t = t.exec_count
 let executed_counter t = t.exec_counter
 let execution_digest t = t.exec_digest
 let suspects_seen t = t.suspects_seen
+
+let set_clock_factor t k = Clock.set_factor t.clock k
+let set_cpu_factor t s = Resource.set_speed t.main s
 
 let n_nodes t = (3 * t.cfg.f) + 1
 let primary t = t.view mod n_nodes t
@@ -333,7 +337,7 @@ let pp_period t =
 
 let rec arm_pp_loop t =
   ignore
-    (Engine.after t.engine (pp_period t) (fun () ->
+    (Clock.after t.clock (pp_period t) (fun () ->
          Resource.submit t.main ~cost:(Time.us 5) (fun () ->
              issue_pre_prepare t;
              arm_pp_loop t)))
@@ -375,7 +379,7 @@ let check_suspicion t =
 
 let rec arm_ping_loop t =
   ignore
-    (Engine.after t.engine (Monitor.config t.monitor).Monitor.ping_period (fun () ->
+    (Clock.after t.clock (Monitor.config t.monitor).Monitor.ping_period (fun () ->
          Resource.submit t.main ~cost:(Time.us 2) (fun () ->
              t.ping_nonce <- t.ping_nonce + 1;
              Hashtbl.replace t.pings_inflight t.ping_nonce (Engine.now t.engine);
@@ -408,6 +412,10 @@ let on_delivery t (d : msg Network.delivery) =
   let base = Costmodel.recv t.cfg.costs ~bytes:(cost_bytes t d.Network.payload) in
   let verify = Costmodel.sig_verify t.cfg.costs ~bytes:d.Network.size in
   let with_sig = Time.add base verify in
+  if d.Network.corrupted then
+    (* Failed signature check: pay the verification cost, then drop. *)
+    Resource.submit t.main ~cost:with_sig (fun () -> ())
+  else
   match d.Network.payload with
   | Request { desc; sig_valid } ->
     Resource.submit t.main ~cost:base (fun () -> handle_request t desc ~sig_valid)
@@ -466,6 +474,7 @@ let create engine net cfg ~id ~service =
   let t =
     {
       engine;
+      clock = Clock.create engine;
       net;
       cfg;
       id;

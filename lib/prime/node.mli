@@ -66,3 +66,9 @@ val executed_count : t -> int
 val executed_counter : t -> Bftmetrics.Throughput.t
 val execution_digest : t -> string
 val suspects_seen : t -> int
+
+val set_clock_factor : t -> float -> unit
+(** Skew the node's local clock (pre-prepare and ping loops). *)
+
+val set_cpu_factor : t -> float -> unit
+(** Run the node's protocol thread at the given speed multiple. *)

@@ -1,0 +1,11 @@
+type t = { engine : Engine.t; mutable factor : float }
+
+let create engine = { engine; factor = 1.0 }
+let engine t = t.engine
+let factor t = t.factor
+
+let set_factor t k = t.factor <- (if k <= 0.0 then 1e-6 else k)
+
+let after t d f =
+  let d = if t.factor = 1.0 then d else Time.mul_f d t.factor in
+  Engine.after t.engine d f

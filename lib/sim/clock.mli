@@ -1,0 +1,29 @@
+(** A skewable per-component virtual clock.
+
+    Wraps an {!Engine} so that relative delays scheduled through the
+    clock are stretched (factor > 1, the component's oscillator runs
+    slow and its timers fire late) or compressed (factor < 1, fast
+    clock) by a mutable factor. Absolute engine time is unaffected —
+    only the durations a component *asks* for are rescaled, which is
+    how clock drift manifests to timer-driven code.
+
+    Each protocol node owns one clock and routes its periodic loops
+    (monitoring, pings, batch timers) through it; the chaos engine
+    perturbs the factor at scheduled fault times. *)
+
+type t
+
+val create : Engine.t -> t
+(** A fresh clock with factor 1.0 (no skew). *)
+
+val engine : t -> Engine.t
+
+val factor : t -> float
+
+val set_factor : t -> float -> unit
+(** [set_factor t k] rescales all subsequent delays by [k]. Values
+    [<= 0] are clamped to a small positive epsilon. Timers already
+    armed keep their original deadline. *)
+
+val after : t -> Time.t -> (unit -> unit) -> Engine.timer
+(** [after t d f] is [Engine.after engine (d * factor) f]. *)

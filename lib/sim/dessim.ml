@@ -8,4 +8,5 @@ module Rng = Rng
 module Heap = Heap
 module Engine = Engine
 module Resource = Resource
+module Clock = Clock
 module Trace = Trace

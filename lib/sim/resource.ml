@@ -8,6 +8,7 @@ type t = {
   mutable busy_until : Time.t;
   mutable busy_total : Time.t;
   mutable jobs : int;
+  mutable speed : float;
 }
 
 let create engine ~name =
@@ -19,9 +20,17 @@ let create engine ~name =
     busy_until = Time.zero;
     busy_total = Time.zero;
     jobs = 0;
+    speed = 1.0;
   }
 
 let name t = t.name
+
+let speed t = t.speed
+let set_speed t s = t.speed <- (if s <= 0.0 then 1e-6 else s)
+
+(* Scale a nominal cost by the current speed factor; jobs already
+   started keep the scaling in force when they were dequeued. *)
+let scaled t cost = if t.speed = 1.0 then cost else Time.mul_f cost (1.0 /. t.speed)
 
 (* Only the job at the head of the queue has a scheduled completion
    event. This lets a running handler [charge] extra time and push back
@@ -31,10 +40,11 @@ let rec start_next t =
   | None -> t.running <- false
   | Some job ->
     t.running <- true;
+    let cost = scaled t job.cost in
     let start = Time.max (Engine.now t.engine) t.busy_until in
-    let finish = Time.add start job.cost in
+    let finish = Time.add start cost in
     t.busy_until <- finish;
-    t.busy_total <- Time.add t.busy_total job.cost;
+    t.busy_total <- Time.add t.busy_total cost;
     t.jobs <- t.jobs + 1;
     ignore
       (Engine.at t.engine finish (fun () ->
@@ -46,7 +56,7 @@ let submit t ~cost k =
   if not t.running then start_next t
 
 let charge t extra =
-  let extra = Time.max Time.zero extra in
+  let extra = scaled t (Time.max Time.zero extra) in
   let base = Time.max (Engine.now t.engine) t.busy_until in
   t.busy_until <- Time.add base extra;
   t.busy_total <- Time.add t.busy_total extra

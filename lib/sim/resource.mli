@@ -17,6 +17,16 @@ val create : Engine.t -> name:string -> t
 
 val name : t -> string
 
+val speed : t -> float
+
+val set_speed : t -> float -> unit
+(** [set_speed t s] makes the server run at [s] times its nominal
+    speed: every cost accepted afterwards (including {!charge}) is
+    scaled by [1/s]. Defaults to 1.0; values [<= 0] are clamped to a
+    small positive epsilon. The chaos engine uses this to model CPU
+    skew on a faulty or overloaded machine. Jobs already started keep
+    the scaling in force when they were dequeued. *)
+
 val submit : t -> cost:Time.t -> (unit -> unit) -> unit
 (** [submit t ~cost f] enqueues a job. [f] runs when the job
     completes, i.e. at [max now (end of previous job) + cost]. *)

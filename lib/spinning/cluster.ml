@@ -27,6 +27,7 @@ let create ?(seed = 42L) ?(clients = 0) ?(payload_size = 8)
   { engine; net; nodes; clients }
 
 let engine t = t.engine
+let network t = t.net
 let node t i = t.nodes.(i)
 let nodes t = t.nodes
 let client t i = t.clients.(i)

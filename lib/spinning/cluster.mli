@@ -13,6 +13,7 @@ val create :
   t
 
 val engine : t -> Engine.t
+val network : t -> Node.msg Bftnet.Network.t
 val node : t -> int -> Node.t
 val nodes : t -> Node.t array
 val client : t -> int -> Client.t

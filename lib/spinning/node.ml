@@ -36,6 +36,7 @@ type faults = { mutable delay_fraction : float }
 
 type t = {
   engine : Engine.t;
+  clock : Clock.t;  (* accusation timers; skewable by the chaos engine *)
   net : msg Network.t;
   cfg : config;
   id : int;
@@ -56,6 +57,11 @@ let replica t = match t.replica with Some r -> r | None -> assert false
 let executed_count t = t.exec_count
 let executed_counter t = t.exec_counter
 let execution_digest t = t.exec_digest
+
+let set_clock_factor t k = Clock.set_factor t.clock k
+
+let set_cpu_factor t s =
+  List.iter (fun r -> Resource.set_speed r s) [ t.ordering; t.execution ]
 
 let n_nodes t = (3 * t.cfg.f) + 1
 
@@ -138,7 +144,7 @@ let make_replica t =
   in
   let broadcast m = broadcast_nodes t t.ordering (Order m) in
   let deliver _seq descs = execute_batch t descs in
-  Replica.create t.engine cfg { Replica.broadcast; deliver }
+  Replica.create ~clock:t.clock t.engine cfg { Replica.broadcast; deliver }
 
 let on_delivery t (d : msg Network.delivery) =
   let base =
@@ -146,6 +152,10 @@ let on_delivery t (d : msg Network.delivery) =
       (Costmodel.recv t.cfg.costs ~bytes:(cost_bytes t d.Network.payload))
       (Costmodel.mac_verify t.cfg.costs ~bytes:d.Network.size)
   in
+  if d.Network.corrupted then
+    (* Failed authenticator: pay the verification cost, then drop. *)
+    Resource.submit t.ordering ~cost:base (fun () -> ())
+  else
   match d.Network.payload with
   | Request { desc } ->
     (* Per-request bookkeeping: request log entry plus ordering timer
@@ -183,6 +193,7 @@ let create engine net cfg ~id ~service =
   let t =
     {
       engine;
+      clock = Clock.create engine;
       net;
       cfg;
       id;

@@ -50,3 +50,9 @@ val replica : t -> Replica.t
 val executed_count : t -> int
 val executed_counter : t -> Bftmetrics.Throughput.t
 val execution_digest : t -> string
+
+val set_clock_factor : t -> float -> unit
+(** Skew the node's local clock (the replica's accusation timer). *)
+
+val set_cpu_factor : t -> float -> unit
+(** Run the node's module threads at the given speed multiple. *)

@@ -39,6 +39,7 @@ type entry = {
 
 type t = {
   engine : Engine.t;
+  clock : Clock.t;  (* accusation timers; scalable by the chaos engine *)
   cfg : config;
   cb : callbacks;
   adv : adversary;
@@ -56,9 +57,10 @@ type t = {
   mutable waiting_pps : (int * int * request_desc list) list;
 }
 
-let create engine cfg cb =
+let create ?clock engine cfg cb =
   {
     engine;
+    clock = (match clock with Some c -> c | None -> Clock.create engine);
     cfg;
     cb;
     adv = { pp_delay = (fun () -> Time.zero); silent = false };
@@ -178,7 +180,7 @@ let rec rearm_timer t =
   if t.timer = None && pending_count t > 0 then begin
     let seq = t.next_deliver in
     let timer =
-      Engine.after t.engine t.timeout (fun () ->
+      Clock.after t.clock t.timeout (fun () ->
           t.timer <- None;
           on_timeout t seq)
     in

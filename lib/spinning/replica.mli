@@ -50,7 +50,10 @@ type adversary = {
 
 type t
 
-val create : Engine.t -> config -> callbacks -> t
+(** [create ?clock engine cfg cb]: [?clock] routes the replica's
+    accusation timer through a skewable {!Dessim.Clock}; defaults to an
+    unskewed clock on [engine]. *)
+val create : ?clock:Clock.t -> Engine.t -> config -> callbacks -> t
 val adversary : t -> adversary
 val submit : t -> request_desc -> unit
 val receive : t -> from:int -> msg -> unit

@@ -1,0 +1,585 @@
+(* Tests for the bftchaos subsystem: the scenario codec, the fault
+   injector, the chaos-aware simulation primitives, the runner with
+   its safety/liveness oracles, the shrinker and the explorer. *)
+
+open Dessim
+open Bftchaos
+
+(* ------------------------------------------------------------------ *)
+(* S-expression reader/printer                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_sexp_basic () =
+  match Sexp.of_string "(a b (c d) e)" with
+  | Error e -> Alcotest.fail e
+  | Ok s ->
+    Alcotest.(check bool) "parsed shape" true
+      (s
+      = Sexp.List
+          [ Sexp.Atom "a"; Sexp.Atom "b"; Sexp.List [ Sexp.Atom "c"; Sexp.Atom "d" ]; Sexp.Atom "e" ]);
+    Alcotest.(check bool) "print/parse identity" true
+      (Sexp.of_string (Sexp.to_string s) = Ok s)
+
+let test_sexp_quoting () =
+  let original =
+    Sexp.List [ Sexp.Atom "name"; Sexp.Atom "two words"; Sexp.Atom "pa;ren)" ]
+  in
+  match Sexp.of_string (Sexp.to_string original) with
+  | Error e -> Alcotest.fail e
+  | Ok s -> Alcotest.(check bool) "quoted atoms survive" true (s = original)
+
+let test_sexp_comments () =
+  match Sexp.of_string "; header\n(a ; trailing\n b)" with
+  | Error e -> Alcotest.fail e
+  | Ok s ->
+    Alcotest.(check bool) "comments stripped" true
+      (s = Sexp.List [ Sexp.Atom "a"; Sexp.Atom "b" ])
+
+let test_sexp_errors () =
+  let bad input =
+    match Sexp.of_string input with Ok _ -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "unbalanced open" true (bad "(a (b)");
+  Alcotest.(check bool) "unbalanced close" true (bad "a)");
+  Alcotest.(check bool) "trailing garbage" true (bad "(a) (b)");
+  Alcotest.(check bool) "empty input" true (bad "   ; only a comment\n")
+
+(* ------------------------------------------------------------------ *)
+(* Scenario codec round trip                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_scenario =
+  let open QCheck.Gen in
+  let gen_time lo hi = map Time.ns (int_range lo hi) in
+  let gen_rates =
+    let* drop = float_bound_inclusive 0.5 in
+    let* duplicate = float_bound_inclusive 0.5 in
+    let* corrupt = float_bound_inclusive 0.5 in
+    let* delay = gen_time 0 2_000_000 in
+    let* jitter = gen_time 0 1_000_000 in
+    return { Fault.drop; duplicate; corrupt; delay; jitter }
+  in
+  let gen_endpoint = opt (int_range 0 3) in
+  let gen_kind =
+    oneof
+      [
+        map (fun node -> Fault.Crash { node }) (int_range 0 3);
+        map (fun group -> Fault.Partition { group })
+          (list_size (int_range 1 3) (int_range 0 3));
+        (let* src = gen_endpoint in
+         let* dst = gen_endpoint in
+         let* rates = gen_rates in
+         return (Fault.Link_chaos { src; dst; rates }));
+        (let* node = int_range 0 3 in
+         let* factor = float_range 0.5 2.0 in
+         return (Fault.Clock_skew { node; factor }));
+        (let* node = int_range 0 3 in
+         let* factor = float_range 0.5 2.0 in
+         return (Fault.Cpu_skew { node; factor }));
+      ]
+  in
+  let gen_fault =
+    let* at = gen_time 0 500_000_000 in
+    let* len = gen_time 1 500_000_000 in
+    let* kind = gen_kind in
+    return { Fault.at; until = Time.add at len; kind }
+  in
+  let* name = oneofl [ "t"; "two words"; "semi;colon"; "q\"uote" ] in
+  let* protocol = oneofl (Array.to_list Scenario.all_protocols) in
+  let* seed = map Int64.of_int (int_range 0 1_000_000) in
+  let* duration = gen_time 1_000_000 2_000_000_000 in
+  let* drain = gen_time 1_000_000 2_000_000_000 in
+  let* clients = int_range 1 8 in
+  let* rate = float_range 0.0 500.0 in
+  let* payload = int_range 1 4096 in
+  let* faults = list_size (int_range 0 4) gen_fault in
+  return
+    {
+      Scenario.name;
+      protocol;
+      f = 1;
+      seed;
+      duration;
+      drain;
+      workload = { Scenario.clients; rate; payload };
+      faults;
+    }
+
+let prop_scenario_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"scenario codec round trip"
+    (QCheck.make ~print:Scenario.to_string gen_scenario) (fun s ->
+      match Scenario.of_string (Scenario.to_string s) with
+      | Error e -> QCheck.Test.fail_reportf "re-parse failed: %s" e
+      | Ok s' -> s' = s)
+
+let test_scenario_single_node_group () =
+  (* Regression: a one-element (group 3) is a 2-element sexp that the
+     field accessor used to unwrap to a bare atom. *)
+  let s =
+    {
+      Scenario.name = "one-node-group";
+      protocol = Scenario.Rbft;
+      f = 1;
+      seed = 5L;
+      duration = Time.ms 100;
+      drain = Time.ms 100;
+      workload = { Scenario.clients = 1; rate = 10.0; payload = 8 };
+      faults =
+        [
+          {
+            Fault.at = Time.ms 10;
+            until = Time.ms 20;
+            kind = Fault.Partition { group = [ 3 ] };
+          };
+        ];
+    }
+  in
+  match Scenario.of_string (Scenario.to_string s) with
+  | Error e -> Alcotest.fail e
+  | Ok s' -> Alcotest.(check bool) "round trips" true (s = s')
+
+(* ------------------------------------------------------------------ *)
+(* Chaos-aware simulation primitives                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_clock_factor () =
+  let e = Engine.create () in
+  let clock = Clock.create e in
+  let fired = ref Time.zero in
+  Clock.set_factor clock 2.0;
+  ignore (Clock.after clock (Time.ms 1) (fun () -> fired := Engine.now e));
+  Engine.run e;
+  Alcotest.(check int) "delay scaled 2x" (Time.ms 2 :> int) (!fired :> int);
+  Clock.set_factor clock 1.0;
+  let fired' = ref Time.zero in
+  ignore (Clock.after clock (Time.ms 1) (fun () -> fired' := Engine.now e));
+  Engine.run e;
+  Alcotest.(check int) "factor reset"
+    ((Time.add (Time.ms 2) (Time.ms 1)) :> int)
+    (!fired' :> int)
+
+let test_resource_speed () =
+  let e = Engine.create () in
+  let r = Resource.create e ~name:"cpu" in
+  Resource.set_speed r 0.5;
+  let done_at = ref Time.zero in
+  Resource.submit r ~cost:(Time.ms 1) (fun () -> ());
+  Resource.submit r ~cost:(Time.ms 1) (fun () -> done_at := Engine.now e);
+  Engine.run e;
+  (* Both jobs start after the previous finishes; at half speed each
+     1 ms job costs 2 ms of virtual time. *)
+  Alcotest.(check bool) "jobs slowed 2x" true (!done_at >= Time.ms 4)
+
+(* ------------------------------------------------------------------ *)
+(* Injector: network-level faults                                     *)
+(* ------------------------------------------------------------------ *)
+
+let make_test_net e =
+  let cfg = { (Bftnet.Network.default_config ~nodes:4) with Bftnet.Network.jitter = Time.zero } in
+  Bftnet.Network.create e cfg
+
+let null_hooks e net =
+  {
+    Injector.engine = e;
+    n = 4;
+    set_fault_hook = Bftnet.Network.set_fault_hook net;
+    set_cpu_factor = (fun ~node:_ _ -> ());
+    set_clock_factor = (fun ~node:_ _ -> ());
+  }
+
+let principal = Bftcrypto.Principal.node
+
+(* Count deliveries to node [dst] while a plan is active vs after. *)
+let deliveries_during_and_after plan ~src ~dst =
+  let e = Engine.create () in
+  let net = make_test_net e in
+  let during = ref 0 and after = ref 0 in
+  Bftnet.Network.register_node net dst (fun _ ->
+      if Engine.now e < Time.ms 100 then incr during else incr after);
+  let inj = Injector.install (null_hooks e net) ~seed:9L plan in
+  (* One message inside the fault window, one after it expires. *)
+  ignore
+    (Engine.at e (Time.ms 10) (fun () ->
+         Bftnet.Network.send net ~src:(principal src) ~dst:(principal dst) ~size:8 "during"));
+  ignore
+    (Engine.at e (Time.ms 200) (fun () ->
+         Bftnet.Network.send net ~src:(principal src) ~dst:(principal dst) ~size:8 "after"));
+  Engine.run e;
+  ignore (Injector.crashed inj 0);
+  (!during, !after)
+
+let crash_plan node =
+  [ { Fault.at = Time.ms 1; until = Time.ms 100; kind = Fault.Crash { node } } ]
+
+let test_injector_crash_blocks () =
+  (* Traffic to and from the crashed node is dropped while the crash is
+     active and flows again after it expires. *)
+  let to_crashed = deliveries_during_and_after (crash_plan 1) ~src:0 ~dst:1 in
+  Alcotest.(check (pair int int)) "to crashed node" (0, 1) to_crashed;
+  let from_crashed = deliveries_during_and_after (crash_plan 1) ~src:1 ~dst:0 in
+  Alcotest.(check (pair int int)) "from crashed node" (0, 1) from_crashed;
+  let bystanders = deliveries_during_and_after (crash_plan 1) ~src:2 ~dst:3 in
+  Alcotest.(check (pair int int)) "bystanders unaffected" (1, 1) bystanders
+
+let test_injector_partition () =
+  let plan =
+    [ { Fault.at = Time.ms 1; until = Time.ms 100; kind = Fault.Partition { group = [ 2; 3 ] } } ]
+  in
+  let across = deliveries_during_and_after plan ~src:0 ~dst:2 in
+  Alcotest.(check (pair int int)) "across the cut" (0, 1) across;
+  let inside = deliveries_during_and_after plan ~src:2 ~dst:3 in
+  Alcotest.(check (pair int int)) "inside the group" (1, 1) inside;
+  let outside = deliveries_during_and_after plan ~src:0 ~dst:1 in
+  Alcotest.(check (pair int int)) "outside the group" (1, 1) outside
+
+let test_injector_partition_spares_clients () =
+  let e = Engine.create () in
+  let net = make_test_net e in
+  let got = ref 0 in
+  Bftnet.Network.register_node net 2 (fun _ -> incr got);
+  let _inj =
+    Injector.install (null_hooks e net) ~seed:9L
+      [ { Fault.at = Time.zero; until = Time.ms 100; kind = Fault.Partition { group = [ 2 ] } } ]
+  in
+  ignore
+    (Engine.at e (Time.ms 10) (fun () ->
+         Bftnet.Network.send net ~src:(Bftcrypto.Principal.client 0)
+           ~dst:(principal 2) ~size:8 "req"));
+  Engine.run e;
+  Alcotest.(check int) "client reaches partitioned node" 1 !got
+
+let link_plan rates =
+  [
+    {
+      Fault.at = Time.zero;
+      until = Time.sec 10;
+      kind = Fault.Link_chaos { src = None; dst = Some 1; rates };
+    };
+  ]
+
+let count_link_deliveries rates =
+  let e = Engine.create () in
+  let net = make_test_net e in
+  let total = ref 0 and corrupted = ref 0 in
+  Bftnet.Network.register_node net 1 (fun d ->
+      incr total;
+      if d.Bftnet.Network.corrupted then incr corrupted);
+  let _inj = Injector.install (null_hooks e net) ~seed:3L (link_plan rates) in
+  (* Send after the engine has processed the activation event at t=0. *)
+  ignore
+    (Engine.at e (Time.ms 1) (fun () ->
+         for _ = 1 to 50 do
+           Bftnet.Network.send net ~src:(principal 0) ~dst:(principal 1) ~size:8 "m"
+         done));
+  Engine.run e;
+  (!total, !corrupted)
+
+let test_injector_link_rates () =
+  let drop_all = { Fault.benign_rates with Fault.drop = 1.0 } in
+  Alcotest.(check (pair int int)) "drop everything" (0, 0) (count_link_deliveries drop_all);
+  let dup_all = { Fault.benign_rates with Fault.duplicate = 1.0 } in
+  Alcotest.(check (pair int int)) "duplicate everything" (100, 0)
+    (count_link_deliveries dup_all);
+  let corrupt_all = { Fault.benign_rates with Fault.corrupt = 1.0 } in
+  Alcotest.(check (pair int int)) "corrupt everything" (50, 50)
+    (count_link_deliveries corrupt_all)
+
+let test_injector_delay () =
+  let e = Engine.create () in
+  let net = make_test_net e in
+  let arrival = ref Time.zero in
+  Bftnet.Network.register_node net 1 (fun _ -> arrival := Engine.now e);
+  let _inj =
+    Injector.install (null_hooks e net) ~seed:3L
+      (link_plan { Fault.benign_rates with Fault.delay = Time.ms 5 })
+  in
+  ignore
+    (Engine.at e (Time.ms 1) (fun () ->
+         Bftnet.Network.send net ~src:(principal 0) ~dst:(principal 1) ~size:8 "m"));
+  Engine.run e;
+  Alcotest.(check bool) "extra delay applied" true
+    (!arrival >= Time.add (Time.ms 1) (Time.ms 5))
+
+let test_injector_heal () =
+  let e = Engine.create () in
+  let net = make_test_net e in
+  let got = ref 0 in
+  Bftnet.Network.register_node net 1 (fun _ -> incr got);
+  let inj =
+    Injector.install (null_hooks e net) ~seed:3L
+      (link_plan { Fault.benign_rates with Fault.drop = 1.0 })
+  in
+  Injector.heal inj;
+  Bftnet.Network.send net ~src:(principal 0) ~dst:(principal 1) ~size:8 "m";
+  Engine.run e;
+  Alcotest.(check int) "heal clears the hook" 1 !got
+
+(* ------------------------------------------------------------------ *)
+(* Runner: oracles over whole scenario runs                           *)
+(* ------------------------------------------------------------------ *)
+
+let base_scenario ?(name = "test") ?(protocol = Scenario.Rbft) ?(faults = []) () =
+  {
+    Scenario.name;
+    protocol;
+    f = 1;
+    seed = 42L;
+    duration = Time.ms 500;
+    drain = Time.sec 1;
+    workload = { Scenario.clients = 2; rate = 60.0; payload = 8 };
+    faults;
+  }
+
+let test_runner_fault_free () =
+  Array.iter
+    (fun protocol ->
+      let r = Runner.run (base_scenario ~protocol ()) in
+      Alcotest.(check bool)
+        (Scenario.protocol_name protocol ^ " fault-free ok")
+        true (Runner.ok r);
+      Alcotest.(check bool)
+        (Scenario.protocol_name protocol ^ " made progress")
+        true (r.Runner.sent > 0))
+    Scenario.all_protocols
+
+let test_runner_crash_rejoin () =
+  (* One crash within f: the cluster stays live through it and the
+     rejoining node catches up via checkpoint state transfer, so every
+     request completes by the end of the drain. *)
+  let faults =
+    [ { Fault.at = Time.ms 100; until = Time.ms 300; kind = Fault.Crash { node = 2 } } ]
+  in
+  let r = Runner.run (base_scenario ~name:"crash-rejoin" ~faults ()) in
+  Alcotest.(check bool) "ok through crash+rejoin" true (Runner.ok r)
+
+let test_runner_deterministic_digest () =
+  let s = base_scenario ~name:"digest"
+      ~faults:
+        [ { Fault.at = Time.ms 100; until = Time.ms 300; kind = Fault.Crash { node = 2 } } ]
+      ()
+  in
+  let d1 = (Runner.run ~capture:true s).Runner.digest in
+  let d2 = (Runner.run ~capture:true s).Runner.digest in
+  Alcotest.(check bool) "digest present" true (d1 <> None);
+  Alcotest.(check bool) "same scenario, same digest" true (d1 = d2)
+
+(* Satellite: monitoring verdicts under mild injected skew. A correct
+   master that is merely a bit slow (clock 1.2x, one backup CPU 0.9x,
+   extra network delay) must not trigger spurious instance changes. *)
+let test_monitoring_no_spurious_ic_under_mild_skew () =
+  let params = Rbft.Params.default ~f:1 in
+  let cluster = Rbft.Cluster.create ~seed:7L ~clients:2 ~payload_size:8 params in
+  let net = Rbft.Cluster.network cluster in
+  let hooks =
+    {
+      Injector.engine = Rbft.Cluster.engine cluster;
+      n = 4;
+      set_fault_hook = Bftnet.Network.set_fault_hook net;
+      set_cpu_factor =
+        (fun ~node k -> Rbft.Node.set_cpu_factor (Rbft.Cluster.node cluster node) k);
+      set_clock_factor =
+        (fun ~node k -> Rbft.Node.set_clock_factor (Rbft.Cluster.node cluster node) k);
+    }
+  in
+  let plan =
+    [
+      { Fault.at = Time.ms 50; until = Time.ms 900; kind = Fault.Clock_skew { node = 1; factor = 1.2 } };
+      { Fault.at = Time.ms 50; until = Time.ms 900; kind = Fault.Cpu_skew { node = 2; factor = 0.9 } };
+      {
+        Fault.at = Time.ms 50;
+        until = Time.ms 900;
+        kind =
+          Fault.Link_chaos
+            {
+              src = None;
+              dst = None;
+              rates = { Fault.benign_rates with Fault.delay = Time.us 200; jitter = Time.us 100 };
+            };
+      };
+    ]
+  in
+  let inj = Injector.install hooks ~seed:7L plan in
+  Array.iter (fun c -> Rbft.Client.set_rate c 30.0) (Rbft.Cluster.clients cluster);
+  Rbft.Cluster.run_for cluster (Time.sec 1);
+  Injector.heal inj;
+  Array.iter (fun c -> Rbft.Client.set_rate c 0.0) (Rbft.Cluster.clients cluster);
+  Rbft.Cluster.run_for cluster (Time.ms 500);
+  Array.iter
+    (fun node ->
+      Alcotest.(check int)
+        (Printf.sprintf "node %d: no instance change" (Rbft.Node.id node))
+        0
+        (Rbft.Node.instance_changes node))
+    (Rbft.Cluster.nodes cluster);
+  Alcotest.(check bool) "progress under mild skew" true
+    (Rbft.Cluster.total_executed cluster > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Oracle self-tests: injected bugs must be caught                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_oracle_catches_double_execution () =
+  Bftaudit.Auditor.reset_declared ();
+  let auditor = Bftaudit.Auditor.attach ~raise_on_violation:false ~n:4 ~f:1 () in
+  let ev rid =
+    {
+      Bftaudit.Event.time = Time.ms 1;
+      node = 1;
+      instance = 0;
+      kind = Bftaudit.Event.Executed { client = 0; rid; digest = "d" };
+    }
+  in
+  Bftaudit.Bus.emit (ev 1);
+  Bftaudit.Bus.emit (ev 1);
+  let violations = Bftaudit.Auditor.violations auditor in
+  Bftaudit.Auditor.detach auditor;
+  Alcotest.(check bool) "double execution flagged" true
+    (List.exists
+       (fun v -> v.Bftaudit.Auditor.invariant = "double-execution")
+       violations)
+
+let over_f_crash_scenario () =
+  (* Two nodes crashed with f = 1: quorum is impossible while both are
+     down, and requests sent meanwhile are never retransmitted, so the
+     liveness oracle must flag the run. Extra benign faults ride along
+     for the shrinker to strip. *)
+  base_scenario ~name:"over-f"
+    ~faults:
+      [
+        { Fault.at = Time.ms 50; until = Time.ms 450; kind = Fault.Crash { node = 1 } };
+        { Fault.at = Time.ms 50; until = Time.ms 450; kind = Fault.Crash { node = 2 } };
+        {
+          Fault.at = Time.ms 100;
+          until = Time.ms 200;
+          kind = Fault.Cpu_skew { node = 3; factor = 0.9 };
+        };
+        {
+          Fault.at = Time.ms 100;
+          until = Time.ms 200;
+          kind =
+            Fault.Link_chaos
+              { src = None; dst = None; rates = { Fault.benign_rates with Fault.duplicate = 0.1 } };
+        };
+      ]
+    ()
+
+let test_oracle_flags_over_f_crashes () =
+  let r = Runner.run (over_f_crash_scenario ()) in
+  Alcotest.(check bool) "safety holds" true (Runner.safety_ok r);
+  Alcotest.(check bool) "liveness violated" false (Runner.liveness_ok r);
+  Alcotest.(check bool) "run judged failing" false (Runner.ok r)
+
+(* ------------------------------------------------------------------ *)
+(* Shrinker                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_shrink_minimizes () =
+  let s = over_f_crash_scenario () in
+  let still_fails c = not (Runner.ok (Runner.run c)) in
+  Alcotest.(check bool) "seed scenario fails" true (still_fails s);
+  let shrunk, spent = Shrink.minimize ~budget:120 still_fails s in
+  Alcotest.(check bool) "budget respected" true (spent <= 120);
+  Alcotest.(check bool) "still failing" true (still_fails shrunk);
+  (* The benign riders are strippable; both crashes are needed (one
+     crash is within f and survivable), so exactly two faults remain. *)
+  Alcotest.(check int) "only the two crashes remain" 2
+    (List.length shrunk.Scenario.faults);
+  List.iter
+    (fun (f : Fault.t) ->
+      match f.Fault.kind with
+      | Fault.Crash _ -> ()
+      | k -> Alcotest.failf "unexpected surviving fault: %s" (Fault.describe { f with Fault.kind = k }))
+    shrunk.Scenario.faults;
+  (* The minimized repro replays deterministically. *)
+  let d1 = (Runner.run ~capture:true shrunk).Runner.digest in
+  let d2 = (Runner.run ~capture:true shrunk).Runner.digest in
+  Alcotest.(check bool) "repro digest stable" true (d1 = d2 && d1 <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Explorer                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_explorer_sweep_clean () =
+  let grammar =
+    {
+      Explorer.default_grammar with
+      Explorer.duration = Time.ms 400;
+      drain = Time.sec 1;
+      rate = 60.0;
+    }
+  in
+  let sweep = Explorer.sweep ~grammar ~seed:42L ~count:15 () in
+  Alcotest.(check int) "all scenarios pass" 15 sweep.Explorer.passed;
+  Alcotest.(check bool) "no failures" true (sweep.Explorer.failures = [])
+
+let test_explorer_deterministic () =
+  let sample seed =
+    let sweep = Explorer.sweep ~seed ~count:0 () in
+    ignore sweep;
+    (* Sampling itself is exercised through a tiny sweep with a
+       recorded scenario list via the progress callback. *)
+    let seen = ref [] in
+    let _ =
+      Explorer.sweep
+        ~grammar:{ Explorer.default_grammar with Explorer.duration = Time.ms 100; drain = Time.ms 300; rate = 20.0 }
+        ~progress:(fun r -> seen := r.Runner.scenario :: !seen)
+        ~seed ~count:3 ()
+    in
+    !seen
+  in
+  Alcotest.(check bool) "same seed, same scenarios" true (sample 5L = sample 5L)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let suites =
+  [
+    ( "chaos.sexp",
+      [
+        Alcotest.test_case "basic round trip" `Quick test_sexp_basic;
+        Alcotest.test_case "atom quoting" `Quick test_sexp_quoting;
+        Alcotest.test_case "comments" `Quick test_sexp_comments;
+        Alcotest.test_case "parse errors" `Quick test_sexp_errors;
+      ] );
+    ( "chaos.scenario",
+      [
+        Alcotest.test_case "single-node partition group" `Quick
+          test_scenario_single_node_group;
+      ]
+      @ qsuite [ prop_scenario_roundtrip ] );
+    ( "chaos.sim",
+      [
+        Alcotest.test_case "clock factor scales timers" `Quick test_clock_factor;
+        Alcotest.test_case "resource speed scales cost" `Quick test_resource_speed;
+      ] );
+    ( "chaos.injector",
+      [
+        Alcotest.test_case "crash isolates a node" `Quick test_injector_crash_blocks;
+        Alcotest.test_case "partition cuts the mesh" `Quick test_injector_partition;
+        Alcotest.test_case "partition spares clients" `Quick
+          test_injector_partition_spares_clients;
+        Alcotest.test_case "drop/duplicate/corrupt rates" `Quick test_injector_link_rates;
+        Alcotest.test_case "extra delay" `Quick test_injector_delay;
+        Alcotest.test_case "heal clears faults" `Quick test_injector_heal;
+      ] );
+    ( "chaos.runner",
+      [
+        Alcotest.test_case "fault-free baselines" `Slow test_runner_fault_free;
+        Alcotest.test_case "crash and rejoin" `Quick test_runner_crash_rejoin;
+        Alcotest.test_case "deterministic digest" `Quick test_runner_deterministic_digest;
+        Alcotest.test_case "no spurious instance change under mild skew" `Quick
+          test_monitoring_no_spurious_ic_under_mild_skew;
+      ] );
+    ( "chaos.oracle",
+      [
+        Alcotest.test_case "double execution caught" `Quick
+          test_oracle_catches_double_execution;
+        Alcotest.test_case "over-f crashes flagged" `Quick test_oracle_flags_over_f_crashes;
+      ] );
+    ( "chaos.shrink",
+      [ Alcotest.test_case "minimizes to the two crashes" `Slow test_shrink_minimizes ] );
+    ( "chaos.explore",
+      [
+        Alcotest.test_case "mini sweep is clean" `Slow test_explorer_sweep_clean;
+        Alcotest.test_case "sampling is deterministic" `Quick test_explorer_deterministic;
+      ] );
+  ]

@@ -220,6 +220,52 @@ let test_net_close_nic_drops () =
   Engine.run e;
   Alcotest.(check int) "delivers after reopen" 2 !received
 
+(* close_nic re-open semantics: the NIC is closed strictly before the
+   expiry instant and open exactly at it. *)
+let prop_close_nic_reopens_at_expiry =
+  QCheck.Test.make ~name:"close_nic reopens exactly at expiry"
+    QCheck.(int_range 2 5_000_000)
+    (fun d ->
+      let e = Engine.create () in
+      let net = make_net ~jitter:Time.zero e in
+      let peer = Principal.node 2 in
+      Network.close_nic net ~node:1 ~peer ~for_:(Time.ns d);
+      let closed_before = ref false and open_at = ref false in
+      ignore
+        (Engine.at e (Time.ns (d - 1)) (fun () ->
+             closed_before := Network.nic_closed net ~node:1 ~peer));
+      ignore
+        (Engine.at e (Time.ns d) (fun () ->
+             open_at := not (Network.nic_closed net ~node:1 ~peer)));
+      Engine.run e;
+      !closed_before && !open_at)
+
+(* Overlapping closures extend to the latest expiry; a shorter second
+   closure never truncates the first. *)
+let prop_close_nic_overlap_extends =
+  QCheck.Test.make ~name:"overlapping close_nic extends, never truncates"
+    QCheck.(triple (int_range 2 1_000_000) (int_range 1 1_000_000) (int_range 1 1_000_000))
+    (fun (d1, a, d2) ->
+      let a = Stdlib.min a (d1 - 1) in
+      let e = Engine.create () in
+      let net = make_net ~jitter:Time.zero e in
+      let peer = Principal.node 2 in
+      Network.close_nic net ~node:1 ~peer ~for_:(Time.ns d1);
+      (* Second closure issued at [a], while the first is still live. *)
+      ignore
+        (Engine.at e (Time.ns a) (fun () ->
+             Network.close_nic net ~node:1 ~peer ~for_:(Time.ns d2)));
+      let expiry = Stdlib.max d1 (a + d2) in
+      let closed_before = ref false and open_at = ref false in
+      ignore
+        (Engine.at e (Time.ns (expiry - 1)) (fun () ->
+             closed_before := Network.nic_closed net ~node:1 ~peer));
+      ignore
+        (Engine.at e (Time.ns expiry) (fun () ->
+             open_at := not (Network.nic_closed net ~node:1 ~peer)));
+      Engine.run e;
+      !closed_before && !open_at)
+
 let test_net_clients () =
   let e = Engine.create () in
   let net = make_net e in
@@ -281,5 +327,6 @@ let suites =
         Alcotest.test_case "client endpoints" `Quick test_net_clients;
         Alcotest.test_case "unregistered dropped" `Quick test_net_unregistered_dropped;
         Alcotest.test_case "client NIC is shared" `Quick test_net_client_nic_shared;
-      ] );
+      ]
+      @ qsuite [ prop_close_nic_reopens_at_expiry; prop_close_nic_overlap_extends ] );
   ]
