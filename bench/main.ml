@@ -10,6 +10,8 @@
      dune exec bench/main.exe -- --audit     -- safety-audit every run
      dune exec bench/main.exe -- --metrics BENCH_rbft.json
                                           -- machine-readable perf report
+     dune exec bench/main.exe -- --scale [BENCH_scale.json]
+                                          -- f = 1..3 scaling sweep only
      dune exec bench/main.exe -- --prom FILE -- Prometheus dump of the
                                              end-of-run metric registry
      dune exec bench/main.exe -- --seeds 5  -- fault-free baselines across
@@ -42,6 +44,85 @@ let micro_benchmarks () =
              let r = Bftnet.Wire.Reader.of_string (Bftnet.Wire.Writer.contents w) in
              ignore (Bftnet.Wire.Reader.varint r);
              ignore (Bftnet.Wire.Reader.string r)));
+      (* The two quorum-tracking representations, same workload: seven
+         votes arrive for one entry (n = 10, f = 3), each vote is
+         dedup-checked, recorded, and the matching count compared to
+         the 2f+1 = 7 quorum. The assoc variant is the pre-bitset
+         hot path (cons + List.mem_assoc + List.filter per vote). The
+         vote set is allocated once, like a log entry's, and reset per
+         round: the per-vote path is what the protocol pays per
+         message. *)
+      (let v = Pbftcore.Voteset.Tagged.create ~n:10 in
+       Test.make ~name:"voteset-bitset-16x7-votes"
+         (Staged.stage (fun () ->
+              for _ = 1 to 16 do
+                Pbftcore.Voteset.Tagged.clear v;
+                Pbftcore.Voteset.Tagged.set_reference v "digest";
+                let reached = ref false in
+                for r = 0 to 6 do
+                  if Pbftcore.Voteset.Tagged.add v ~replica:r ~digest:"digest"
+                  then
+                    if Pbftcore.Voteset.Tagged.matching v >= 7 then
+                      reached := true
+                done;
+                assert !reached
+              done)));
+      Test.make ~name:"voteset-assoc-16x7-votes"
+        (Staged.stage (fun () ->
+             for _ = 1 to 16 do
+               let votes = ref [] in
+               let reached = ref false in
+               for r = 0 to 6 do
+                 if not (List.mem_assoc r !votes) then begin
+                   votes := (r, "digest") :: !votes;
+                   let matching =
+                     List.length
+                       (List.filter
+                          (fun (_, d) -> String.equal d "digest")
+                          !votes)
+                   in
+                   if matching >= 7 then reached := true
+                 end
+               done;
+               assert !reached
+             done));
+      (* Same pair at a production-scale cluster (n = 31, f = 10,
+         2f+1 = 21): the assoc walk grows with the vote count, the
+         bitset does not. *)
+      (let v = Pbftcore.Voteset.Tagged.create ~n:31 in
+       Test.make ~name:"voteset-bitset-16x21-votes"
+         (Staged.stage (fun () ->
+              for _ = 1 to 16 do
+                Pbftcore.Voteset.Tagged.clear v;
+                Pbftcore.Voteset.Tagged.set_reference v "digest";
+                let reached = ref false in
+                for r = 0 to 20 do
+                  if Pbftcore.Voteset.Tagged.add v ~replica:r ~digest:"digest"
+                  then
+                    if Pbftcore.Voteset.Tagged.matching v >= 21 then
+                      reached := true
+                done;
+                assert !reached
+              done)));
+      Test.make ~name:"voteset-assoc-16x21-votes"
+        (Staged.stage (fun () ->
+             for _ = 1 to 16 do
+               let votes = ref [] in
+               let reached = ref false in
+               for r = 0 to 20 do
+                 if not (List.mem_assoc r !votes) then begin
+                   votes := (r, "digest") :: !votes;
+                   let matching =
+                     List.length
+                       (List.filter
+                          (fun (_, d) -> String.equal d "digest")
+                          !votes)
+                   in
+                   if matching >= 21 then reached := true
+                 end
+               done;
+               assert !reached
+             done));
       Test.make ~name:"engine-1k-events"
         (Staged.stage (fun () ->
              let e = Dessim.Engine.create () in
@@ -171,6 +252,7 @@ let () =
   let metrics = ref None in
   let prom = ref None in
   let seeds = ref 0 in
+  let scale = ref None in
   let rec parse = function
     | [] -> ()
     | "--quick" :: rest ->
@@ -197,6 +279,13 @@ let () =
     | "--seeds" :: n :: rest ->
       seeds := (match int_of_string_opt n with Some n when n > 0 -> n | _ -> 0);
       parse rest
+    | "--scale" :: path :: rest
+      when path = "-" || not (String.length path > 1 && path.[0] = '-') ->
+      scale := Some path;
+      parse rest
+    | "--scale" :: rest ->
+      scale := Some "BENCH_scale.json";
+      parse rest
     | _ :: rest -> parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
@@ -209,6 +298,10 @@ let () =
     Report.print (Experiments.seed_sweep ~quick ~seeds:!seeds);
     Printf.printf "  (seed sweep took %.1fs)\n%!" (Unix.gettimeofday () -. t)
   end
+  else if !scale <> None then
+    (* Dedicated mode: the sweep is written below, after option
+       handling; the figure experiments are skipped. *)
+    ()
   else if not !only_micro then begin
     let t0 = Unix.gettimeofday () in
     let groups =
@@ -239,10 +332,13 @@ let () =
     | Some s -> Printf.printf "Safety audit: %s\n%!" s
     | None -> ()
   end;
-  if (not !skip_micro) && !only = [] && !seeds = 0 then
+  if (not !skip_micro) && !only = [] && !seeds = 0 && !scale = None then
     Bftmetrics.Profile.time "micro-benchmarks" micro_benchmarks;
   (match !metrics with
    | Some path -> Perfreport.write ~quick ~path
+   | None -> ());
+  (match !scale with
+   | Some path -> Perfreport.write_scale ~quick ~path
    | None -> ());
   (match !prom with
    | Some path ->

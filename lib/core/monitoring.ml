@@ -11,20 +11,42 @@ type t = {
   mutable window_start : Time.t;
   (* client -> per-instance EMA latency in seconds *)
   client_lat : (int, float array) Hashtbl.t;
-  mutable measurements : (Time.t * float array) list;
+  (* Bounded ring of past measurements: long-lived nodes tick every
+     100 ms, so an unbounded list grows without limit. *)
+  hist : (Time.t * float array) array;
+  mutable hist_start : int;  (* index of the oldest measurement *)
+  mutable hist_len : int;
   mutable recent : float array list;  (* last few windows, for the Δ verdict *)
 }
 
-let create params =
+let default_history_cap = 4096
+
+let create ?(history_cap = default_history_cap) params =
   {
     params;
     master = Params.master_instance;
     counters = Array.make (Params.instances params) 0;
     window_start = Time.zero;
     client_lat = Hashtbl.create 64;
-    measurements = [];
+    hist = Array.make (Stdlib.max 1 history_cap) (Time.zero, [||]);
+    hist_start = 0;
+    hist_len = 0;
     recent = [];
   }
+
+let history_cap t = Array.length t.hist
+
+let record_measurement t m =
+  let cap = Array.length t.hist in
+  if t.hist_len = cap then begin
+    (* Full: overwrite the oldest slot and advance the start. *)
+    t.hist.(t.hist_start) <- m;
+    t.hist_start <- (t.hist_start + 1) mod cap
+  end
+  else begin
+    t.hist.((t.hist_start + t.hist_len) mod cap) <- m;
+    t.hist_len <- t.hist_len + 1
+  end
 
 let note_ordered t ~instance ~count =
   t.counters.(instance) <- t.counters.(instance) + count
@@ -65,7 +87,7 @@ let tick t ~now =
   in
   Array.fill t.counters 0 (Array.length t.counters) 0;
   t.window_start <- now;
-  t.measurements <- (now, rates) :: t.measurements;
+  record_measurement t (now, rates);
   (* The Δ verdict uses a short moving average: single 100 ms windows
      carry several percent of sampling noise at moderate rates, which
      would make any Δ close to 1 fire spuriously. *)
@@ -130,6 +152,10 @@ let client_avg_latency t ~instance ~client =
 
 let set_master t instance = t.master <- instance
 
-let history t = List.rev t.measurements
+let history t =
+  let cap = Array.length t.hist in
+  List.init t.hist_len (fun i -> t.hist.((t.hist_start + i) mod cap))
 
-let latest t = match t.measurements with [] -> None | m :: _ -> Some m
+let latest t =
+  if t.hist_len = 0 then None
+  else Some t.hist.((t.hist_start + t.hist_len - 1) mod Array.length t.hist)

@@ -12,7 +12,14 @@ open Dessim
 
 type t
 
-val create : Params.t -> t
+val create : ?history_cap:int -> Params.t -> t
+(** [?history_cap] bounds how many past measurements {!tick} retains
+    for {!history} (default 4096, ≈7 minutes of 100 ms windows); older
+    measurements are discarded oldest-first. Values below 1 are clamped
+    to 1. *)
+
+val history_cap : t -> int
+(** The measurement-history bound this monitor was created with. *)
 
 val set_master : t -> int -> unit
 (** Tell the monitoring which instance is currently master (only moves
@@ -55,7 +62,8 @@ val client_avg_latency : t -> instance:int -> client:int -> Time.t option
 
 val history : t -> (Time.t * float array) list
 (** Measurements recorded by {!tick}, oldest first — what Figures 9
-    and 11 plot. *)
+    and 11 plot. At most [history_cap] entries are kept; once the cap
+    is reached the oldest measurement is dropped for each new one. *)
 
 val latest : t -> (Time.t * float array) option
 (** The most recent measurement, if any. *)

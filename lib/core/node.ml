@@ -16,7 +16,7 @@ type faults = {
 type request_state = {
   first_seen : Time.t;  (* when this node first learned of the request *)
   mutable req : Messages.request option;  (* full request, once known *)
-  mutable senders : int list;  (* distinct PROPAGATE senders (incl. self) *)
+  senders : Pbftcore.Voteset.t;  (* distinct PROPAGATE senders (incl. self) *)
   mutable propagated : bool;  (* we sent our own PROPAGATE *)
   mutable sig_checked : bool;
   mutable sig_inflight : bool;  (* a verification job is pending *)
@@ -107,7 +107,12 @@ type t = {
   (* Protocol instance change state. *)
   mutable cpi : int;
   mutable suspicious : bool;  (* current monitoring verdict *)
-  mutable ic_votes : (int * int) list;  (* (node, cpi) votes seen *)
+  (* Instance-change votes: per node the highest cpi it voted for, and
+     the bitset of nodes whose vote covers the *current* cpi (rebuilt
+     from the array on the rare cpi advance, O(1) on the quorum
+     check). *)
+  ic_vote_cpi : int array;
+  ic_votes : Pbftcore.Voteset.t;
   mutable ic_sent_for : int;  (* last cpi we voted for; -1 = none *)
   mutable instance_changes : int;
   mutable last_change_at : Time.t;
@@ -215,7 +220,7 @@ let request_state t rid =
       {
         first_seen = Engine.now t.engine;
         req = None;
-        senders = [];
+        senders = Pbftcore.Voteset.create ~n:(n_nodes t);
         propagated = false;
         sig_checked = false;
         sig_inflight = false;
@@ -262,7 +267,7 @@ let maybe_dispatch t (state : request_state) =
   match state.req with
   | Some r
     when state.sig_checked && (not state.dispatched)
-         && List.length state.senders >= t.params.Params.f + 1 ->
+         && Pbftcore.Voteset.count state.senders >= t.params.Params.f + 1 ->
     Resource.submit t.dispatch ~cost:(Time.ns 200) (fun () -> dispatch_request t r)
   | Some _ | None -> ()
 
@@ -270,10 +275,7 @@ let note_sender t (state : request_state) sender req =
   (match (state.req, req) with
    | None, Some r -> state.req <- Some r
    | None, None | Some _, _ -> ());
-  if not (List.mem sender state.senders) then begin
-    state.senders <- sender :: state.senders;
-    maybe_dispatch t state
-  end
+  if Pbftcore.Voteset.add state.senders sender then maybe_dispatch t state
 
 let propagate_request t (req : Messages.request) =
   let state = request_state t req.desc.id in
@@ -392,6 +394,20 @@ let handle_propagate t ~from (req : Messages.request) ~junk =
 (* Protocol instance change (Section IV-D)                            *)
 (* ------------------------------------------------------------------ *)
 
+(* Re-derive the current-cpi voter bitset from the per-node maxima;
+   only runs when [t.cpi] advances. *)
+let rebuild_ic_votes t =
+  Pbftcore.Voteset.clear t.ic_votes;
+  Array.iteri
+    (fun node c -> if c >= t.cpi then ignore (Pbftcore.Voteset.add t.ic_votes node))
+    t.ic_vote_cpi
+
+let note_ic_vote t ~from ~cpi =
+  if from >= 0 && from < n_nodes t && cpi > t.ic_vote_cpi.(from) then begin
+    t.ic_vote_cpi.(from) <- cpi;
+    if cpi >= t.cpi then ignore (Pbftcore.Voteset.add t.ic_votes from)
+  end
+
 let perform_instance_change t target_cpi =
   if Bftmetrics.Registry.active () then
     Bftmetrics.Registry.Counter.inc t.m.nm_instance_changes;
@@ -402,7 +418,7 @@ let perform_instance_change t target_cpi =
   t.instance_changes <- t.instance_changes + 1;
   t.last_change_at <- Engine.now t.engine;
   t.suspicious <- false;
-  t.ic_votes <- List.filter (fun (_, c) -> c >= t.cpi) t.ic_votes;
+  rebuild_ic_votes t;
   match t.params.Params.recovery with
   | Params.Change_primaries ->
     Array.iter (fun r -> Pbftcore.Replica.force_view_change r) t.replicas
@@ -411,17 +427,13 @@ let perform_instance_change t target_cpi =
     Monitoring.set_master t.monitoring t.master_instance
 
 let check_ic_quorum t =
-  let votes_for_current =
-    List.filter (fun (_, c) -> c >= t.cpi) t.ic_votes
-    |> List.map fst |> List.sort_uniq compare
-  in
-  if List.length votes_for_current >= (2 * t.params.Params.f) + 1 then
+  if Pbftcore.Voteset.count t.ic_votes >= (2 * t.params.Params.f) + 1 then
     perform_instance_change t t.cpi
 
 let send_instance_change t =
   if t.ic_sent_for < t.cpi then begin
     t.ic_sent_for <- t.cpi;
-    t.ic_votes <- (t.id, t.cpi) :: t.ic_votes;
+    note_ic_vote t ~from:t.id ~cpi:t.cpi;
     if Bftaudit.Bus.active () then
       audit t ~instance:t.master_instance
         (Bftaudit.Event.Instance_change_vote { cpi = t.cpi });
@@ -432,8 +444,7 @@ let send_instance_change t =
 
 let handle_instance_change t ~from ~cpi =
   if cpi >= t.cpi then begin
-    if not (List.exists (fun (node, c) -> node = from && c = cpi) t.ic_votes) then
-      t.ic_votes <- (from, cpi) :: t.ic_votes;
+    note_ic_vote t ~from ~cpi;
     (* Vote along only if this node also observes the problem. *)
     if t.suspicious then send_instance_change t;
     check_ic_quorum t
@@ -700,7 +711,8 @@ let create engine net params ~id ~service =
       blacklist = [];
       cpi = 0;
       suspicious = false;
-      ic_votes = [];
+      ic_vote_cpi = Array.make (Params.n params) (-1);
+      ic_votes = Pbftcore.Voteset.create ~n:(Params.n params);
       ic_sent_for = -1;
       instance_changes = 0;
       last_change_at = Time.zero;

@@ -24,6 +24,14 @@ let f2_scale = function
   | Rbft | Rbft_udp -> 23_000.0 /. 34_000.0
   | Aardvark | Spinning | Prime -> 0.55
 
+(* Beyond f = 2 the per-step fan-out keeps growing by the same factor
+   per extra fault tolerated, so the measured f = 2 ratio is
+   extrapolated geometrically: scale(f) = f2_scale^(f-1). Only the
+   scaling sweep (f = 3 -> 10 nodes) relies on the extrapolated
+   point. *)
+let f_scale proto ~f =
+  if f <= 1 then 1.0 else f2_scale proto ** float_of_int (f - 1)
+
 let interpolate (rate8, rate4k) ~size =
   (* Per-request cost grows linearly with size between the anchors. *)
   let cost8 = 1.0 /. rate8 and cost4k = 1.0 /. rate4k in
@@ -31,8 +39,7 @@ let interpolate (rate8, rate4k) ~size =
   1.0 /. (cost8 +. (frac *. (cost4k -. cost8)))
 
 let peak_rate ?(f = 1) proto ~size =
-  let base = interpolate (anchors proto) ~size in
-  if f <= 1 then base else base *. f2_scale proto
+  interpolate (anchors proto) ~size *. f_scale proto ~f
 
 (* Slightly above peak for the pipelined RBFT (queues stay full and
    throughput holds); slightly below for the single-threaded baselines

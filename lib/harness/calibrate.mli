@@ -10,7 +10,10 @@
 type protocol = Rbft | Rbft_udp | Aardvark | Spinning | Prime
 
 val peak_rate : ?f:int -> protocol -> size:int -> float
-(** Estimated peak throughput (req/s) at the given request size. *)
+(** Estimated peak throughput (req/s) at the given request size.
+    [?f] (default 1) scales for larger clusters: the f = 2 point is
+    measured, higher [f] extrapolate the same per-fault ratio
+    geometrically. *)
 
 val saturating_rate : ?f:int -> protocol -> size:int -> float
 (** Offered load used for "static, saturated" experiments: slightly

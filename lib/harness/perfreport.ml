@@ -24,12 +24,12 @@ let duration ~quick = Time.of_sec_f (if quick then 1.0 else 2.0)
 
 (* Mirrors the harness' static saturated runner, with the registry
    optionally live (reset per run so counters describe one run). *)
-let static_run ?(attack = fun _ -> ()) ~with_metrics ~quick ~payload () =
+let static_run ?(attack = fun _ -> ()) ?(f = 1) ~with_metrics ~quick ~payload () =
   let module Registry = Bftmetrics.Registry in
   (* Calibrate before touching the registry so the probe runs don't
      pollute this run's counters. *)
   Registry.disable ();
-  let rate = Calibrate.saturating_rate Calibrate.Rbft ~size:payload in
+  let rate = Calibrate.saturating_rate ~f Calibrate.Rbft ~size:payload in
   Registry.reset Registry.default;
   if with_metrics then Registry.enable () else Registry.disable ();
   let clients = 20 in
@@ -37,7 +37,7 @@ let static_run ?(attack = fun _ -> ()) ~with_metrics ~quick ~payload () =
     Loadshape.static ~duration:(duration ~quick) ~clients
       ~rate:(rate /. float_of_int clients)
   in
-  let params = Rbft.Params.default ~f:1 in
+  let params = Rbft.Params.default ~f in
   let cluster =
     Rbft.Cluster.create ~clients:(Loadshape.max_clients shape)
       ~payload_size:payload params
@@ -200,3 +200,49 @@ let write ~quick ~path =
   let json = generate ~quick in
   Bftmetrics.Export.to_channel_or_file ~path json;
   if path <> "-" then Printf.printf "performance report -> %s\n%!" path
+
+(* ------------------------------------------------------------------ *)
+(* Scaling sweep (BENCH_scale.json)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let generate_scale ~quick =
+  let module Profile = Bftmetrics.Profile in
+  let payload = 8 in
+  let rows =
+    List.map
+      (fun f ->
+        let n = (3 * f) + 1 and instances = f + 1 in
+        Profile.time (Printf.sprintf "perfreport:scale-f%d" f) (fun () ->
+            let r = static_run ~f ~with_metrics:true ~quick ~payload () in
+            (f, n, instances, r)))
+      [ 1; 2; 3 ]
+  in
+  Bftmetrics.Registry.disable ();
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf {|  "bench": "rbft-scale",%s  "mode": "%s",%s  "payload": "%s",%s|}
+       "\n"
+       (if quick then "quick" else "full")
+       "\n" (size_key payload) "\n");
+  Buffer.add_string buf "  \"sweep\": {\n";
+  Buffer.add_string buf
+    (String.concat ",\n"
+       (List.map
+          (fun (f, n, instances, r) ->
+            Printf.sprintf {|    "f%d": {"n":%d,"instances":%d,%s}|} f n
+              instances
+              (let s = json_of_result r in
+               (* splice the result fields into the same object *)
+               String.sub s 1 (String.length s - 2)))
+          rows));
+  Buffer.add_string buf "\n  },\n";
+  Buffer.add_string buf
+    (Printf.sprintf {|  "profile": %s%s|} (Bftmetrics.Profile.json ()) "\n");
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_scale ~quick ~path =
+  let json = generate_scale ~quick in
+  Bftmetrics.Export.to_channel_or_file ~path json;
+  if path <> "-" then Printf.printf "scaling report -> %s\n%!" path

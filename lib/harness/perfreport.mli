@@ -12,3 +12,12 @@ val generate : quick:bool -> string
 
 val write : quick:bool -> path:string -> unit
 (** {!generate} and write to [path] ('-' for stdout). *)
+
+val generate_scale : quick:bool -> string
+(** Scaling sweep ([BENCH_scale.json]): fault-free 8 B RBFT at
+    f = 1, 2, 3 (4, 7 and 10 nodes; f+1 protocol instances), each at
+    its calibrated saturation point, reduced to throughput and
+    latency percentiles per cluster size. *)
+
+val write_scale : quick:bool -> path:string -> unit
+(** {!generate_scale} and write to [path] ('-' for stdout). *)

@@ -2,6 +2,7 @@
     instance) and by the Aardvark baseline. *)
 
 module Types = Types
+module Voteset = Voteset
 module Messages = Messages
 module Replica = Replica
 module Codec = Codec

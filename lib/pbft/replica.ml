@@ -50,9 +50,10 @@ type entry = {
   mutable digest : string;
   (* Votes are stored with the digest they endorse: votes may arrive
      before the PRE-PREPARE fixes the batch digest, and only matching
-     ones count towards the quorums. *)
-  mutable prepares : (int * string) list;  (* (replica, digest), distinct replicas *)
-  mutable commits : (int * string) list;
+     ones count towards the quorums (tracked incrementally by the
+     tagged vote sets). *)
+  prepares : Voteset.Tagged.t;
+  commits : Voteset.Tagged.t;
   mutable sent_prepare : bool;
   mutable sent_commit : bool;
   mutable delivered : bool;
@@ -118,14 +119,17 @@ type t = {
   known : request_desc Request_id_table.t;  (* submitted, available for ordering *)
   delivered_ids : unit Request_id_table.t;
   mutable pending_batch : request_desc list;  (* primary: reversed accumulation *)
+  mutable pending_len : int;  (* length of [pending_batch], kept in step *)
   mutable batch_timer : Engine.timer option;
   mutable next_seq : seqno;  (* primary: next seq to assign *)
   mutable next_deliver : seqno;
   mutable last_stable : seqno;
   mutable chain_digest : string;
-  checkpoints : (seqno, (string * int list) list ref) Hashtbl.t;
-  (* view-change votes: target view -> replica ids and their messages *)
-  vc_votes : (view, (int * Messages.t) list ref) Hashtbl.t;
+  (* checkpoint votes per seq: digest -> voters (few digests per seq) *)
+  checkpoints : (seqno, (string * Voteset.t) list ref) Hashtbl.t;
+  (* view-change votes: target view -> voters (messages are re-derived
+     from local state, never read back from the votes) *)
+  vc_votes : (view, Voteset.t) Hashtbl.t;
   mutable ordered_count : int;
   mutable state_transfers : int;
   mutable pp_release : Time.t;  (* pacing floor for adversarial PP delays *)
@@ -154,6 +158,7 @@ let create ?clock engine cfg cb =
     known = Request_id_table.create 1024;
     delivered_ids = Request_id_table.create 4096;
     pending_batch = [];
+    pending_len = 0;
     batch_timer = None;
     next_seq = 1;
     next_deliver = 1;
@@ -193,8 +198,8 @@ let entry_for t seq =
         pp = None;
         pp_view = -1;
         digest = "";
-        prepares = [];
-        commits = [];
+        prepares = Voteset.Tagged.create ~n:t.cfg.n;
+        commits = Voteset.Tagged.create ~n:t.cfg.n;
         sent_prepare = false;
         sent_commit = false;
         delivered = false;
@@ -209,11 +214,13 @@ let in_window t seq =
   seq > t.last_stable && seq <= t.last_stable + t.cfg.watermark_window
 
 (* Quorum counting: once the PRE-PREPARE has fixed the batch digest,
-   only votes endorsing it count; before that, count provisionally. *)
-let matching_votes (e : entry) votes =
-  if e.digest = "" then List.length votes
-  else
-    List.length (List.filter (fun (_, d) -> String.equal d e.digest) votes)
+   only votes endorsing it count; before that, count provisionally.
+   Both cases are O(1) field reads on the tagged vote sets; fixing the
+   digest re-anchors them. *)
+let set_entry_digest (e : entry) digest =
+  e.digest <- digest;
+  Voteset.Tagged.set_reference e.prepares digest;
+  Voteset.Tagged.set_reference e.commits digest
 
 (* ------------------------------------------------------------------ *)
 (* Delivery and checkpoints                                           *)
@@ -262,13 +269,18 @@ let broadcast t msg =
     t.cb.broadcast msg
   end
 
+(* Collect the doomed keys first, then remove: [Hashtbl.remove] during
+   [Hashtbl.iter] is undefined, and the previous [Hashtbl.copy] of both
+   whole tables allocated a full copy on every stable checkpoint. *)
+let remove_keys_below table seq =
+  let doomed =
+    Hashtbl.fold (fun s _ acc -> if s <= seq then s :: acc else acc) table []
+  in
+  List.iter (Hashtbl.remove table) doomed
+
 let gc_below t seq =
-  Hashtbl.iter
-    (fun s _ -> if s <= seq then Hashtbl.remove t.entries s)
-    (Hashtbl.copy t.entries);
-  Hashtbl.iter
-    (fun s _ -> if s <= seq then Hashtbl.remove t.checkpoints s)
-    (Hashtbl.copy t.checkpoints)
+  remove_keys_below t.entries seq;
+  remove_keys_below t.checkpoints seq
 
 let accept_checkpoint t ~seq ~state_digest ~replica =
   if seq > t.last_stable then begin
@@ -280,16 +292,16 @@ let accept_checkpoint t ~seq ~state_digest ~replica =
         Hashtbl.add t.checkpoints seq v;
         v
     in
-    let updated =
-      ( state_digest,
-        match List.assoc_opt state_digest !votes with
-        | Some replicas ->
-          if List.mem replica replicas then replicas else replica :: replicas
-        | None -> [ replica ] )
+    let voters =
+      match List.assoc_opt state_digest !votes with
+      | Some voters -> voters
+      | None ->
+        let voters = Voteset.create ~n:t.cfg.n in
+        votes := (state_digest, voters) :: !votes;
+        voters
     in
-    votes := updated :: List.remove_assoc state_digest !votes;
-    match List.assoc_opt state_digest !votes with
-    | Some replicas when List.length replicas >= (2 * t.cfg.f) + 1 ->
+    ignore (Voteset.add voters replica);
+    if Voteset.count voters >= (2 * t.cfg.f) + 1 then begin
       t.last_stable <- seq;
       if Bftaudit.Bus.active () then
         audit t (Bftaudit.Event.Checkpoint_stable { seq; digest = state_digest });
@@ -307,7 +319,7 @@ let accept_checkpoint t ~seq ~state_digest ~replica =
          floor could never issue a batch again. *)
       if t.next_seq <= seq then t.next_seq <- seq + 1;
       gc_below t seq
-    | Some _ | None -> ()
+    end
   end
 
 (* A replica's own checkpoint counts towards the 2f+1 quorum. *)
@@ -323,7 +335,7 @@ let rec try_deliver t =
     t.next_deliver <- t.next_deliver + 1;
     try_deliver t
   | Some ({ pp = Some pp; _ } as e)
-    when matching_votes e e.commits >= (2 * t.cfg.f) + 1 && e.sent_commit ->
+    when Voteset.Tagged.matching e.commits >= (2 * t.cfg.f) + 1 && e.sent_commit ->
     e.delivered <- true;
     let seq = t.next_deliver in
     t.next_deliver <- t.next_deliver + 1;
@@ -370,11 +382,11 @@ let cancel_batch_timer t =
 let maybe_send_commit t seq (e : entry) =
   if
     (not e.sent_commit) && e.sent_prepare
-    && matching_votes e e.prepares >= 2 * t.cfg.f
+    && Voteset.Tagged.matching e.prepares >= 2 * t.cfg.f
   then begin
     e.sent_commit <- true;
     e.t_prepared <- Engine.now t.engine;
-    e.commits <- (t.cfg.replica_id, e.digest) :: e.commits;
+    ignore (Voteset.Tagged.add e.commits ~replica:t.cfg.replica_id ~digest:e.digest);
     broadcast t
       (Messages.Commit
          { view = t.view; seq; digest = e.digest; replica = t.cfg.replica_id });
@@ -385,15 +397,19 @@ let record_pp t (pp : Messages.pre_prepare) =
   let e = entry_for t pp.seq in
   e.pp <- Some pp;
   e.pp_view <- pp.view;
-  e.digest <- Messages.batch_digest pp.descs;
+  set_entry_digest e (Messages.batch_digest pp.descs);
   e.t_pp <- Engine.now t.engine
 
 let rec flush_batch t =
   cancel_batch_timer t;
-  if t.pending_batch <> [] && not t.in_vc && in_window t t.next_seq then begin
+  if t.pending_len > 0 && not t.in_vc && in_window t t.next_seq then begin
     let descs = List.rev t.pending_batch in
+    (* The running [pending_len] replaces the [List.length] walks the
+       old accounting performed per flush (and per enqueued request in
+       [maybe_batch]). *)
+    let batch_len = Stdlib.min t.pending_len t.cfg.batch_size in
     let batch, rest =
-      if List.length descs <= t.cfg.batch_size then (descs, [])
+      if t.pending_len <= t.cfg.batch_size then (descs, [])
       else
         let rec split i acc = function
           | [] -> (List.rev acc, [])
@@ -403,9 +419,9 @@ let rec flush_batch t =
         split t.cfg.batch_size [] descs
     in
     t.pending_batch <- List.rev rest;
+    t.pending_len <- t.pending_len - batch_len;
     if Bftmetrics.Registry.active () then
-      Bftmetrics.Hist.add t.m.batch_occupancy
-        (float_of_int (List.length batch));
+      Bftmetrics.Hist.add t.m.batch_occupancy (float_of_int batch_len);
     let seq = t.next_seq in
     t.next_seq <- seq + 1;
     let pp = { Messages.view = t.view; seq; descs = batch } in
@@ -432,7 +448,7 @@ let rec flush_batch t =
          accounts for the actual batch fill. *)
       let interval =
         if rate_limit > 0.0 then
-          Time.of_sec_f (float_of_int (List.length batch) /. rate_limit)
+          Time.of_sec_f (float_of_int batch_len /. rate_limit)
         else Time.zero
       in
       let release =
@@ -443,13 +459,13 @@ let rec flush_batch t =
       t.pp_release <- release;
       ignore (Engine.at t.engine release (fun () -> if not t.in_vc then issue ()))
     end;
-    if t.pending_batch <> [] then flush_batch t
+    if t.pending_len > 0 then flush_batch t
   end
 
 let maybe_batch t =
   if is_primary t && not t.in_vc then begin
-    if List.length t.pending_batch >= t.cfg.batch_size then flush_batch t
-    else if t.batch_timer = None && t.pending_batch <> [] then
+    if t.pending_len >= t.cfg.batch_size then flush_batch t
+    else if t.batch_timer = None && t.pending_len > 0 then
       t.batch_timer <-
         Some (Clock.after t.clock t.cfg.batch_delay (fun () ->
                   t.batch_timer <- None;
@@ -459,6 +475,7 @@ let maybe_batch t =
 let enqueue_for_batching t desc =
   if not (Request_id_table.mem t.delivered_ids desc.id) then begin
     t.pending_batch <- desc :: t.pending_batch;
+    t.pending_len <- t.pending_len + 1;
     maybe_batch t
   end
 
@@ -483,7 +500,7 @@ let maybe_send_prepare t (pp : Messages.pre_prepare) =
     end
     else if have_all_requests t pp then begin
       e.sent_prepare <- true;
-      e.prepares <- (t.cfg.replica_id, e.digest) :: e.prepares;
+      ignore (Voteset.Tagged.add e.prepares ~replica:t.cfg.replica_id ~digest:e.digest);
       broadcast t
         (Messages.Prepare
            { view = t.view; seq = pp.seq; digest = e.digest; replica = t.cfg.replica_id });
@@ -516,7 +533,7 @@ let accept_pp t ~from (pp : Messages.pre_prepare) =
          earlier view and re-proposed by the new primary. *)
       e.pp <- Some pp;
       e.pp_view <- pp.view;
-      e.digest <- digest;
+      set_entry_digest e digest;
       e.t_pp <- Engine.now t.engine;
       (* Track requests for cross-view re-proposal. *)
       List.iter
@@ -533,19 +550,16 @@ let accept_prepare t ~view ~seq ~digest ~replica =
     let e = entry_for t seq in
     (* Prepares may arrive before the PRE-PREPARE: store them with the
        digest they endorse; only matching ones are counted. *)
-    if not (List.mem_assoc replica e.prepares) then begin
-      e.prepares <- (replica, digest) :: e.prepares;
+    if Voteset.Tagged.add e.prepares ~replica ~digest then
       maybe_send_commit t seq e
-    end
   end
 
 let accept_commit t ~view ~seq ~digest ~replica =
   if view = t.view && (not t.in_vc) && in_window t seq then begin
     let e = entry_for t seq in
-    if not (List.mem_assoc replica e.commits) then begin
-      e.commits <- (replica, digest) :: e.commits;
-      if matching_votes e e.commits >= (2 * t.cfg.f) + 1 then try_deliver t
-    end
+    if Voteset.Tagged.add e.commits ~replica ~digest then
+      if Voteset.Tagged.matching e.commits >= (2 * t.cfg.f) + 1 then
+        try_deliver t
   end
 
 (* ------------------------------------------------------------------ *)
@@ -564,12 +578,12 @@ let vc_votes_for t target =
   match Hashtbl.find_opt t.vc_votes target with
   | Some v -> v
   | None ->
-    let v = ref [] in
+    let v = Voteset.create ~n:t.cfg.n in
     Hashtbl.add t.vc_votes target v;
     v
 
 let rec start_view_change t target =
-  if target > t.view && not (List.mem_assoc t.cfg.replica_id !(vc_votes_for t target))
+  if target > t.view && not (Voteset.mem (vc_votes_for t target) t.cfg.replica_id)
   then begin
     t.in_vc <- true;
     cancel_batch_timer t;
@@ -582,8 +596,7 @@ let rec start_view_change t target =
           replica = t.cfg.replica_id;
         }
     in
-    let votes = vc_votes_for t target in
-    votes := (t.cfg.replica_id, msg) :: !votes;
+    ignore (Voteset.add (vc_votes_for t target) t.cfg.replica_id);
     broadcast t msg;
     (* If enough votes already arrived (we were late), finish now. *)
     check_new_view t target
@@ -609,11 +622,11 @@ and enter_view t v =
     (fun _ (e : entry) ->
       if not e.delivered then begin
         let committed =
-          e.sent_commit && matching_votes e e.commits >= (2 * t.cfg.f) + 1
+          e.sent_commit && Voteset.Tagged.matching e.commits >= (2 * t.cfg.f) + 1
         in
         if not committed then begin
-          e.prepares <- [];
-          e.commits <- [];
+          Voteset.Tagged.clear e.prepares;
+          Voteset.Tagged.clear e.commits;
           e.sent_prepare <- false;
           e.sent_commit <- false
         end
@@ -663,30 +676,34 @@ and new_primary_repropose t v =
     pps;
   (* Re-batch the rest. *)
   t.pending_batch <- [];
+  t.pending_len <- 0;
   Request_id_table.iter
     (fun id d ->
       if
         (not (Request_id_table.mem t.delivered_ids id))
         && not (Request_id_set.mem id !reproposed)
-      then t.pending_batch <- d :: t.pending_batch)
+      then begin
+        t.pending_batch <- d :: t.pending_batch;
+        t.pending_len <- t.pending_len + 1
+      end)
     t.known;
   maybe_batch t
 
 and check_new_view t target =
   let votes = vc_votes_for t target in
   if
-    List.length !votes >= (2 * t.cfg.f) + 1
+    Voteset.count votes >= (2 * t.cfg.f) + 1
     && t.cfg.primary_of_view target = t.cfg.replica_id
     && t.view < target
   then new_primary_repropose t target
 
-let accept_view_change t ~from ~new_view msg =
+let accept_view_change t ~from ~new_view =
   if new_view > t.view then begin
     let votes = vc_votes_for t new_view in
-    if not (List.mem_assoc from !votes) then votes := (from, msg) :: !votes;
+    ignore (Voteset.add votes from);
     (* Join the view change once f+1 votes are seen: at least one
        correct replica wants it. *)
-    if List.length !votes >= t.cfg.f + 1 && not t.in_vc then
+    if Voteset.count votes >= t.cfg.f + 1 && not t.in_vc then
       start_view_change t new_view;
     check_new_view t new_view
   end
@@ -732,7 +749,7 @@ let receive t ~from msg =
     | Messages.Checkpoint { seq; state_digest; replica } ->
       accept_checkpoint t ~seq ~state_digest ~replica
     | Messages.View_change { new_view; _ } ->
-      accept_view_change t ~from ~new_view msg
+      accept_view_change t ~from ~new_view
     | Messages.New_view { view; pre_prepares; _ } ->
       accept_new_view t ~from view pre_prepares
 
@@ -747,13 +764,20 @@ let debug_dump t =
     | None -> "head:none"
     | Some e ->
       Printf.sprintf "head:{pp=%b view=%d prep=%d com=%d sp=%b sc=%b}"
-        (e.pp <> None) e.pp_view (List.length e.prepares) (List.length e.commits)
+        (e.pp <> None) e.pp_view
+        (Voteset.Tagged.count e.prepares)
+        (Voteset.Tagged.count e.commits)
         e.sent_prepare e.sent_commit
   in
   Printf.sprintf
     "view=%d in_vc=%b next_seq=%d next_deliver=%d stable=%d pendbatch=%d waiting=%d release=%s %s"
-    t.view t.in_vc t.next_seq t.next_deliver t.last_stable
-    (List.length t.pending_batch)
+    t.view t.in_vc t.next_seq t.next_deliver t.last_stable t.pending_len
     (List.length t.waiting_pps)
     (Time.to_string (Time.sub t.pp_release (Engine.now t.engine)))
     head
+
+(* Test hook: the live keys of the entry log, ascending. Pins the
+   checkpoint GC behaviour (exactly the post-watermark entries
+   survive) without exposing the table itself. *)
+let debug_live_seqs t =
+  List.sort compare (Hashtbl.fold (fun s _ acc -> s :: acc) t.entries [])

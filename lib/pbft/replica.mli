@@ -123,3 +123,7 @@ val debug_dump : t -> string
 (** One-line internal state summary (sequence counters, watermarks,
     the entry blocking delivery), for development probes and failure
     reports in tests. *)
+
+val debug_live_seqs : t -> seqno list
+(** Ascending sequence numbers currently held in the entry log, for
+    tests pinning the checkpoint garbage collection. *)

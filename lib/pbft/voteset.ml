@@ -1,0 +1,125 @@
+(* Fixed-size bitset vote sets keyed by replica id.
+
+   Replaces the assoc-list vote tracking that used to sit on the
+   ordering hot path: every PREPARE/COMMIT used to cons onto a
+   [(replica, digest) list] and every quorum check walked it with
+   [List.filter] + [List.length]. A vote set is one heap block per
+   entry, votes are bits, and the quorum check is a field read.
+
+   The module lives in [Pbftcore] (not the RBFT core library) because
+   every protocol stack — pbft/aardvark, the RBFT node, spinning,
+   prime — already depends on [pbftcore], while the reverse dependency
+   would be circular. *)
+
+type t = { n : int; mutable mask : int; mutable count : int }
+
+(* Replica ids index bits of one immediate int: [n] is 3f+1 (a few
+   tens at most in any configuration the harness runs), far below the
+   62-bit ceiling. *)
+let max_n = Sys.int_size - 1
+
+let create ~n =
+  if n < 0 || n > max_n then
+    invalid_arg (Printf.sprintf "Voteset.create: n = %d (max %d)" n max_n);
+  { n; mask = 0; count = 0 }
+
+let n t = t.n
+let count t = t.count
+let is_empty t = t.count = 0
+
+let mem t r = r >= 0 && r < t.n && t.mask land (1 lsl r) <> 0
+
+(* Out-of-range ids (a malformed or hostile message) are rejected, not
+   an error: the assoc lists silently accepted them, the bitset
+   silently drops them — either way they never reach a quorum. *)
+let add t r =
+  if r < 0 || r >= t.n then false
+  else begin
+    let bit = 1 lsl r in
+    if t.mask land bit <> 0 then false
+    else begin
+      t.mask <- t.mask lor bit;
+      t.count <- t.count + 1;
+      true
+    end
+  end
+
+let clear t =
+  t.mask <- 0;
+  t.count <- 0
+
+let iter f t =
+  let m = ref t.mask in
+  while !m <> 0 do
+    let low = !m land -(!m) in
+    (* log2 of a single set bit *)
+    let r = ref 0 and b = ref low in
+    while !b > 1 do
+      b := !b lsr 1;
+      incr r
+    done;
+    f !r;
+    m := !m land lnot low
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun r -> acc := r :: !acc) t;
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* Digest-tagged votes                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* PBFT prepares/commits endorse a batch digest, and votes may arrive
+   before the PRE-PREPARE fixes it. [Tagged] keeps, next to the voter
+   bitset, each replica's endorsed digest and a running count of the
+   votes matching the current reference digest, so the hot-path quorum
+   check ([matching]) stays O(1). While the reference is unset every
+   vote counts provisionally — the semantics the assoc-list code
+   implemented with a per-message [List.filter]. *)
+module Tagged = struct
+  type nonrec t = {
+    votes : t;  (* who voted, regardless of digest *)
+    digests : string array;  (* digests.(r) valid iff [mem votes r] *)
+    mutable reference : string;  (* "" = not fixed yet *)
+    mutable matching : int;  (* votes with digest = reference *)
+  }
+
+  let create ~n =
+    { votes = create ~n; digests = Array.make n ""; reference = ""; matching = 0 }
+
+  let count t = t.votes.count
+  let mem t r = mem t.votes r
+  let reference t = t.reference
+
+  let matching t =
+    if String.length t.reference = 0 then t.votes.count else t.matching
+
+  let add t ~replica ~digest =
+    if add t.votes replica then begin
+      (* [add] proved [replica] in range. *)
+      Array.unsafe_set t.digests replica digest;
+      if String.length t.reference > 0 && String.equal digest t.reference then
+        t.matching <- t.matching + 1;
+      true
+    end
+    else false
+
+  let set_reference t digest =
+    if not (String.equal t.reference digest) then begin
+      t.reference <- digest;
+      if String.length digest = 0 then t.matching <- 0
+      else begin
+        let m = ref 0 in
+        iter
+          (fun r -> if String.equal t.digests.(r) digest then incr m)
+          t.votes;
+        t.matching <- !m
+      end
+    end
+
+  let clear t =
+    clear t.votes;
+    t.matching <- 0
+end

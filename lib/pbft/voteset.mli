@@ -1,0 +1,66 @@
+(** Fixed-size bitset vote sets keyed by replica id.
+
+    The ordering hot path counts prepare/commit/view-change/checkpoint
+    quorums once per protocol message; these sets make the three
+    operations that dominate it — add a vote, test membership, compare
+    the vote count against a quorum — O(1) with no allocation, where
+    the previous assoc-list representation consed per vote and walked
+    the list per check.
+
+    Replica ids must be in [0, n); anything else is silently rejected
+    (hostile messages can carry arbitrary ids). [n] is limited to
+    [Sys.int_size - 1] (62 on 64-bit): votes are bits of one
+    immediate int. *)
+
+type t
+
+val create : n:int -> t
+(** Empty set over replica ids [0 .. n-1]. Raises [Invalid_argument]
+    when [n] exceeds [Sys.int_size - 1]. *)
+
+val n : t -> int
+val count : t -> int
+val is_empty : t -> bool
+val mem : t -> int -> bool
+
+val add : t -> int -> bool
+(** [add t r] records replica [r]'s vote; [true] iff it was fresh
+    (in range and not yet present). *)
+
+val clear : t -> unit
+val iter : (int -> unit) -> t -> unit
+
+val to_list : t -> int list
+(** Ascending replica ids, for debug output and tests. *)
+
+(** Votes that endorse a batch digest (PBFT prepares/commits).
+
+    Votes may arrive before the PRE-PREPARE fixes the digest of the
+    slot: each vote is stored with the digest it endorses, and
+    {!Tagged.matching} counts only votes matching the current
+    reference digest — or every vote while the reference is unset
+    (provisional counting, the pre-PRE-PREPARE state). The matching
+    count is maintained incrementally so the quorum check stays
+    O(1); re-fixing the reference ({!Tagged.set_reference}) rescans
+    the at-most-[n] recorded votes. *)
+module Tagged : sig
+  type t
+
+  val create : n:int -> t
+  val count : t -> int
+  val mem : t -> int -> bool
+
+  val add : t -> replica:int -> digest:string -> bool
+  (** [true] iff the vote was fresh; the first vote of a replica wins
+      (a replica cannot re-endorse a different digest). *)
+
+  val matching : t -> int
+  (** Votes endorsing the reference digest; total votes while the
+      reference is unset. *)
+
+  val reference : t -> string
+  val set_reference : t -> string -> unit
+
+  val clear : t -> unit
+  (** Drop all votes; the reference digest is kept. *)
+end

@@ -41,8 +41,8 @@ type faults = { mutable delay_to_limit : bool; mutable limit_fraction : float }
 type seq_entry = {
   mutable vector : int array option;
   mutable digest : string;
-  mutable prepares : int list;
-  mutable commits : int list;
+  prepares : Pbftcore.Voteset.t;
+  commits : Pbftcore.Voteset.t;
   mutable sent_prepare : bool;
   mutable sent_commit : bool;
   mutable delivered : bool;
@@ -68,7 +68,7 @@ type t = {
   mutable view : int;
   mutable next_seq : int;  (* primary: next PP seq *)
   mutable next_deliver : int;
-  mutable suspects : int list;  (* replicas voting against current view *)
+  suspects : Pbftcore.Voteset.t;  (* replicas voting against current view *)
   mutable suspects_seen : int;
   executed : string Request_id_table.t;
   exec_counter : Bftmetrics.Throughput.t;
@@ -153,8 +153,8 @@ let entry_for t seq =
       {
         vector = None;
         digest = "";
-        prepares = [];
-        commits = [];
+        prepares = Pbftcore.Voteset.create ~n:(n_nodes t);
+        commits = Pbftcore.Voteset.create ~n:(n_nodes t);
         sent_prepare = false;
         sent_commit = false;
         delivered = false;
@@ -224,7 +224,7 @@ let rec try_deliver t =
   match e.vector with
   | Some vector
     when e.sent_commit
-         && List.length e.commits >= (2 * t.cfg.f) + 1
+         && Pbftcore.Voteset.count e.commits >= (2 * t.cfg.f) + 1
          && not e.delivered ->
     (* Check every covered PO-REQUEST is locally available. *)
     let ready =
@@ -285,10 +285,12 @@ let rec try_deliver t =
 (* ------------------------------------------------------------------ *)
 
 let maybe_commit t seq (e : seq_entry) =
-  if (not e.sent_commit) && e.sent_prepare && List.length e.prepares >= 2 * t.cfg.f
+  if
+    (not e.sent_commit) && e.sent_prepare
+    && Pbftcore.Voteset.count e.prepares >= 2 * t.cfg.f
   then begin
     e.sent_commit <- true;
-    e.commits <- t.id :: e.commits;
+    ignore (Pbftcore.Voteset.add e.commits t.id);
     broadcast_signed t (Commit { view = t.view; seq; digest = e.digest; replica = t.id });
     try_deliver t
   end
@@ -302,7 +304,7 @@ let accept_pp t ~from ~view ~seq vector =
       e.digest <- vector_digest view seq vector;
       if from <> t.id then begin
         e.sent_prepare <- true;
-        e.prepares <- t.id :: e.prepares;
+        ignore (Pbftcore.Voteset.add e.prepares t.id);
         broadcast_signed t
           (Prepare { view; seq; digest = e.digest; replica = t.id })
       end
@@ -349,7 +351,7 @@ let rec arm_pp_loop t =
 let enter_view t v =
   if v > t.view then begin
     t.view <- v;
-    t.suspects <- [];
+    Pbftcore.Voteset.clear t.suspects;
     (* Re-anchor monitoring in the new view. *)
     Monitor.note_pre_prepare t.monitor ~now:(Engine.now t.engine);
     if is_primary t then t.next_seq <- Stdlib.max t.next_seq t.next_deliver
@@ -357,20 +359,19 @@ let enter_view t v =
 
 let note_suspect t ~replica ~view =
   if view = t.view then begin
-    if not (List.mem replica t.suspects) then begin
-      t.suspects <- replica :: t.suspects;
-      t.suspects_seen <- t.suspects_seen + 1
-    end;
-    if List.length t.suspects >= (2 * t.cfg.f) + 1 then enter_view t (t.view + 1)
+    if Pbftcore.Voteset.add t.suspects replica then
+      t.suspects_seen <- t.suspects_seen + 1;
+    if Pbftcore.Voteset.count t.suspects >= (2 * t.cfg.f) + 1 then
+      enter_view t (t.view + 1)
   end
 
 let check_suspicion t =
   if (not (is_primary t)) && Monitor.suspicious t.monitor ~now:(Engine.now t.engine)
   then
-    if not (List.mem t.id t.suspects) then begin
-      t.suspects <- t.id :: t.suspects;
+    if Pbftcore.Voteset.add t.suspects t.id then begin
       broadcast_signed t (Suspect { view = t.view; replica = t.id });
-      if List.length t.suspects >= (2 * t.cfg.f) + 1 then enter_view t (t.view + 1)
+      if Pbftcore.Voteset.count t.suspects >= (2 * t.cfg.f) + 1 then
+        enter_view t (t.view + 1)
     end
 
 (* ------------------------------------------------------------------ *)
@@ -435,11 +436,8 @@ let on_delivery t (d : msg Network.delivery) =
           let e = entry_for t seq in
           if
             (e.vector = None || String.equal e.digest digest)
-            && not (List.mem replica e.prepares)
-          then begin
-            e.prepares <- replica :: e.prepares;
-            maybe_commit t seq e
-          end
+            && Pbftcore.Voteset.add e.prepares replica
+          then maybe_commit t seq e
         end)
   | Commit { view; seq; digest; replica } ->
     Resource.submit t.main ~cost:with_sig (fun () ->
@@ -447,11 +445,8 @@ let on_delivery t (d : msg Network.delivery) =
           let e = entry_for t seq in
           if
             (e.vector = None || String.equal e.digest digest)
-            && not (List.mem replica e.commits)
-          then begin
-            e.commits <- replica :: e.commits;
-            try_deliver t
-          end
+            && Pbftcore.Voteset.add e.commits replica
+          then try_deliver t
         end)
   | Ping { from; nonce } ->
     Resource.submit t.main ~cost:with_sig (fun () ->
@@ -490,7 +485,7 @@ let create engine net cfg ~id ~service =
       view = 0;
       next_seq = 1;
       next_deliver = 1;
-      suspects = [];
+      suspects = Pbftcore.Voteset.create ~n;
       suspects_seen = 0;
       executed = Request_id_table.create 4096;
       exec_counter = Bftmetrics.Throughput.create ();

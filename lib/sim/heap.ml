@@ -10,18 +10,25 @@ let is_empty h = h.size = 0
 
 let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
 
+(* A single shared placeholder written into vacated slots so popped
+   values do not stay reachable from the backing array. Its [value]
+   field is an immediate integer, so the unsafe cast is invisible to the
+   GC, and [size] guards every read, so the placeholder is never
+   observed as an ['a entry]. *)
+let dummy_obj : Obj.t entry = { key = min_int; seq = min_int; value = Obj.repr 0 }
+let dummy () : 'a entry = Obj.magic dummy_obj
+
 let grow h =
   let cap = Array.length h.data in
   let new_cap = if cap = 0 then 64 else cap * 2 in
-  (* The dummy element is never read: [size] guards all accesses. *)
-  let dummy = h.data.(0) in
-  let data = Array.make new_cap dummy in
+  let data = Array.make new_cap (dummy ()) in
   Array.blit h.data 0 data 0 h.size;
   h.data <- data
 
 let push h ~key ~seq value =
   let entry = { key; seq; value } in
-  if h.size = 0 && Array.length h.data = 0 then h.data <- Array.make 64 entry;
+  if h.size = 0 && Array.length h.data = 0 then
+    h.data <- Array.make 64 (dummy ());
   if h.size = Array.length h.data then grow h;
   let i = ref h.size in
   h.size <- h.size + 1;
@@ -46,6 +53,7 @@ let pop h =
     h.size <- h.size - 1;
     if h.size > 0 then begin
       h.data.(0) <- h.data.(h.size);
+      h.data.(h.size) <- dummy ();
       (* Sift down. *)
       let i = ref 0 in
       let continue = ref true in
@@ -64,10 +72,13 @@ let pop h =
         end
         else continue := false
       done
-    end;
+    end
+    else h.data.(0) <- dummy ();
     Some (root.key, root.seq, root.value)
   end
 
 let peek_key h = if h.size = 0 then None else Some h.data.(0).key
 
-let clear h = h.size <- 0
+let clear h =
+  Array.fill h.data 0 h.size (dummy ());
+  h.size <- 0

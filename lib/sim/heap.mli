@@ -17,9 +17,12 @@ val push : 'a t -> key:int -> seq:int -> 'a -> unit
 
 val pop : 'a t -> (int * int * 'a) option
 (** [pop h] removes and returns the minimum element, or [None] when the
-    heap is empty. *)
+    heap is empty. The vacated slot in the backing array is overwritten
+    so the heap keeps no reference to the popped value. *)
 
 val peek_key : 'a t -> int option
 (** [peek_key h] is the smallest key without removing it. *)
 
 val clear : 'a t -> unit
+(** [clear h] empties the heap and drops every value reference held by
+    the backing array. *)

@@ -27,11 +27,11 @@ type entry = {
   mutable pp : request_desc list option;
   mutable digest : string;
   mutable attempt : int;  (* reassignment count after accusations *)
-  mutable prepares : int list;
-  mutable commits : int list;
+  prepares : Pbftcore.Voteset.t;
+  commits : Pbftcore.Voteset.t;
   mutable sent_prepare : bool;
   mutable sent_commit : bool;
-  mutable accuses : int list;
+  accuses : Pbftcore.Voteset.t;
   mutable accused : bool;  (* this replica accused for this seq *)
   mutable proposing : bool;  (* a local proposal is pending issue *)
   mutable delivered : bool;
@@ -94,11 +94,11 @@ let entry_for t seq =
         pp = None;
         digest = "";
         attempt = 0;
-        prepares = [];
-        commits = [];
+        prepares = Pbftcore.Voteset.create ~n:t.cfg.n;
+        commits = Pbftcore.Voteset.create ~n:t.cfg.n;
         sent_prepare = false;
         sent_commit = false;
-        accuses = [];
+        accuses = Pbftcore.Voteset.create ~n:t.cfg.n;
         accused = false;
         proposing = false;
         delivered = false;
@@ -192,7 +192,7 @@ and on_timeout t seq =
     let e = entry_for t seq in
     if (not e.delivered) && not e.accused then begin
       e.accused <- true;
-      e.accuses <- t.cfg.replica_id :: e.accuses;
+      ignore (Pbftcore.Voteset.add e.accuses t.cfg.replica_id);
       broadcast t (Accuse { seq; replica = t.cfg.replica_id });
       check_accusations t seq
     end
@@ -200,7 +200,8 @@ and on_timeout t seq =
 
 and check_accusations t seq =
   let e = entry_for t seq in
-  if (not e.delivered) && List.length e.accuses >= (2 * t.cfg.f) + 1 then begin
+  if (not e.delivered) && Pbftcore.Voteset.count e.accuses >= (2 * t.cfg.f) + 1
+  then begin
     (* Quorum: blacklist the proposer of this attempt and reassign. *)
     let culprit = proposer_of_attempt t ~seq ~attempt:e.attempt in
     if not (List.mem culprit t.blacklist) then begin
@@ -221,11 +222,11 @@ and check_accusations t seq =
     e.proposing <- false;
     e.pp <- None;
     e.digest <- "";
-    e.prepares <- [];
-    e.commits <- [];
+    Pbftcore.Voteset.clear e.prepares;
+    Pbftcore.Voteset.clear e.commits;
     e.sent_prepare <- false;
     e.sent_commit <- false;
-    e.accuses <- [];
+    Pbftcore.Voteset.clear e.accuses;
     e.accused <- false;
     t.timeout <- Time.mul_f t.timeout 2.0;
     (match t.timer with
@@ -242,7 +243,7 @@ and try_deliver t =
     let e = entry_for t t.next_deliver in
     if
       e.sent_commit
-      && List.length e.commits >= (2 * t.cfg.f) + 1
+      && Pbftcore.Voteset.count e.commits >= (2 * t.cfg.f) + 1
       && not e.delivered
     then begin
       match e.pp with
@@ -378,7 +379,7 @@ and accept_pp t ~from ~seq ~descs ~attempt =
       List.iter (fun d -> Request_id_table.replace t.claimed d.id ()) descs;
       if from <> t.cfg.replica_id then begin
         e.sent_prepare <- true;
-        e.prepares <- t.cfg.replica_id :: e.prepares;
+        ignore (Pbftcore.Voteset.add e.prepares t.cfg.replica_id);
         broadcast t
           (Prepare { seq; digest = e.digest; replica = t.cfg.replica_id; attempt })
       end
@@ -388,10 +389,12 @@ and accept_pp t ~from ~seq ~descs ~attempt =
   end
 
 and maybe_commit t seq (e : entry) =
-  if (not e.sent_commit) && e.sent_prepare && List.length e.prepares >= 2 * t.cfg.f
+  if
+    (not e.sent_commit) && e.sent_prepare
+    && Pbftcore.Voteset.count e.prepares >= 2 * t.cfg.f
   then begin
     e.sent_commit <- true;
-    e.commits <- t.cfg.replica_id :: e.commits;
+    ignore (Pbftcore.Voteset.add e.commits t.cfg.replica_id);
     broadcast t
       (Commit { seq; digest = e.digest; replica = t.cfg.replica_id; attempt = e.attempt });
     try_deliver t
@@ -429,33 +432,26 @@ let receive t ~from msg =
       if
         (not e.delivered) && attempt = e.attempt
         && (e.pp = None || String.equal e.digest digest)
-        && not (List.mem replica e.prepares)
-      then begin
-        e.prepares <- replica :: e.prepares;
-        maybe_commit t seq e
-      end
+        && Pbftcore.Voteset.add e.prepares replica
+      then maybe_commit t seq e
     | Commit { seq; digest; replica; attempt } ->
       let e = entry_for t seq in
       if
         (not e.delivered) && attempt = e.attempt
         && (e.pp = None || String.equal e.digest digest)
-        && not (List.mem replica e.commits)
-      then begin
-        e.commits <- replica :: e.commits;
-        try_deliver t
-      end
+        && Pbftcore.Voteset.add e.commits replica
+      then try_deliver t
     | Accuse { seq; replica } ->
       let e = entry_for t seq in
-      if (not e.delivered) && not (List.mem replica e.accuses) then begin
-        e.accuses <- replica :: e.accuses;
+      if (not e.delivered) && Pbftcore.Voteset.add e.accuses replica then begin
         (* Join the accusation once f+1 others complain and we also
            have the batch pending. *)
         if
-          List.length e.accuses >= t.cfg.f + 1
+          Pbftcore.Voteset.count e.accuses >= t.cfg.f + 1
           && (not e.accused) && seq = t.next_deliver
         then begin
           e.accused <- true;
-          e.accuses <- t.cfg.replica_id :: e.accuses;
+          ignore (Pbftcore.Voteset.add e.accuses t.cfg.replica_id);
           broadcast t (Accuse { seq; replica = t.cfg.replica_id })
         end;
         check_accusations t seq

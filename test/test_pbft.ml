@@ -238,6 +238,88 @@ let test_checkpoint_gc () =
       Alcotest.(check int) "all ordered" 40 (Replica.ordered_count r))
     rig.replicas
 
+let test_checkpoint_gc_exact_live_set () =
+  (* The two-pass GC must keep exactly the post-watermark entries: the
+     log keeps filling with new batches while checkpoints retire old
+     ones, and at quiescence no sequence at or below the stable
+     checkpoint may survive in any replica's entry table. *)
+  let rig =
+    make_rig
+      ~tweak:(fun _ c ->
+        { c with Replica.checkpoint_interval = 4; batch_size = 1 })
+      ()
+  in
+  (* Feed requests in waves so checkpoints and fresh inserts overlap. *)
+  let rid = ref 0 in
+  let rec wave remaining =
+    if remaining > 0 then begin
+      for _ = 1 to 8 do
+        incr rid;
+        submit_all rig (req !rid)
+      done;
+      ignore (Engine.after rig.engine (Time.ms 5) (fun () -> wave (remaining - 1)))
+    end
+  in
+  wave 5;
+  Engine.run rig.engine;
+  Array.iteri
+    (fun i r ->
+      let stable = Replica.last_stable r in
+      Alcotest.(check bool)
+        (Printf.sprintf "replica %d checkpointed" i)
+        true (stable >= 36);
+      let live = Replica.debug_live_seqs r in
+      Alcotest.(check bool)
+        (Printf.sprintf "replica %d kept only post-watermark entries" i)
+        true
+        (List.for_all (fun s -> s > stable) live))
+    rig.replicas
+
+(* ------------------------------------------------------------------ *)
+(* Vote sets                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_voteset_basics () =
+  let v = Voteset.create ~n:10 in
+  Alcotest.(check int) "empty count" 0 (Voteset.count v);
+  Alcotest.(check bool) "first add fresh" true (Voteset.add v 3);
+  Alcotest.(check bool) "duplicate rejected" false (Voteset.add v 3);
+  Alcotest.(check bool) "member" true (Voteset.mem v 3);
+  Alcotest.(check bool) "non-member" false (Voteset.mem v 4);
+  Alcotest.(check bool) "out of range high" false (Voteset.add v 10);
+  Alcotest.(check bool) "out of range low" false (Voteset.add v (-1));
+  ignore (Voteset.add v 0);
+  ignore (Voteset.add v 9);
+  Alcotest.(check int) "count tracks adds" 3 (Voteset.count v);
+  Alcotest.(check (list int)) "ascending ids" [ 0; 3; 9 ] (Voteset.to_list v);
+  Voteset.clear v;
+  Alcotest.(check int) "cleared" 0 (Voteset.count v);
+  Alcotest.(check bool) "cleared member gone" false (Voteset.mem v 3)
+
+let test_voteset_tagged () =
+  let v = Voteset.Tagged.create ~n:7 in
+  (* Before the digest is known every vote counts provisionally. *)
+  Alcotest.(check bool) "vote a" true (Voteset.Tagged.add v ~replica:1 ~digest:"a");
+  Alcotest.(check bool) "vote b" true (Voteset.Tagged.add v ~replica:2 ~digest:"b");
+  Alcotest.(check int) "provisional matching" 2 (Voteset.Tagged.matching v);
+  (* Fixing the reference rescans: only votes for "a" still match. *)
+  Voteset.Tagged.set_reference v "a";
+  Alcotest.(check int) "rescan keeps matches" 1 (Voteset.Tagged.matching v);
+  Alcotest.(check bool) "duplicate replica rejected" false
+    (Voteset.Tagged.add v ~replica:1 ~digest:"a");
+  Alcotest.(check bool) "matching vote" true
+    (Voteset.Tagged.add v ~replica:3 ~digest:"a");
+  Alcotest.(check bool) "mismatching vote recorded" true
+    (Voteset.Tagged.add v ~replica:4 ~digest:"z");
+  Alcotest.(check int) "only matching counted" 2 (Voteset.Tagged.matching v);
+  Alcotest.(check int) "all votes counted" 4 (Voteset.Tagged.count v);
+  Voteset.Tagged.clear v;
+  Alcotest.(check int) "cleared votes" 0 (Voteset.Tagged.count v);
+  (* The reference digest survives a clear (view-change resets). *)
+  Alcotest.(check bool) "post-clear vote" true
+    (Voteset.Tagged.add v ~replica:5 ~digest:"a");
+  Alcotest.(check int) "post-clear matching" 1 (Voteset.Tagged.matching v)
+
 let test_equivocation_not_committed () =
   (* Inject two conflicting PRE-PREPAREs for the same (view, seq) at
      different replicas: at most one of the conflicting batches can be
@@ -436,8 +518,16 @@ let suites =
     ( "pbft.checkpoint",
       [
         Alcotest.test_case "garbage collection" `Quick test_checkpoint_gc;
+        Alcotest.test_case "gc keeps only post-watermark entries" `Quick
+          test_checkpoint_gc_exact_live_set;
         Alcotest.test_case "state transfer catches up laggard" `Quick
           test_state_transfer_catches_up_laggard;
+      ] );
+    ( "pbft.voteset",
+      [
+        Alcotest.test_case "bitset add/mem/count" `Quick test_voteset_basics;
+        Alcotest.test_case "tagged digests and reference" `Quick
+          test_voteset_tagged;
       ] );
     ( "pbft.byzantine",
       [

@@ -61,6 +61,88 @@ let test_monitoring_lambda () =
   Alcotest.(check bool) "disabled" false
     (Rbft.Monitoring.lambda_violation off ~latency:(Time.sec 10))
 
+let test_monitoring_zero_window () =
+  (* A tick with no time elapsed since the window opened must not
+     divide by zero: rates collapse to 0 and the verdict stays calm. *)
+  let m = Rbft.Monitoring.create (mk_params ()) in
+  Rbft.Monitoring.note_ordered m ~instance:0 ~count:500;
+  Rbft.Monitoring.note_ordered m ~instance:1 ~count:500;
+  let v = Rbft.Monitoring.tick m ~now:Time.zero in
+  Alcotest.(check (float 1e-6)) "zero-window master" 0.0 v.Rbft.Monitoring.master_rate;
+  Alcotest.(check (float 1e-6)) "zero-window backup" 0.0 v.Rbft.Monitoring.backup_rate;
+  Alcotest.(check bool) "zero-window not suspicious" false v.Rbft.Monitoring.suspicious;
+  Alcotest.(check bool) "zero-window ratio is NaN" true
+    (Float.is_nan v.Rbft.Monitoring.ratio)
+
+let test_monitoring_three_window_average () =
+  (* The Δ verdict averages over the last three windows only: three
+     slow master windows after a fast start must still fire. *)
+  let m = Rbft.Monitoring.create (mk_params ~delta:0.9 ()) in
+  (* Window 1: fast master. *)
+  Rbft.Monitoring.note_ordered m ~instance:0 ~count:1000;
+  Rbft.Monitoring.note_ordered m ~instance:1 ~count:1000;
+  ignore (Rbft.Monitoring.tick m ~now:(Time.sec 1));
+  (* Windows 2-4: master collapses while the backup stays fast. After
+     window 4 the fast first window has left the 3-window average. *)
+  let last = ref None in
+  for w = 2 to 4 do
+    Rbft.Monitoring.note_ordered m ~instance:0 ~count:100;
+    Rbft.Monitoring.note_ordered m ~instance:1 ~count:1000;
+    last := Some (Rbft.Monitoring.tick m ~now:(Time.sec w))
+  done;
+  match !last with
+  | None -> Alcotest.fail "no verdict"
+  | Some v ->
+    Alcotest.(check (float 1e-6)) "averaged master over 3 windows" 100.0
+      v.Rbft.Monitoring.master_rate;
+    Alcotest.(check bool) "slow master caught" true v.Rbft.Monitoring.suspicious
+
+let test_monitoring_idle_backup_ratio_nan () =
+  (* Backups below [min_meaningful_rate] gate the Δ test; with zero
+     backup traffic the ratio itself is NaN, not infinity. *)
+  let m = Rbft.Monitoring.create (mk_params ~delta:0.9 ()) in
+  Rbft.Monitoring.note_ordered m ~instance:0 ~count:1000;
+  let v = Rbft.Monitoring.tick m ~now:(Time.sec 1) in
+  Alcotest.(check bool) "idle-backup ratio NaN" true
+    (Float.is_nan v.Rbft.Monitoring.ratio);
+  Alcotest.(check bool) "idle-backup not suspicious" false v.Rbft.Monitoring.suspicious;
+  (* Just under the gate (50 req/s): still not applied even though the
+     master is far below delta times the backup rate. *)
+  let m2 = Rbft.Monitoring.create (mk_params ~delta:0.9 ()) in
+  Rbft.Monitoring.note_ordered m2 ~instance:1 ~count:49;
+  let v2 = Rbft.Monitoring.tick m2 ~now:(Time.sec 1) in
+  Alcotest.(check bool) "sub-threshold backups gated" false v2.Rbft.Monitoring.suspicious;
+  Alcotest.(check bool) "sub-threshold ratio finite" true (v2.Rbft.Monitoring.ratio = 0.0);
+  (* At the gate the test applies. *)
+  let m3 = Rbft.Monitoring.create (mk_params ~delta:0.9 ()) in
+  Rbft.Monitoring.note_ordered m3 ~instance:1 ~count:50;
+  let v3 = Rbft.Monitoring.tick m3 ~now:(Time.sec 1) in
+  Alcotest.(check bool) "at-threshold backups fire" true v3.Rbft.Monitoring.suspicious
+
+let test_monitoring_bounded_history () =
+  (* The measurement log is a ring: with a cap of 4, ticking 10 times
+     keeps only the last 4 windows, oldest first, and [latest] still
+     tracks the newest one. *)
+  let m = Rbft.Monitoring.create ~history_cap:4 (mk_params ()) in
+  Alcotest.(check int) "cap recorded" 4 (Rbft.Monitoring.history_cap m);
+  for w = 1 to 10 do
+    Rbft.Monitoring.note_ordered m ~instance:0 ~count:(w * 10);
+    ignore (Rbft.Monitoring.tick m ~now:(Time.sec w))
+  done;
+  let hist = Rbft.Monitoring.history m in
+  Alcotest.(check int) "history bounded" 4 (List.length hist);
+  let times = List.map (fun (t, _) -> Time.to_sec_f t) hist in
+  Alcotest.(check (list (float 1e-6))) "oldest first, newest kept"
+    [ 7.0; 8.0; 9.0; 10.0 ] times;
+  (match Rbft.Monitoring.latest m with
+  | Some (t, rates) ->
+    Alcotest.(check (float 1e-6)) "latest time" 10.0 (Time.to_sec_f t);
+    Alcotest.(check (float 1e-6)) "latest master rate" 100.0 rates.(0)
+  | None -> Alcotest.fail "no latest measurement");
+  (* Default cap stays generous enough for existing callers. *)
+  let d = Rbft.Monitoring.create (mk_params ()) in
+  Alcotest.(check int) "default cap" 4096 (Rbft.Monitoring.history_cap d)
+
 let test_monitoring_omega () =
   let m = Rbft.Monitoring.create (mk_params ~omega:(Time.us 500) ()) in
   (* Client 7: 2 ms on master, 0.8 ms on backup. *)
@@ -347,6 +429,13 @@ let suites =
           test_monitoring_tolerates_within_delta;
         Alcotest.test_case "idle not suspicious" `Quick test_monitoring_idle_not_suspicious;
         Alcotest.test_case "window reset" `Quick test_monitoring_window_reset;
+        Alcotest.test_case "zero-length window" `Quick test_monitoring_zero_window;
+        Alcotest.test_case "3-window moving average" `Quick
+          test_monitoring_three_window_average;
+        Alcotest.test_case "idle backups gate the ratio" `Quick
+          test_monitoring_idle_backup_ratio_nan;
+        Alcotest.test_case "bounded history ring" `Quick
+          test_monitoring_bounded_history;
         Alcotest.test_case "lambda check" `Quick test_monitoring_lambda;
         Alcotest.test_case "omega check" `Quick test_monitoring_omega;
       ]

@@ -133,6 +133,44 @@ let test_heap_clear () =
   Heap.clear h;
   check_bool "cleared" true (Heap.is_empty h)
 
+let test_heap_drops_popped_references () =
+  (* Popped and cleared slots must not keep their values alive: track
+     each pushed value with a weak pointer and check it is collected
+     once it leaves the heap, even though the heap itself stays live. *)
+  let h = Heap.create () in
+  let n = 8 in
+  let weak = Weak.create n in
+  for i = 0 to n - 1 do
+    let v = ref i in
+    Weak.set weak i (Some v);
+    Heap.push h ~key:i ~seq:i v
+  done;
+  for i = 0 to (n / 2) - 1 do
+    (match Heap.pop h with
+    | Some (k, _, _) -> check_int "pop order" i k
+    | None -> Alcotest.fail "heap empty too early");
+    Gc.full_major ();
+    check_bool
+      (Printf.sprintf "popped value %d collected" i)
+      true
+      (Weak.get weak i = None);
+    check_bool
+      (Printf.sprintf "resident value %d retained" (i + 1))
+      true
+      (Weak.get weak (n - 1) <> None)
+  done;
+  Heap.clear h;
+  Gc.full_major ();
+  for i = n / 2 to n - 1 do
+    check_bool
+      (Printf.sprintf "cleared value %d collected" i)
+      true
+      (Weak.get weak i = None)
+  done;
+  (* The heap stays usable after the sweep. *)
+  Heap.push h ~key:42 ~seq:0 (ref 42);
+  check_bool "usable after clear" true (Heap.peek_key h = Some 42)
+
 let prop_heap_sorts =
   QCheck.Test.make ~name:"heap pops in key order"
     QCheck.(list (int_bound 10_000))
@@ -368,6 +406,8 @@ let suites =
         Alcotest.test_case "FIFO on ties" `Quick test_heap_fifo_ties;
         Alcotest.test_case "empty behaviour" `Quick test_heap_empty;
         Alcotest.test_case "clear" `Quick test_heap_clear;
+        Alcotest.test_case "pop/clear drop value references" `Quick
+          test_heap_drops_popped_references;
       ]
       @ qsuite [ prop_heap_sorts ] );
     ( "sim.engine",
