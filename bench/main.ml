@@ -240,7 +240,30 @@ let micro_benchmarks () =
       Test.make ~name:"metrics-counter-enabled" (Staged.stage inc_guarded);
       Test.make ~name:"metrics-hist-observe" (Staged.stage observe_guarded);
     ];
-  if not was_active then Bftmetrics.Registry.disable ()
+  if not was_active then Bftmetrics.Registry.disable ();
+  (* Span-tracer hook cost at the two hot call sites: a [job] with no
+     parent (the common untraced case: one int compare, no ref read)
+     and a root-sampling check. Both must stay in the audit-emit
+     ballpark (< ~10 ns) for the hooks to be free when tracing is off. *)
+  let span_was_active = Bftspan.Tracer.active () in
+  Bftspan.Tracer.disable ();
+  let job_untraced () =
+    ignore
+      (Bftspan.Tracer.job ~parent:(-1) ~tag:Bftspan.Tag.Crypto_verify ~node:1
+         ~instance:0 ~now:(Dessim.Time.us 1))
+  in
+  let root_guarded () =
+    if Bftspan.Tracer.sampled ~rid:7 then
+      ignore
+        (Bftspan.Tracer.root ~client:0 ~rid:7 ~node:(-1) ~instance:(-1)
+           ~tag:Bftspan.Tag.Client ~t0:(Dessim.Time.us 1))
+  in
+  run_tests
+    [
+      Test.make ~name:"span-job-disabled" (Staged.stage job_untraced);
+      Test.make ~name:"span-root-disabled" (Staged.stage root_guarded);
+    ];
+  if span_was_active then Bftspan.Tracer.enable ()
 
 let want only id = match only with [] -> true | ids -> List.mem id ids
 

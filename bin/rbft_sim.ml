@@ -1,15 +1,18 @@
 (* rbft-sim: command-line driver for the RBFT reproduction.
 
    Subcommands:
-     run        simulate an RBFT cluster (fault-free or under attack)
-     compare    show calibrated peaks of the four protocols
-     experiment run one named experiment from the benchmark harness
-     scenario   replay a chaos scenario file and judge it
-     explore    randomized chaos sweep with shrinking of failures
+     run         simulate an RBFT cluster (fault-free or under attack)
+     trace-spans run with causal per-request tracing and print the
+                 critical-path latency attribution
+     compare     show calibrated peaks of the four protocols
+     experiment  run one named experiment from the benchmark harness
+     scenario    replay a chaos scenario file and judge it
+     explore     randomized chaos sweep with shrinking of failures
 
    Examples:
      rbft_sim run --f 1 --clients 10 --rate 2000 --seconds 2
      rbft_sim run --attack worst2 --payload 4096
+     rbft_sim trace-spans --span-sample 1/8 --attack worst1
      rbft_sim experiment --id fig12
      rbft_sim scenario --file examples/scenarios/flapping_partition.scn
      rbft_sim explore --count 200 --seed 7 *)
@@ -224,6 +227,144 @@ let run_cmd =
     Term.(
       const run_cluster $ f $ clients $ rate $ seconds $ payload $ attack $ transport
       $ seed $ trace $ chrome $ audit $ metrics $ prom)
+
+(* ------------------------------------------------------------------ *)
+(* trace-spans                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* "--span-sample 1/8" keeps every 8th request; a bare integer is also
+   accepted. *)
+let parse_sample s =
+  let bad () = failwith (Printf.sprintf "bad --span-sample %S (want 1/N)" s) in
+  match String.index_opt s '/' with
+  | Some i ->
+    let num = String.sub s 0 i
+    and den = String.sub s (i + 1) (String.length s - i - 1) in
+    (match (int_of_string_opt num, int_of_string_opt den) with
+     | Some 1, Some n when n >= 1 -> n
+     | _ -> bad ())
+  | None -> (
+    match int_of_string_opt s with Some n when n >= 1 -> n | _ -> bad ())
+
+let print_analysis ~slowest spans =
+  let summary = Bftspan.Analyze.summarize spans in
+  print_string (Bftspan.Analyze.report ~slowest summary);
+  print_newline ();
+  print_string (Bftspan.Analyze.client_report summary);
+  (match Bftspan.Analyze.check_trees spans with
+   | [] -> ()
+   | errs ->
+     Printf.printf "\nspan-tree violations (%d):\n" (List.length errs);
+     List.iter (fun e -> Printf.printf "  %s\n" e) errs)
+
+let trace_spans f clients rate seconds payload attack seed sample spans_out
+    chrome slowest input =
+  match input with
+  | Some path ->
+    (* Offline: analyze a previously captured span JSONL. *)
+    print_analysis ~slowest (Bftspan.Analyze.read_jsonl path)
+  | None ->
+    let sample = parse_sample sample in
+    Bftspan.Tracer.reset ();
+    Bftspan.Tracer.enable ~sample ();
+    let capture =
+      if chrome <> None then Some (Bftaudit.Capture.attach ()) else None
+    in
+    let cluster =
+      Rbft.Cluster.create ~seed:(Int64.of_int seed) ~transport:Bftnet.Network.Tcp
+        ~clients ~payload_size:payload
+        (Rbft.Params.default ~f)
+    in
+    (match attack with
+     | "none" -> ()
+     | "worst1" -> Rbft.Attacks.worst_attack_1 cluster
+     | "worst2" -> Rbft.Attacks.worst_attack_2 cluster
+     | other -> failwith ("unknown attack: " ^ other));
+    Array.iter (fun c -> Rbft.Client.set_rate c rate) (Rbft.Cluster.clients cluster);
+    Rbft.Cluster.run_for cluster (Time.of_sec_f seconds);
+    Bftspan.Tracer.disable ();
+    let spans = Bftspan.Tracer.to_array () in
+    Printf.printf
+      "traced %.1fs (attack %s, sampling 1/%d): %d requests executed\n\n" seconds
+      attack sample
+      (Rbft.Cluster.total_executed cluster);
+    print_analysis ~slowest spans;
+    Printf.printf "\nspan digest: %s\n" (Bftspan.Tracer.digest ());
+    (match spans_out with
+     | Some path ->
+       Bftspan.Tracer.write_jsonl path;
+       Printf.printf "spans: %d -> %s\n" (Array.length spans) path
+     | None -> ());
+    (match chrome with
+     | Some path ->
+       Bftspan.Analyze.write_chrome ?audit:capture spans path;
+       Printf.printf "chrome trace -> %s\n" path
+     | None -> ());
+    (match capture with Some c -> Bftaudit.Capture.detach c | None -> ())
+
+let trace_spans_cmd =
+  let f =
+    Arg.(
+      value & opt int 1
+      & info [ "f"; "faults" ] ~doc:"Faults tolerated (n = 3f+1 nodes).")
+  in
+  let clients = Arg.(value & opt int 10 & info [ "clients" ] ~doc:"Client count.") in
+  let rate =
+    Arg.(value & opt float 2000.0 & info [ "rate" ] ~doc:"Requests/s per client.")
+  in
+  let seconds =
+    Arg.(
+      value & opt float 1.0 & info [ "seconds" ] ~doc:"Virtual seconds to simulate.")
+  in
+  let payload =
+    Arg.(value & opt int 8 & info [ "payload" ] ~doc:"Request payload bytes.")
+  in
+  let attack =
+    Arg.(
+      value & opt string "none" & info [ "attack" ] ~doc:"none | worst1 | worst2.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Simulation seed.") in
+  let sample =
+    Arg.(
+      value & opt string "1/1"
+      & info [ "span-sample" ] ~docv:"1/N"
+          ~doc:"Trace every $(docv)-th request (by request id).")
+  in
+  let spans_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spans" ] ~docv:"FILE" ~doc:"Write captured spans as JSONL to $(docv).")
+  in
+  let chrome =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome-trace" ] ~docv:"FILE"
+          ~doc:
+            "Write nested spans plus audit-bus instants as a combined Chrome \
+             trace_event file to $(docv) (open in Perfetto).")
+  in
+  let slowest =
+    Arg.(
+      value & opt int 5
+      & info [ "slowest" ] ~doc:"Critical paths to print for the slowest requests.")
+  in
+  let input =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "input" ] ~docv:"FILE"
+          ~doc:"Analyze an existing span JSONL instead of running a simulation.")
+  in
+  Cmd.v
+    (Cmd.info "trace-spans"
+       ~doc:
+         "Run an RBFT cluster with causal per-request tracing and print the \
+          per-stage critical-path latency attribution")
+    Term.(
+      const trace_spans $ f $ clients $ rate $ seconds $ payload $ attack $ seed
+      $ sample $ spans_out $ chrome $ slowest $ input)
 
 (* ------------------------------------------------------------------ *)
 (* experiment                                                         *)
@@ -443,4 +584,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "rbft_sim" ~doc)
-          [ run_cmd; experiment_cmd; compare_cmd; scenario_cmd; explore_cmd ]))
+          [ run_cmd; trace_spans_cmd; experiment_cmd; compare_cmd; scenario_cmd;
+            explore_cmd ]))

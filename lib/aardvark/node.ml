@@ -3,6 +3,7 @@ open Bftcrypto
 open Bftnet
 open Bftapp
 open Pbftcore.Types
+module Spans = Bftspan.Tracer
 
 type msg =
   | Request of { desc : request_desc; sig_valid : bool }
@@ -98,10 +99,10 @@ let cost_bytes t m =
     int_of_float (float_of_int size *. t.cfg.body_copy_factor)
   | Order _ | Request _ | Reply _ -> size
 
-let send_from t thread ~dst m =
+let send_from ?(span = -1) ?span_tag t thread ~dst m =
   let size = msg_size t m in
   Resource.charge thread (Costmodel.send t.cfg.costs ~bytes:(cost_bytes t m));
-  Network.send t.net ~src:(Principal.node t.id) ~dst ~size m
+  Network.send ~span ?span_tag t.net ~src:(Principal.node t.id) ~dst ~size m
 
 let broadcast_nodes t thread m =
   let size = msg_size t m in
@@ -114,8 +115,9 @@ let broadcast_nodes t thread m =
     end
   done
 
-let reply_to t (id : request_id) result =
-  send_from t t.execution ~dst:(Principal.client id.client)
+let reply_to ?(span = -1) t (id : request_id) result =
+  send_from ~span ~span_tag:Bftspan.Tag.Reply t t.execution
+    ~dst:(Principal.client id.client)
     (Reply { id; result; node = t.id })
 
 (* Single-instance protocol: every audit event is instance 0; the
@@ -131,7 +133,16 @@ let execute_batch t descs =
         let cost =
           Time.max t.cfg.exec_cost (t.service.Service.exec_cost desc.op)
         in
-        Resource.submit t.execution ~cost (fun () ->
+        let ospan =
+          if Spans.active () then
+            Pbftcore.Replica.take_span (replica t) ~id:desc.id
+          else -1
+        in
+        let espan =
+          Spans.job ~parent:ospan ~tag:Bftspan.Tag.Execution ~node:t.id
+            ~instance:0 ~now:(Engine.now t.engine)
+        in
+        Resource.submit ~span:espan t.execution ~cost (fun () ->
             if not (Request_id_table.mem t.executed desc.id) then begin
               let result = t.service.Service.execute desc.op in
               Request_id_table.replace t.executed desc.id result;
@@ -148,7 +159,7 @@ let execute_batch t descs =
               t.exec_digest <- Sha256.digest_string (t.exec_digest ^ desc.digest);
               Resource.charge t.execution
                 (Costmodel.mac_gen t.cfg.costs ~bytes:(String.length result + 16));
-              reply_to t desc.id result
+              reply_to ~span:espan t desc.id result
             end)
       end)
     descs
@@ -173,15 +184,22 @@ let make_replica t =
   Pbftcore.Replica.create ~clock:t.clock t.engine cfg
     { Pbftcore.Replica.send; broadcast; deliver; on_view_change }
 
-let handle_request t (desc : request_desc) ~sig_valid =
+let submit_for_ordering t ~span (desc : request_desc) =
+  let dspan =
+    Spans.job ~parent:span ~tag:Bftspan.Tag.Dispatch ~node:t.id ~instance:0
+      ~now:(Engine.now t.engine)
+  in
+  Resource.submit ~span:dspan t.ordering ~cost:(Time.ns 200) (fun () ->
+      Pbftcore.Replica.submit ~span:dspan (replica t) desc)
+
+let handle_request t ~span (desc : request_desc) ~sig_valid =
   if Request_id_table.mem t.executed desc.id then begin
     match Request_id_table.find_opt t.executed desc.id with
     | Some result -> reply_to t desc.id result
     | None -> ()
   end
   else if Request_id_table.mem t.sig_checked desc.id then
-    Resource.submit t.ordering ~cost:(Time.ns 200) (fun () ->
-        Pbftcore.Replica.submit (replica t) desc)
+    submit_for_ordering t ~span desc
   else begin
     if Bftaudit.Bus.active () then
       audit t
@@ -191,8 +209,7 @@ let handle_request t (desc : request_desc) ~sig_valid =
       (Costmodel.sig_verify t.cfg.costs ~bytes:desc.op_size);
     if sig_valid then begin
       Request_id_table.replace t.sig_checked desc.id ();
-      Resource.submit t.ordering ~cost:(Time.ns 200) (fun () ->
-          Pbftcore.Replica.submit (replica t) desc)
+      submit_for_ordering t ~span desc
     end
   end
 
@@ -209,8 +226,12 @@ let on_delivery t (d : msg Network.delivery) =
   else
   match d.Network.payload with
   | Request { desc; sig_valid } ->
-    Resource.submit t.verification ~cost:base (fun () ->
-        handle_request t desc ~sig_valid)
+    let vspan =
+      Spans.job ~parent:d.Network.span ~tag:Bftspan.Tag.Crypto_verify ~node:t.id
+        ~instance:0 ~now:(Engine.now t.engine)
+    in
+    Resource.submit ~span:vspan t.verification ~cost:base (fun () ->
+        handle_request t ~span:vspan desc ~sig_valid)
   | Order m ->
     let from =
       match d.Network.src with Principal.Node i -> i | Principal.Client _ -> -1

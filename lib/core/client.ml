@@ -12,6 +12,7 @@ type behaviour = {
 
 type pending = {
   sent_at : Time.t;
+  span : int;  (* root span id of the traced request; -1 if unsampled *)
   mutable replies : (int * string) list;  (* node, result *)
   mutable done_ : bool;
 }
@@ -58,6 +59,7 @@ let rec on_reply t (id : request_id) ~node ~result =
         let now = Engine.now t.engine in
         Bftmetrics.Hist.add t.latencies (Time.to_sec_f (Time.sub now p.sent_at));
         Bftmetrics.Throughput.record t.completions ~now;
+        Bftspan.Tracer.finish p.span ~t1:now;
         Request_id_table.remove t.pending id;
         (* Closed loop: each completion funds the next request. *)
         if t.closed_loop > 0 then send_one t
@@ -68,8 +70,15 @@ and send_one t =
   let req = make_request t in
   let msg = Messages.Request req in
   let size = Messages.request_wire_size req ~n:(Params.n t.params) in
+  let now = Engine.now t.engine in
+  let span =
+    if Bftspan.Tracer.sampled ~rid:req.Messages.desc.id.rid then
+      Bftspan.Tracer.root ~client:t.id ~rid:req.Messages.desc.id.rid ~node:(-1)
+        ~instance:(-1) ~tag:Bftspan.Tag.Client ~t0:now
+    else -1
+  in
   Request_id_table.replace t.pending req.Messages.desc.id
-    { sent_at = Engine.now t.engine; replies = []; done_ = false };
+    { sent_at = now; span; replies = []; done_ = false };
   t.sent <- t.sent + 1;
   let targets =
     match t.behaviour.send_only_to with
@@ -78,8 +87,8 @@ and send_one t =
   in
   List.iter
     (fun node ->
-      Network.send t.net ~src:(Principal.client t.id) ~dst:(Principal.node node)
-        ~size msg)
+      Network.send ~span t.net ~src:(Principal.client t.id)
+        ~dst:(Principal.node node) ~size msg)
     targets
 
 and make_request t =

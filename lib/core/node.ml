@@ -3,6 +3,7 @@ open Bftcrypto
 open Bftnet
 open Bftapp
 open Pbftcore.Types
+module Spans = Bftspan.Tracer
 
 type faults = {
   mutable flood_targets : int list;
@@ -22,6 +23,7 @@ type request_state = {
   mutable sig_inflight : bool;  (* a verification job is pending *)
   mutable dispatched : bool;
   mutable dispatch_time : Time.t;
+  mutable span : int;  (* latest span of this request on this node; -1 untraced *)
 }
 
 (* Metric handles, registered once per node; hot paths only mutate
@@ -191,12 +193,12 @@ let cost_bytes t msg =
     6 * size
   | Messages.Instance _ | Messages.Instance_change _ | Messages.Reply _ -> size
 
-let send_from t thread ~dst msg =
+let send_from ?(span = -1) ?span_tag t thread ~dst msg =
   let size = msg_size t msg in
   Resource.charge thread (Costmodel.send (costs t) ~bytes:(cost_bytes t msg));
-  Network.send t.net ~src:(self t) ~dst ~size msg
+  Network.send ~span ?span_tag t.net ~src:(self t) ~dst ~size msg
 
-let broadcast_nodes_from t thread msg =
+let broadcast_nodes_from ?(span = -1) t thread msg =
   let size = msg_size t msg in
   (* One MAC authenticator covers all destinations. *)
   Resource.charge thread
@@ -204,7 +206,7 @@ let broadcast_nodes_from t thread msg =
   for dst = 0 to n_nodes t - 1 do
     if dst <> t.id then begin
       Resource.charge thread (Costmodel.send (costs t) ~bytes:(cost_bytes t msg));
-      Network.send t.net ~src:(self t) ~dst:(Principal.node dst) ~size msg
+      Network.send ~span t.net ~src:(self t) ~dst:(Principal.node dst) ~size msg
     end
   done
 
@@ -226,6 +228,7 @@ let request_state t rid =
         sig_inflight = false;
         dispatched = false;
         dispatch_time = Time.zero;
+        span = -1;
       }
     in
     Request_id_table.add t.requests rid state;
@@ -235,7 +238,7 @@ let request_state t rid =
 (* Dispatch: hand a request to the f+1 local replicas (step 2 end).   *)
 (* ------------------------------------------------------------------ *)
 
-let dispatch_request t (req : Messages.request) =
+let dispatch_request t ~span (req : Messages.request) =
   let state = request_state t req.desc.id in
   if not state.dispatched then begin
     state.dispatched <- true;
@@ -252,8 +255,12 @@ let dispatch_request t (req : Messages.request) =
     Array.iteri
       (fun i replica_thread ->
         let replica = t.replicas.(i) in
-        Resource.submit replica_thread ~cost:(Time.ns 200) (fun () ->
-            Pbftcore.Replica.submit replica req.desc))
+        let rspan =
+          Spans.job ~parent:span ~tag:Bftspan.Tag.Dispatch ~node:t.id
+            ~instance:i ~now:state.dispatch_time
+        in
+        Resource.submit ~span:rspan replica_thread ~cost:(Time.ns 200)
+          (fun () -> Pbftcore.Replica.submit ~span:rspan replica req.desc))
       t.replica_threads
   end
 
@@ -268,7 +275,12 @@ let maybe_dispatch t (state : request_state) =
   | Some r
     when state.sig_checked && (not state.dispatched)
          && Pbftcore.Voteset.count state.senders >= t.params.Params.f + 1 ->
-    Resource.submit t.dispatch ~cost:(Time.ns 200) (fun () -> dispatch_request t r)
+    let dspan =
+      Spans.job ~parent:state.span ~tag:Bftspan.Tag.Dispatch ~node:t.id
+        ~instance:(-1) ~now:(Engine.now t.engine)
+    in
+    Resource.submit ~span:dspan t.dispatch ~cost:(Time.ns 200) (fun () ->
+        dispatch_request t ~span:dspan r)
   | Some _ | None -> ()
 
 let note_sender t (state : request_state) sender req =
@@ -286,7 +298,7 @@ let propagate_request t (req : Messages.request) =
         audit t
           (Bftaudit.Event.Request_propagated
              { client = req.desc.id.client; rid = req.desc.id.rid });
-      broadcast_nodes_from t t.propagation
+      broadcast_nodes_from ~span:state.span t t.propagation
         (Messages.Propagate { req; from = t.id; junk = false })
     end
   end;
@@ -318,8 +330,9 @@ let note_invalid_from t peer =
 (* Verification module (step 1)                                       *)
 (* ------------------------------------------------------------------ *)
 
-let reply_to t (id : request_id) result =
-  send_from t t.execution ~dst:(Principal.client id.client)
+let reply_to ?(span = -1) t (id : request_id) result =
+  send_from ~span ~span_tag:Bftspan.Tag.Reply t t.execution
+    ~dst:(Principal.client id.client)
     (Messages.Reply { id; result; node = t.id })
 
 (* Schedule the (single) signature verification for a request on the
@@ -329,13 +342,24 @@ let verify_signature_once t (req : Messages.request) =
   let state = request_state t req.desc.id in
   if (not state.sig_checked) && not state.sig_inflight then begin
     state.sig_inflight <- true;
-    Resource.submit t.verification
+    let vspan =
+      Spans.job ~parent:state.span ~tag:Bftspan.Tag.Crypto_verify ~node:t.id
+        ~instance:(-1) ~now:(Engine.now t.engine)
+    in
+    Resource.submit ~span:vspan t.verification
       ~cost:(Costmodel.sig_verify (costs t) ~bytes:req.desc.op_size)
       (fun () ->
         state.sig_inflight <- false;
         if req.sig_valid then begin
           state.sig_checked <- true;
-          Resource.submit t.propagation ~cost:(Time.ns 200) (fun () ->
+          if vspan >= 0 then state.span <- vspan;
+          let pspan =
+            Spans.job ~parent:state.span ~tag:Bftspan.Tag.Propagate ~node:t.id
+              ~instance:(-1) ~now:(Engine.now t.engine)
+          in
+          Resource.submit ~span:pspan t.propagation ~cost:(Time.ns 200)
+            (fun () ->
+              if pspan >= 0 then state.span <- pspan;
               propagate_request t req;
               maybe_dispatch t state)
         end
@@ -348,7 +372,7 @@ let verify_signature_once t (req : Messages.request) =
   end
 
 (* Runs on the verification thread (MAC cost already charged). *)
-let handle_client_request t (req : Messages.request) =
+let handle_client_request t ~span (req : Messages.request) =
   if t.faults.drop_client_requests then ()
   else if List.mem req.desc.id.client t.blacklist then ()
   else if List.mem t.id req.mac_invalid_for then
@@ -372,6 +396,7 @@ let handle_client_request t (req : Messages.request) =
              size = req.desc.op_size;
            });
     let state = request_state t req.desc.id in
+    if state.span < 0 && span >= 0 then state.span <- span;
     if state.sig_checked then
       Resource.submit t.propagation ~cost:(Time.ns 200) (fun () ->
           propagate_request t req)
@@ -379,10 +404,11 @@ let handle_client_request t (req : Messages.request) =
   end
 
 (* Runs on the propagation thread (MAC cost already charged). *)
-let handle_propagate t ~from (req : Messages.request) ~junk =
+let handle_propagate t ~span ~from (req : Messages.request) ~junk =
   if junk then note_invalid_from t from
   else begin
     let state = request_state t req.desc.id in
+    if state.span < 0 && span >= 0 then state.span <- span;
     note_sender t state from (Some req);
     if state.sig_checked then begin
       if not state.propagated then propagate_request t req
@@ -454,10 +480,14 @@ let handle_instance_change t ~from ~cpi =
 (* Ordered batches coming back from the replicas                      *)
 (* ------------------------------------------------------------------ *)
 
-let execute_request t (desc : request_desc) =
+let execute_request t ~span (desc : request_desc) =
   if not (Request_id_table.mem t.executed desc.id) then begin
     let cost = Time.max t.params.Params.exec_cost (t.service.Service.exec_cost desc.op) in
-    Resource.submit t.execution ~cost (fun () ->
+    let espan =
+      Spans.job ~parent:span ~tag:Bftspan.Tag.Execution ~node:t.id
+        ~instance:t.master_instance ~now:(Engine.now t.engine)
+    in
+    Resource.submit ~span:espan t.execution ~cost (fun () ->
         if not (Request_id_table.mem t.executed desc.id) then begin
           let result = t.service.Service.execute desc.op in
           Request_id_table.replace t.executed desc.id result;
@@ -484,7 +514,7 @@ let execute_request t (desc : request_desc) =
             Sha256.digest_string (t.exec_digest ^ desc.digest);
           Resource.charge t.execution
             (Costmodel.mac_gen (costs t) ~bytes:(String.length result + 16));
-          reply_to t desc.id result
+          reply_to ~span:espan t desc.id result
         end)
   end
 
@@ -495,6 +525,14 @@ let on_ordered t ~instance descs =
   let is_master = instance = t.master_instance in
   List.iter
     (fun (desc : request_desc) ->
+      (* Collect (and clear) the ordering-chain span recorded by this
+         instance's replica; every instance must collect its own so the
+         table drains, but only the master's parents execution. *)
+      let ospan =
+        if Spans.active () then
+          Pbftcore.Replica.take_span t.replicas.(instance) ~id:desc.id
+        else -1
+      in
       (match Request_id_table.find_opt t.requests desc.id with
        | Some state when state.dispatched ->
          let latency = Time.sub now state.dispatch_time in
@@ -530,7 +568,7 @@ let on_ordered t ~instance descs =
            end
          end
        | Some _ | None -> ());
-      if is_master then execute_request t desc)
+      if is_master then execute_request t ~span:ospan desc)
     descs
 
 (* ------------------------------------------------------------------ *)
@@ -582,10 +620,19 @@ let on_delivery t (d : Messages.t Network.delivery) =
   else
   match d.Network.payload with
   | Messages.Request req ->
-    Resource.submit t.verification ~cost:base (fun () -> handle_client_request t req)
+    let vspan =
+      Spans.job ~parent:d.Network.span ~tag:Bftspan.Tag.Crypto_verify
+        ~node:t.id ~instance:(-1) ~now:(Engine.now t.engine)
+    in
+    Resource.submit ~span:vspan t.verification ~cost:base (fun () ->
+        handle_client_request t ~span:vspan req)
   | Messages.Propagate { req; from; junk } ->
-    Resource.submit t.propagation ~cost:base (fun () ->
-        handle_propagate t ~from req ~junk)
+    let pspan =
+      Spans.job ~parent:d.Network.span ~tag:Bftspan.Tag.Propagate ~node:t.id
+        ~instance:(-1) ~now:(Engine.now t.engine)
+    in
+    Resource.submit ~span:pspan t.propagation ~cost:base (fun () ->
+        handle_propagate t ~span:pspan ~from req ~junk)
   | Messages.Instance { instance; msg } ->
     if instance < instance_count t then begin
       let thread = t.replica_threads.(instance) in

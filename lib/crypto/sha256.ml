@@ -25,8 +25,7 @@ let mask = 0xFFFFFFFF
 
 let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask
 
-let digest_substring_bytes (get : int -> char) total pos len =
-  ignore total;
+let digest_sub (s : string) pos len =
   (* Message schedule and working state. *)
   let h = [| 0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a;
              0x510e527f; 0x9b05688c; 0x1f83d9ab; 0x5be0cd19 |] in
@@ -35,7 +34,7 @@ let digest_substring_bytes (get : int -> char) total pos len =
   let bit_len = len * 8 in
   let padded_len = ((len + 8) / 64 + 1) * 64 in
   let byte_at i =
-    if i < len then Char.code (get (pos + i))
+    if i < len then Char.code (String.unsafe_get s (pos + i))
     else if i = len then 0x80
     else if i < padded_len - 8 then 0
     else
@@ -44,16 +43,30 @@ let digest_substring_bytes (get : int -> char) total pos len =
       (bit_len lsr shift) land 0xFF
   in
   let nblocks = padded_len / 64 in
+  (* Blocks consisting purely of message bytes skip the padding
+     branches — that path carries the bulk hashing (the span-trace
+     digest hashes hundreds of MB of JSONL at full sampling). *)
+  let full_blocks = len / 64 in
   for block = 0 to nblocks - 1 do
     let base = block * 64 in
-    for t = 0 to 15 do
-      let b = base + (t * 4) in
-      w.(t) <-
-        (byte_at b lsl 24)
-        lor (byte_at (b + 1) lsl 16)
-        lor (byte_at (b + 2) lsl 8)
-        lor byte_at (b + 3)
-    done;
+    if block < full_blocks then
+      for t = 0 to 15 do
+        let b = pos + base + (t * 4) in
+        w.(t) <-
+          (Char.code (String.unsafe_get s b) lsl 24)
+          lor (Char.code (String.unsafe_get s (b + 1)) lsl 16)
+          lor (Char.code (String.unsafe_get s (b + 2)) lsl 8)
+          lor Char.code (String.unsafe_get s (b + 3))
+      done
+    else
+      for t = 0 to 15 do
+        let b = base + (t * 4) in
+        w.(t) <-
+          (byte_at b lsl 24)
+          lor (byte_at (b + 1) lsl 16)
+          lor (byte_at (b + 2) lsl 8)
+          lor byte_at (b + 3)
+      done;
     for t = 16 to 63 do
       let s0 =
         rotr w.(t - 15) 7 lxor rotr w.(t - 15) 18 lxor (w.(t - 15) lsr 3)
@@ -101,12 +114,12 @@ let digest_substring_bytes (get : int -> char) total pos len =
 
 let digest_substring s ~pos ~len =
   assert (pos >= 0 && len >= 0 && pos + len <= String.length s);
-  digest_substring_bytes (String.get s) (String.length s) pos len
+  digest_sub s pos len
 
-let digest_string s = digest_substring s ~pos:0 ~len:(String.length s)
+let digest_string s = digest_sub s 0 (String.length s)
 
-let digest_bytes b =
-  digest_substring_bytes (Bytes.get b) (Bytes.length b) 0 (Bytes.length b)
+(* Read-only view; [digest_sub] never writes to [s]. *)
+let digest_bytes b = digest_sub (Bytes.unsafe_to_string b) 0 (Bytes.length b)
 
 let to_hex d =
   let buf = Buffer.create 64 in

@@ -23,8 +23,11 @@ type run_result = {
 let duration ~quick = Time.of_sec_f (if quick then 1.0 else 2.0)
 
 (* Mirrors the harness' static saturated runner, with the registry
-   optionally live (reset per run so counters describe one run). *)
-let static_run ?(attack = fun _ -> ()) ?(f = 1) ~with_metrics ~quick ~payload () =
+   optionally live (reset per run so counters describe one run).
+   [span_sample] > 0 additionally runs the span tracer at 1/N sampling;
+   the caller reads the spans back via [Bftspan.Tracer.to_array]. *)
+let static_run ?(attack = fun _ -> ()) ?(f = 1) ?(span_sample = 0) ~with_metrics
+    ~quick ~payload () =
   let module Registry = Bftmetrics.Registry in
   (* Calibrate before touching the registry so the probe runs don't
      pollute this run's counters. *)
@@ -32,6 +35,10 @@ let static_run ?(attack = fun _ -> ()) ?(f = 1) ~with_metrics ~quick ~payload ()
   let rate = Calibrate.saturating_rate ~f Calibrate.Rbft ~size:payload in
   Registry.reset Registry.default;
   if with_metrics then Registry.enable () else Registry.disable ();
+  if span_sample > 0 then begin
+    Bftspan.Tracer.reset ();
+    Bftspan.Tracer.enable ~sample:span_sample ()
+  end;
   let clients = 20 in
   let shape =
     Loadshape.static ~duration:(duration ~quick) ~clients
@@ -48,6 +55,7 @@ let static_run ?(attack = fun _ -> ()) ?(f = 1) ~with_metrics ~quick ~payload ()
       Rbft.Client.set_rate (Rbft.Cluster.client cluster c) r);
   let total = Loadshape.total_duration shape in
   Rbft.Cluster.run_for cluster (Time.add total (Time.ms 200));
+  if span_sample > 0 then Bftspan.Tracer.disable ();
   let counter = Rbft.Node.executed_counter (Rbft.Cluster.node cluster 1) in
   let throughput =
     Bftmetrics.Throughput.rate_between counter (Time.ms 200) total
@@ -123,6 +131,24 @@ let generate ~quick =
             (payload, r)))
       sizes
   in
+  (* Fault-free per-stage latency attribution from dedicated traced
+     runs (separate from the metric runs so the wall-clock overhead
+     numbers above stay clean). *)
+  let breakdown =
+    List.map
+      (fun payload ->
+        Profile.time
+          (Printf.sprintf "perfreport:breakdown-%s" (size_key payload))
+          (fun () ->
+            ignore
+              (static_run ~with_metrics:false ~span_sample:8 ~quick ~payload ());
+            let summary =
+              Bftspan.Analyze.summarize (Bftspan.Tracer.to_array ())
+            in
+            Bftspan.Tracer.reset ();
+            (payload, summary)))
+      sizes
+  in
   let attacks =
     [ ("worst1", Rbft.Attacks.worst_attack_1);
       ("worst2", Rbft.Attacks.worst_attack_2) ]
@@ -183,6 +209,26 @@ let generate ~quick =
                         (Bftmetrics.Export.json_float rel))
                     rows)))
           under_attack));
+  Buffer.add_string buf "\n  },\n";
+  Buffer.add_string buf "  \"latency_breakdown\": {\n";
+  Buffer.add_string buf
+    (String.concat ",\n"
+       (List.map
+          (fun (payload, (s : Bftspan.Analyze.summary)) ->
+            Printf.sprintf
+              {|    "%s": {"sample":"1/8","committed":%d,"p50_ms":%s,"share_sum":%s,"stages":{%s}}|}
+              (size_key payload) s.Bftspan.Analyze.committed
+              (Bftmetrics.Export.json_float s.Bftspan.Analyze.total_p50_ms)
+              (Bftmetrics.Export.json_float s.Bftspan.Analyze.share_sum)
+              (String.concat ","
+                 (List.map
+                    (fun (r : Bftspan.Analyze.stage_row) ->
+                      Printf.sprintf {|"%s":{"share":%s,"p50_ms":%s}|}
+                        (Bftspan.Tag.name r.Bftspan.Analyze.tag)
+                        (Bftmetrics.Export.json_float r.Bftspan.Analyze.share)
+                        (Bftmetrics.Export.json_float r.Bftspan.Analyze.p50_ms))
+                    s.Bftspan.Analyze.stages)))
+          breakdown));
   Buffer.add_string buf "\n  },\n";
   Buffer.add_string buf
     (Printf.sprintf

@@ -32,6 +32,7 @@ type 'a delivery = {
   sent_at : Time.t;
   delivered_at : Time.t;
   corrupted : bool;
+  span : int;
 }
 
 (* Chaos interposition: an installed hook rules on every message at
@@ -248,7 +249,7 @@ let audit_drop t ~src ~dst ~reason =
       kind = Net_dropped { src = Principal.to_string src; reason };
     }
 
-let send_copy t ~src ~dst ~size ~corrupt ~extra_delay payload =
+let send_copy t ~src ~dst ~size ~corrupt ~extra_delay ~span ~span_tag payload =
   match egress_of t ~src ~dst with
   | None ->
     t.dropped <- t.dropped + 1;
@@ -306,6 +307,20 @@ let send_copy t ~src ~dst ~size ~corrupt ~extra_delay payload =
                          Bftmetrics.Registry.Counter.inc cm.m_msgs;
                          Bftmetrics.Registry.Counter.add cm.m_bytes size
                        end;
+                       let now = Engine.now t.engine in
+                       (* Traced message: the whole wire time — sender
+                          serialization + propagation + ingress — is one
+                          transit span, attributed to the receiver. *)
+                       let span' =
+                         if span >= 0 && Bftspan.Tracer.active () then
+                           Bftspan.Tracer.span ~parent:span ~tag:span_tag
+                             ~node:
+                               (match dst with
+                               | Principal.Node j -> j
+                               | Principal.Client _ -> -1)
+                             ~instance:(-1) ~t0:sent_at ~t1:now
+                         else -1
+                       in
                        handler
                          {
                            src;
@@ -313,14 +328,17 @@ let send_copy t ~src ~dst ~size ~corrupt ~extra_delay payload =
                            size;
                            payload;
                            sent_at;
-                           delivered_at = Engine.now t.engine;
+                           delivered_at = now;
                            corrupted = corrupt;
+                           span = span';
                          }))))
 
-let send t ~src ~dst ~size payload =
+let send ?(span = -1) ?(span_tag = Bftspan.Tag.Net_transit) t ~src ~dst ~size
+    payload =
   match t.fault_hook with
   | None ->
-    send_copy t ~src ~dst ~size ~corrupt:false ~extra_delay:Time.zero payload
+    send_copy t ~src ~dst ~size ~corrupt:false ~extra_delay:Time.zero ~span
+      ~span_tag payload
   | Some hook ->
     let v = hook ~src ~dst ~size in
     if v.fv_drop then begin
@@ -332,7 +350,7 @@ let send t ~src ~dst ~size payload =
     else
       for _ = 0 to v.fv_duplicates do
         send_copy t ~src ~dst ~size ~corrupt:v.fv_corrupt
-          ~extra_delay:v.fv_extra_delay payload
+          ~extra_delay:v.fv_extra_delay ~span ~span_tag payload
       done
 
 let messages_delivered t = t.delivered

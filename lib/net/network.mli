@@ -47,6 +47,11 @@ type 'a delivery = {
       (** set by the chaos engine: the payload reached the receiver but
           its MAC/digest check must fail. Receivers treat such messages
           exactly like messages with an invalid authenticator. *)
+  span : int;
+      (** span id of the transit span recorded for this delivery
+          ([-1] when the message is untraced): receivers parent their
+          own processing spans on it, which is how trace causality
+          crosses node boundaries. *)
 }
 
 (** {2 Fault interposition}
@@ -83,10 +88,27 @@ val register_node : 'a t -> int -> ('a delivery -> unit) -> unit
 val register_client : 'a t -> int -> ('a delivery -> unit) -> unit
 (** Registers a client endpoint (one NIC per client). *)
 
-val send : 'a t -> src:Principal.t -> dst:Principal.t -> size:int -> 'a -> unit
+val send :
+  ?span:int ->
+  ?span_tag:Bftspan.Tag.t ->
+  'a t ->
+  src:Principal.t ->
+  dst:Principal.t ->
+  size:int ->
+  'a ->
+  unit
 (** [send t ~src ~dst ~size payload] queues one message. [size] is the
     wire size of the payload as computed by the protocol's codec.
-    Messages to unregistered endpoints are counted as dropped. *)
+    Messages to unregistered endpoints are counted as dropped.
+
+    [?span] (default [-1]) piggybacks a parent span id on the message:
+    when the tracer is live, delivery records a completed transit span
+    covering the full wire time and hands its id to the receiver in
+    {!delivery.span}. [?span_tag] (default {!Bftspan.Tag.Net_transit})
+    lets reply traffic label its transit {!Bftspan.Tag.Reply} so the
+    analyzer reports it as its own stage. Dropped messages (chaos,
+    closed NIC, no handler) record nothing — the request's root span
+    stays open, which is exactly how the analyzer flags loss. *)
 
 val close_nic : 'a t -> node:int -> peer:Principal.t -> for_:Time.t -> unit
 (** [close_nic t ~node ~peer ~for_] makes node [node] drop everything

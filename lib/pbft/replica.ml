@@ -135,6 +135,12 @@ type t = {
   mutable pp_release : Time.t;  (* pacing floor for adversarial PP delays *)
   (* PPs held because some requests are not yet known locally *)
   mutable waiting_pps : Messages.pre_prepare list;
+  (* Traced requests: parent span id + submission instant, keyed by
+     request id; consumed at delivery to emit the batch-wait / prepare /
+     commit phase spans, then replaced by the commit span id until the
+     hosting node collects it with [take_span]. Only sampled requests
+     ever enter the table. *)
+  span_in : (int * Time.t) Request_id_table.t;
   m : metrics;
 }
 
@@ -170,6 +176,7 @@ let create ?clock engine cfg cb =
     state_transfers = 0;
     pp_release = Time.zero;
     waiting_pps = [];
+    span_in = Request_id_table.create 64;
     m = register_metrics cfg;
   }
 
@@ -329,6 +336,44 @@ let take_checkpoint t seq =
        { seq; state_digest = t.chain_digest; replica = t.cfg.replica_id });
   accept_checkpoint t ~seq ~state_digest:t.chain_digest ~replica:t.cfg.replica_id
 
+(* Per-sampled-request ordering phases, derived from the entry's phase
+   stamps at the moment the batch is delivered. Timestamps are clamped
+   monotonic: a backup can learn a request *from* the PRE-PREPARE, in
+   which case submission follows t_pp. The chain batch-wait -> prepare
+   -> commit keeps the tree linear; the commit span id is left in
+   [span_in] for the hosting node ([take_span]) to parent execution. *)
+let record_phase_spans t (e : entry) fresh =
+  let now = Engine.now t.engine in
+  let node = t.cfg.replica_id and instance = t.cfg.instance in
+  List.iter
+    (fun d ->
+      match Request_id_table.find_opt t.span_in d.id with
+      | None -> ()
+      | Some (parent, t_sub) ->
+        let t_pp = Time.max e.t_pp t_sub in
+        let t_prep = Time.min now (Time.max e.t_prepared t_pp) in
+        let b =
+          Bftspan.Tracer.span ~parent ~tag:Bftspan.Tag.Batch_wait ~node
+            ~instance ~t0:t_sub ~t1:t_pp
+        in
+        let pr =
+          Bftspan.Tracer.span ~parent:b ~tag:Bftspan.Tag.Prepare ~node
+            ~instance ~t0:t_pp ~t1:t_prep
+        in
+        let cm =
+          Bftspan.Tracer.span ~parent:pr ~tag:Bftspan.Tag.Commit ~node
+            ~instance ~t0:t_prep ~t1:now
+        in
+        Request_id_table.replace t.span_in d.id (cm, now))
+    fresh
+
+let take_span t ~id =
+  match Request_id_table.find_opt t.span_in id with
+  | None -> -1
+  | Some (span, _) ->
+    Request_id_table.remove t.span_in id;
+    span
+
 let rec try_deliver t =
   match Hashtbl.find_opt t.entries t.next_deliver with
   | Some e when e.delivered ->
@@ -348,6 +393,7 @@ let rec try_deliver t =
     in
     List.iter (fun d -> Request_id_table.replace t.delivered_ids d.id ()) fresh;
     t.ordered_count <- t.ordered_count + List.length fresh;
+    if Bftspan.Tracer.active () then record_phase_spans t e fresh;
     if Bftaudit.Bus.active () then
       audit t
         (Bftaudit.Event.Ordered
@@ -723,7 +769,12 @@ let accept_new_view t ~from (v : view) pps =
 (* Public entry points                                                *)
 (* ------------------------------------------------------------------ *)
 
-let submit t desc =
+let submit ?(span = -1) t desc =
+  if
+    span >= 0
+    && (not (Request_id_table.mem t.delivered_ids desc.id))
+    && not (Request_id_table.mem t.span_in desc.id)
+  then Request_id_table.replace t.span_in desc.id (span, Engine.now t.engine);
   if not (Request_id_table.mem t.known desc.id) then begin
     Request_id_table.replace t.known desc.id desc;
     if is_primary t && not t.in_vc then begin

@@ -82,10 +82,21 @@ val create : ?clock:Clock.t -> Engine.t -> config -> callbacks -> t
 val config : t -> config
 val adversary : t -> adversary
 
-val submit : t -> request_desc -> unit
+val submit : ?span:int -> t -> request_desc -> unit
 (** The hosting node hands over a request that is ready for ordering
     (after the f+1 PROPAGATE guard in RBFT; after verification in
-    Aardvark). Idempotent per request id. *)
+    Aardvark). Idempotent per request id.
+
+    [?span] (default [-1]) is the parent span id of a traced request:
+    on delivery the replica emits batch-wait / prepare / commit phase
+    spans chained under it, and keeps the commit span id for
+    {!take_span}. *)
+
+val take_span : t -> id:request_id -> int
+(** Collects (and clears) the commit span id recorded for a delivered
+    traced request, so the hosting node can parent execution on the
+    ordering chain; [-1] if the request was untraced or not delivered
+    here. *)
 
 val receive : t -> from:int -> Messages.t -> unit
 (** An instance message arrived from peer replica [from] (already

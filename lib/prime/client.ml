@@ -7,6 +7,7 @@ type behaviour = { mutable heavy : bool }
 
 type pending = {
   sent_at : Time.t;
+  span : int;  (* root span id of the traced request; -1 if unsampled *)
   mutable replies : (int * string) list;
   mutable done_ : bool;
 }
@@ -47,8 +48,9 @@ let on_reply t (id : request_id) ~node ~result =
       if matching >= t.f + 1 then begin
         p.done_ <- true;
         t.completed <- t.completed + 1;
-        Bftmetrics.Hist.add t.latencies
-          (Time.to_sec_f (Time.sub (Engine.now t.engine) p.sent_at));
+        let now = Engine.now t.engine in
+        Bftmetrics.Hist.add t.latencies (Time.to_sec_f (Time.sub now p.sent_at));
+        Bftspan.Tracer.finish p.span ~t1:now;
         Request_id_table.remove t.pending id
       end
     end
@@ -91,12 +93,20 @@ let send_one t =
   let msg = Node.Request { desc; sig_valid = true } in
   let n = (3 * t.f) + 1 in
   let size = 16 + desc.op_size + Keys.signature_size in
+  let now = Engine.now t.engine in
+  let span =
+    if Bftspan.Tracer.sampled ~rid:desc.id.rid then
+      Bftspan.Tracer.root ~client:t.id ~rid:desc.id.rid ~node:(-1) ~instance:(-1)
+        ~tag:Bftspan.Tag.Client ~t0:now
+    else -1
+  in
   Request_id_table.replace t.pending desc.id
-    { sent_at = Engine.now t.engine; replies = []; done_ = false };
+    { sent_at = now; span; replies = []; done_ = false };
   t.sent <- t.sent + 1;
   (* Round-robin over replicas. *)
   let target = (t.id + t.rid) mod n in
-  Network.send t.net ~src:(Principal.client t.id) ~dst:(Principal.node target) ~size msg
+  Network.send ~span t.net ~src:(Principal.client t.id)
+    ~dst:(Principal.node target) ~size msg
 
 let set_rate t r =
   t.rate <- r;

@@ -3,6 +3,7 @@ open Bftcrypto
 open Bftnet
 open Bftapp
 open Pbftcore.Types
+module Spans = Bftspan.Tracer
 
 type msg =
   | Request of { desc : request_desc; sig_valid : bool }
@@ -76,6 +77,10 @@ type t = {
   mutable exec_digest : string;
   mutable ping_nonce : int;
   pings_inflight : (int, Time.t) Hashtbl.t;
+  (* Traced requests: request id -> (parent span, arrival time). The
+     pre-ordering wait (po -> delivery) and execution spans are emitted
+     under the parent when the request finally executes. *)
+  span_in : (int * Time.t) Request_id_table.t;
   mutable started : bool;
 }
 
@@ -117,19 +122,20 @@ let cost_bytes t m =
   | Suspect _ | Reply _ ->
     size
 
-let send_from t ~dst m =
+let send_from ?(span = -1) ?span_tag t ~dst m =
   let size = msg_size t m in
   Resource.charge t.main (Costmodel.send t.cfg.costs ~bytes:(cost_bytes t m));
-  Network.send t.net ~src:(Principal.node t.id) ~dst ~size m
+  Network.send ~span ?span_tag t.net ~src:(Principal.node t.id) ~dst ~size m
 
 (* Prime signs every message. *)
-let broadcast_signed t m =
+let broadcast_signed ?(span = -1) t m =
   let size = msg_size t m in
   Resource.charge t.main (Costmodel.sig_sign t.cfg.costs ~bytes:size);
   for dst = 0 to n_nodes t - 1 do
     if dst <> t.id then begin
       Resource.charge t.main (Costmodel.send t.cfg.costs ~bytes:(cost_bytes t m));
-      Network.send t.net ~src:(Principal.node t.id) ~dst:(Principal.node dst) ~size m
+      Network.send ~span t.net ~src:(Principal.node t.id) ~dst:(Principal.node dst)
+        ~size m
     end
   done
 
@@ -203,9 +209,27 @@ let audit t kind =
 
 let execute_one t (desc : request_desc) =
   if not (Request_id_table.mem t.executed desc.id) then begin
+    let cost = exec_cost_of t desc in
+    (* Execution runs inline on the main thread ([charge], not
+       [submit]), so the execution span is [now, now + cost]. *)
+    let espan =
+      if not (Spans.active ()) then -1
+      else
+        match Request_id_table.find_opt t.span_in desc.id with
+        | None -> -1
+        | Some (parent, t_in) ->
+          Request_id_table.remove t.span_in desc.id;
+          let now = Engine.now t.engine in
+          let b =
+            Spans.span ~parent ~tag:Bftspan.Tag.Batch_wait ~node:t.id
+              ~instance:0 ~t0:t_in ~t1:now
+          in
+          Spans.span ~parent:b ~tag:Bftspan.Tag.Execution ~node:t.id ~instance:0
+            ~t0:now ~t1:(Time.add now cost)
+    in
     (* Execution happens on the main thread: heavy requests delay
        everything behind them, including pong responses. *)
-    Resource.charge t.main (exec_cost_of t desc);
+    Resource.charge t.main cost;
     let result = t.service.Service.execute desc.op in
     Request_id_table.replace t.executed desc.id result;
     t.exec_count <- t.exec_count + 1;
@@ -215,7 +239,8 @@ let execute_one t (desc : request_desc) =
            { client = desc.id.client; rid = desc.id.rid; digest = desc.digest });
     Bftmetrics.Throughput.record t.exec_counter ~now:(Engine.now t.engine);
     t.exec_digest <- Sha256.digest_string (t.exec_digest ^ desc.digest);
-    send_from t ~dst:(Principal.client desc.id.client)
+    send_from ~span:espan ~span_tag:Bftspan.Tag.Reply t
+      ~dst:(Principal.client desc.id.client)
       (Reply { id = desc.id; result; node = t.id })
   end
 
@@ -392,7 +417,7 @@ let rec arm_ping_loop t =
 (* Inbound                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let handle_request t (desc : request_desc) ~sig_valid =
+let handle_request t ~span (desc : request_desc) ~sig_valid =
   if Request_id_table.mem t.executed desc.id then begin
     match Request_id_table.find_opt t.executed desc.id with
     | Some result ->
@@ -403,9 +428,12 @@ let handle_request t (desc : request_desc) ~sig_valid =
   else begin
     Resource.charge t.main (Costmodel.sig_verify t.cfg.costs ~bytes:desc.op_size);
     if sig_valid then begin
+      if span >= 0 && not (Request_id_table.mem t.span_in desc.id) then
+        Request_id_table.replace t.span_in desc.id (span, Engine.now t.engine);
       t.my_po_seq <- t.my_po_seq + 1;
       store_po t ~origin:t.id ~po_seq:t.my_po_seq desc;
-      broadcast_signed t (Po_request { desc; origin = t.id; po_seq = t.my_po_seq })
+      broadcast_signed ~span t
+        (Po_request { desc; origin = t.id; po_seq = t.my_po_seq })
     end
   end
 
@@ -419,9 +447,24 @@ let on_delivery t (d : msg Network.delivery) =
   else
   match d.Network.payload with
   | Request { desc; sig_valid } ->
-    Resource.submit t.main ~cost:base (fun () -> handle_request t desc ~sig_valid)
+    let vspan =
+      Spans.job ~parent:d.Network.span ~tag:Bftspan.Tag.Crypto_verify ~node:t.id
+        ~instance:0 ~now:(Engine.now t.engine)
+    in
+    Resource.submit ~span:vspan t.main ~cost:base (fun () ->
+        handle_request t ~span:vspan desc ~sig_valid)
   | Po_request { desc; origin; po_seq } ->
-    Resource.submit t.main ~cost:with_sig (fun () ->
+    let pspan =
+      Spans.job ~parent:d.Network.span ~tag:Bftspan.Tag.Propagate ~node:t.id
+        ~instance:0 ~now:(Engine.now t.engine)
+    in
+    Resource.submit ~span:pspan t.main ~cost:with_sig (fun () ->
+        if
+          pspan >= 0
+          && (not (Request_id_table.mem t.executed desc.id))
+          && not (Request_id_table.mem t.span_in desc.id)
+        then
+          Request_id_table.replace t.span_in desc.id (pspan, Engine.now t.engine);
         store_po t ~origin ~po_seq desc;
         try_deliver t)
   | Pre_prepare { view; seq; vector } ->
@@ -493,6 +536,7 @@ let create engine net cfg ~id ~service =
       exec_digest = "genesis";
       ping_nonce = 0;
       pings_inflight = Hashtbl.create 16;
+      span_in = Request_id_table.create 64;
       started = false;
     }
   in

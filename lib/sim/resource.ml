@@ -1,4 +1,13 @@
-type job = { cost : Time.t; k : unit -> unit }
+type job = { cost : Time.t; span : int; k : unit -> unit }
+
+(* Observability hook: called when a job tagged with a span id (>= 0)
+   is dequeued, with the virtual instants it occupies the server. At
+   most one hook; the span tracer installs it. Kept global so hot
+   submit paths pay only an integer compare when tracing is off. *)
+let span_hook : (int -> start:Time.t -> finish:Time.t -> unit) option ref =
+  ref None
+
+let set_span_hook h = span_hook := h
 
 type t = {
   engine : Engine.t;
@@ -46,13 +55,17 @@ let rec start_next t =
     t.busy_until <- finish;
     t.busy_total <- Time.add t.busy_total cost;
     t.jobs <- t.jobs + 1;
+    (if job.span >= 0 then
+       match !span_hook with
+       | Some h -> h job.span ~start ~finish
+       | None -> ());
     ignore
       (Engine.at t.engine finish (fun () ->
            job.k ();
            start_next t))
 
-let submit t ~cost k =
-  Queue.add { cost; k } t.queue;
+let submit ?(span = -1) t ~cost k =
+  Queue.add { cost; span; k } t.queue;
   if not t.running then start_next t
 
 let charge t extra =

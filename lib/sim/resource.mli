@@ -27,9 +27,20 @@ val set_speed : t -> float -> unit
     skew on a faulty or overloaded machine. Jobs already started keep
     the scaling in force when they were dequeued. *)
 
-val submit : t -> cost:Time.t -> (unit -> unit) -> unit
+val submit : ?span:int -> t -> cost:Time.t -> (unit -> unit) -> unit
 (** [submit t ~cost f] enqueues a job. [f] runs when the job
-    completes, i.e. at [max now (end of previous job) + cost]. *)
+    completes, i.e. at [max now (end of previous job) + cost].
+
+    [?span] (default [-1], meaning "untraced") tags the job with a span
+    id for the tracer hook below; the resource itself only stores and
+    forwards the integer. *)
+
+val set_span_hook : (int -> start:Time.t -> finish:Time.t -> unit) option -> unit
+(** Installs (or clears) the global job-start observability hook. When
+    a job submitted with [~span:id] ([id >= 0]) is dequeued, the hook
+    receives [id] plus the virtual interval the job occupies the
+    server, after speed scaling. Untagged jobs never touch the hook, so
+    the traced-off overhead is one integer compare per job. *)
 
 val charge : t -> Time.t -> unit
 (** [charge t extra] extends the busy period of the job currently at

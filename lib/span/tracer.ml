@@ -1,0 +1,141 @@
+(** The global span tracer.
+
+    Follows the {!Bftaudit.Bus} discipline: a single [enabled] ref read
+    plus an integer compare on every hot-path hook, so instrumentation
+    costs a few nanoseconds when tracing is off. Spans live in one
+    growable array indexed by id (ids are allocation order, which makes
+    captures deterministic for a deterministic simulation).
+
+    Context propagates as a bare span id ([int], [-1] = none): message
+    sends carry it in the {!Dessim.Resource} job record and the network
+    delivery record, and children inherit [client]/[rid] from their
+    parent here, so call sites never thread trace metadata explicitly.
+
+    Sampling is by request id: [sampled ~rid] decides at the root
+    (client submit); every downstream hook is keyed on [parent >= 0],
+    so a sampling decision propagates through the whole lifecycle for
+    free. *)
+
+open Dessim
+
+let enabled = ref false
+let sample_every = ref 1
+let spans : Span.t array ref = ref [||]
+let len = ref 0
+
+let active () = !enabled
+
+let sampled ~rid =
+  !enabled && (!sample_every <= 1 || rid mod !sample_every = 0)
+
+let sample_rate () = !sample_every
+
+let ensure () =
+  if !len >= Array.length !spans then begin
+    let cap = max 1024 (2 * Array.length !spans) in
+    let a = Array.make cap Span.dummy in
+    Array.blit !spans 0 a 0 !len;
+    spans := a
+  end
+
+let alloc ~parent ~client ~rid ~node ~instance ~tag ~t0 ~t1 =
+  ensure ();
+  let id = !len in
+  !spans.(id) <-
+    { Span.id; parent; client; rid; node; instance; tag; t0; t1 };
+  incr len;
+  id
+
+let get id = !spans.(id)
+
+let root ~client ~rid ~node ~instance ~tag ~t0 =
+  if not !enabled then -1
+  else
+    alloc ~parent:(-1) ~client ~rid ~node ~instance ~tag ~t0 ~t1:Span.none
+
+let span ~parent ~tag ~node ~instance ~t0 ~t1 =
+  if parent < 0 || not !enabled then -1
+  else
+    let p = get parent in
+    alloc ~parent ~client:p.Span.client ~rid:p.Span.rid ~node ~instance ~tag
+      ~t0 ~t1
+
+let start ~parent ~tag ~node ~instance ~t0 =
+  span ~parent ~tag ~node ~instance ~t0 ~t1:Span.none
+
+let finish id ~t1 = if id >= 0 && id < !len then (get id).Span.t1 <- t1
+
+(* A traced CPU job is a pair of consecutive spans: a queue-wait span
+   opened at submission time and the work span proper. Both are closed
+   by the resource hook when the job is dequeued, with the real
+   (speed-scaled, charge-displaced) instants — no back-computation. The
+   work span id (= queue id + 1) is what call sites carry around. *)
+let job ~parent ~tag ~node ~instance ~now =
+  if parent < 0 || not !enabled then -1
+  else begin
+    let p = get parent in
+    let client = p.Span.client and rid = p.Span.rid in
+    let _q : int =
+      alloc ~parent ~client ~rid ~node ~instance ~tag:Tag.Queue_wait ~t0:now
+        ~t1:Span.none
+    in
+    alloc ~parent ~client ~rid ~node ~instance ~tag ~t0:now ~t1:Span.none
+  end
+
+let on_job_start id ~start ~finish =
+  if id >= 1 && id < !len then begin
+    let w = get id in
+    w.Span.t0 <- start;
+    w.Span.t1 <- finish;
+    let q = get (id - 1) in
+    if q.Span.tag = Tag.Queue_wait && q.Span.parent = w.Span.parent
+       && Span.is_open q
+    then q.Span.t1 <- start
+  end
+
+let enable ?(sample = 1) () =
+  sample_every := max 1 sample;
+  Resource.set_span_hook (Some on_job_start);
+  enabled := true
+
+let disable () = enabled := false
+
+let reset () =
+  spans := [||];
+  len := 0;
+  enabled := false
+
+let count () = !len
+let iter f = for i = 0 to !len - 1 do f !spans.(i) done
+
+let to_array () = Array.sub !spans 0 !len
+
+(* Chained over 64 KiB chunks of the JSONL rendering rather than span
+   by span: the digest stays order- and prefix-sensitive, but a full
+   1/1 capture (millions of spans) pays SHA-256 padding and finalisation
+   once per chunk instead of once per span. *)
+let digest () =
+  let chain = ref (Bftcrypto.Sha256.digest_string "bftspan-trace-v1") in
+  let buf = Buffer.create (64 * 1024) in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      chain := Bftcrypto.Sha256.digest_string (!chain ^ Buffer.contents buf);
+      Buffer.clear buf
+    end
+  in
+  iter (fun s ->
+      Span.write_json buf s;
+      Buffer.add_char buf '\n';
+      if Buffer.length buf >= (64 * 1024) - 256 then flush ());
+  flush ();
+  Bftcrypto.Sha256.to_hex !chain
+
+let write_jsonl path =
+  let oc = open_out path in
+  let buf = Buffer.create 256 in
+  iter (fun s ->
+      Buffer.clear buf;
+      Span.write_json buf s;
+      Buffer.add_char buf '\n';
+      Buffer.output_buffer oc buf);
+  close_out oc

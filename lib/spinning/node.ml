@@ -3,6 +3,7 @@ open Bftcrypto
 open Bftnet
 open Bftapp
 open Pbftcore.Types
+module Spans = Bftspan.Tracer
 
 type msg =
   | Request of { desc : request_desc }
@@ -85,10 +86,10 @@ let cost_bytes t m =
     int_of_float (float_of_int size *. t.cfg.body_copy_factor)
   | Order _ | Request _ | Reply _ -> size
 
-let send_from t thread ~dst m =
+let send_from ?(span = -1) ?span_tag t thread ~dst m =
   let size = msg_size t m in
   Resource.charge thread (Costmodel.send t.cfg.costs ~bytes:(cost_bytes t m));
-  Network.send t.net ~src:(Principal.node t.id) ~dst ~size m
+  Network.send ~span ?span_tag t.net ~src:(Principal.node t.id) ~dst ~size m
 
 let broadcast_nodes t thread m =
   let size = msg_size t m in
@@ -110,7 +111,15 @@ let execute_batch t descs =
     (fun (desc : request_desc) ->
       if not (Request_id_table.mem t.executed desc.id) then begin
         let cost = Time.max t.cfg.exec_cost (t.service.Service.exec_cost desc.op) in
-        Resource.submit t.execution ~cost (fun () ->
+        let ospan =
+          if Spans.active () then Replica.take_span (replica t) ~id:desc.id
+          else -1
+        in
+        let espan =
+          Spans.job ~parent:ospan ~tag:Bftspan.Tag.Execution ~node:t.id
+            ~instance:0 ~now:(Engine.now t.engine)
+        in
+        Resource.submit ~span:espan t.execution ~cost (fun () ->
             if not (Request_id_table.mem t.executed desc.id) then begin
               let result = t.service.Service.execute desc.op in
               Request_id_table.replace t.executed desc.id result;
@@ -127,7 +136,8 @@ let execute_batch t descs =
               t.exec_digest <- Sha256.digest_string (t.exec_digest ^ desc.digest);
               Resource.charge t.execution
                 (Costmodel.mac_gen t.cfg.costs ~bytes:(String.length result + 16));
-              send_from t t.execution ~dst:(Principal.client desc.id.client)
+              send_from ~span:espan ~span_tag:Bftspan.Tag.Reply t t.execution
+                ~dst:(Principal.client desc.id.client)
                 (Reply { id = desc.id; result; node = t.id })
             end)
       end)
@@ -160,7 +170,12 @@ let on_delivery t (d : msg Network.delivery) =
   | Request { desc } ->
     (* Per-request bookkeeping: request log entry plus ordering timer
        management. *)
-    Resource.submit t.ordering ~cost:(Time.add base t.cfg.bookkeeping) (fun () ->
+    let vspan =
+      Spans.job ~parent:d.Network.span ~tag:Bftspan.Tag.Crypto_verify ~node:t.id
+        ~instance:0 ~now:(Engine.now t.engine)
+    in
+    Resource.submit ~span:vspan t.ordering ~cost:(Time.add base t.cfg.bookkeeping)
+      (fun () ->
         if Request_id_table.mem t.executed desc.id then begin
           match Request_id_table.find_opt t.executed desc.id with
           | Some result ->
@@ -177,7 +192,7 @@ let on_delivery t (d : msg Network.delivery) =
                    rid = desc.id.rid;
                    size = desc.op_size;
                  });
-          Replica.submit (replica t) desc
+          Replica.submit ~span:vspan (replica t) desc
         end)
   | Order m ->
     let from =

@@ -35,6 +35,8 @@ type entry = {
   mutable accused : bool;  (* this replica accused for this seq *)
   mutable proposing : bool;  (* a local proposal is pending issue *)
   mutable delivered : bool;
+  mutable t_pp : Time.t;  (* when the PP was adopted, for phase spans *)
+  mutable t_prepared : Time.t;  (* when the prepare quorum formed *)
 }
 
 type t = {
@@ -55,6 +57,10 @@ type t = {
   mutable pp_release : Time.t;
   (* PPs waiting for their requests to arrive from the clients *)
   mutable waiting_pps : (int * int * request_desc list) list;
+  (* Traced requests: request id -> (parent span, submit time). On
+     delivery the batch-wait/prepare/commit phase spans are emitted
+     under the parent and the commit span kept for [take_span]. *)
+  span_in : (int * Time.t) Request_id_table.t;
 }
 
 let create ?clock engine cfg cb =
@@ -75,6 +81,7 @@ let create ?clock engine cfg cb =
     ordered = 0;
     pp_release = Time.zero;
     waiting_pps = [];
+    span_in = Request_id_table.create 64;
   }
 
 let adversary t = t.adv
@@ -102,6 +109,8 @@ let entry_for t seq =
         accused = false;
         proposing = false;
         delivered = false;
+        t_pp = Time.zero;
+        t_prepared = Time.zero;
       }
     in
     Hashtbl.add t.entries seq e;
@@ -169,6 +178,42 @@ let broadcast t msg =
     t.cb.broadcast msg
   end
 
+(* On delivery, emit the per-request ordering phase spans from the
+   entry's timing stamps. Stamps are clamped to stay monotonic even
+   when a request joined after the PP was adopted. The commit span id
+   replaces the parent in [span_in] for [take_span]. *)
+let record_phase_spans t (e : entry) fresh =
+  let now = Engine.now t.engine in
+  let node = t.cfg.replica_id and instance = 0 in
+  List.iter
+    (fun (d : request_desc) ->
+      match Request_id_table.find_opt t.span_in d.id with
+      | None -> ()
+      | Some (parent, t_sub) ->
+        let t_pp = Time.max e.t_pp t_sub in
+        let t_prep = Time.min now (Time.max e.t_prepared t_pp) in
+        let b =
+          Bftspan.Tracer.span ~parent ~tag:Bftspan.Tag.Batch_wait ~node
+            ~instance ~t0:t_sub ~t1:t_pp
+        in
+        let pr =
+          Bftspan.Tracer.span ~parent:b ~tag:Bftspan.Tag.Prepare ~node
+            ~instance ~t0:t_pp ~t1:t_prep
+        in
+        let cm =
+          Bftspan.Tracer.span ~parent:pr ~tag:Bftspan.Tag.Commit ~node
+            ~instance ~t0:t_prep ~t1:now
+        in
+        Request_id_table.replace t.span_in d.id (cm, now))
+    fresh
+
+let take_span t ~id =
+  match Request_id_table.find_opt t.span_in id with
+  | None -> -1
+  | Some (span, _) ->
+    Request_id_table.remove t.span_in id;
+    span
+
 let rec rearm_timer t =
   (* Watch the oldest undelivered batch whenever requests are pending. *)
   (match t.timer with
@@ -222,6 +267,8 @@ and check_accusations t seq =
     e.proposing <- false;
     e.pp <- None;
     e.digest <- "";
+    e.t_pp <- Time.zero;
+    e.t_prepared <- Time.zero;
     Pbftcore.Voteset.clear e.prepares;
     Pbftcore.Voteset.clear e.commits;
     e.sent_prepare <- false;
@@ -263,6 +310,7 @@ and try_deliver t =
             Request_id_table.remove t.claimed d.id)
           descs;
         t.ordered <- t.ordered + List.length fresh;
+        if Bftspan.Tracer.active () then record_phase_spans t e fresh;
         if Bftaudit.Bus.active () then
           audit t
             (Bftaudit.Event.Ordered
@@ -375,6 +423,7 @@ and accept_pp t ~from ~seq ~descs ~attempt =
       t.waiting_pps <- (from, seq, descs) :: t.waiting_pps
     else begin
       e.pp <- Some descs;
+      e.t_pp <- Engine.now t.engine;
       e.digest <- batch_digest descs;
       List.iter (fun d -> Request_id_table.replace t.claimed d.id ()) descs;
       if from <> t.cfg.replica_id then begin
@@ -394,6 +443,7 @@ and maybe_commit t seq (e : entry) =
     && Pbftcore.Voteset.count e.prepares >= 2 * t.cfg.f
   then begin
     e.sent_commit <- true;
+    e.t_prepared <- Engine.now t.engine;
     ignore (Pbftcore.Voteset.add e.commits t.cfg.replica_id);
     broadcast t
       (Commit { seq; digest = e.digest; replica = t.cfg.replica_id; attempt = e.attempt });
@@ -414,7 +464,12 @@ let recheck_waiting t =
       accept_pp t ~from ~seq ~descs ~attempt:e.attempt)
     ready
 
-let submit t desc =
+let submit ?(span = -1) t desc =
+  if
+    span >= 0
+    && (not (Request_id_table.mem t.delivered_ids desc.id))
+    && not (Request_id_table.mem t.span_in desc.id)
+  then Request_id_table.replace t.span_in desc.id (span, Engine.now t.engine);
   if not (Request_id_table.mem t.known desc.id) then begin
     Request_id_table.replace t.known desc.id desc;
     recheck_waiting t;

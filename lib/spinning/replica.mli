@@ -55,7 +55,18 @@ type t
     unskewed clock on [engine]. *)
 val create : ?clock:Clock.t -> Engine.t -> config -> callbacks -> t
 val adversary : t -> adversary
-val submit : t -> request_desc -> unit
+
+val submit : ?span:int -> t -> request_desc -> unit
+(** [?span] (default [-1]) is the parent span id of a traced request:
+    on delivery the replica emits batch-wait / prepare / commit phase
+    spans chained under it, and keeps the commit span id for
+    {!take_span}. *)
+
+val take_span : t -> id:request_id -> int
+(** Collects (and clears) the commit span id recorded for a delivered
+    traced request; [-1] if the request was untraced or not delivered
+    here. *)
+
 val receive : t -> from:int -> msg -> unit
 
 val proposer_of : t -> seq:int -> int
