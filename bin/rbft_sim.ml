@@ -579,10 +579,144 @@ let explore_cmd =
       const run_explore $ count $ seed $ f $ duration $ drain $ protocols $ out_dir
       $ shrink_budget $ verbose)
 
+(* ------------------------------------------------------------------ *)
+(* mc                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_mc requests max_faults depth no_por stats_flag mutate seed out compare_por
+    =
+  let cfg =
+    {
+      Bftmc.World.default_config with
+      Bftmc.World.requests;
+      depth;
+      mutate;
+      seed = Int64.of_int seed;
+    }
+  in
+  let por = not no_por in
+  let progress (s : Bftmc.Search.stats) =
+    Printf.eprintf "  ... %d states, %d dedup, %d leaves\n%!"
+      s.Bftmc.Search.states s.Bftmc.Search.dedup_hits s.Bftmc.Search.leaves
+  in
+  let on_progress = if stats_flag then Some progress else None in
+  let outcome = Bftmc.Search.run ~por ~max_faults ?on_progress cfg in
+  let s = outcome.Bftmc.Search.stats in
+  Printf.printf "bftmc: n=%d f=%d requests=%d depth<=%d max-faults=%d por=%b%s\n"
+    ((3 * cfg.Bftmc.World.f) + 1)
+    cfg.Bftmc.World.f requests depth max_faults por
+    (if mutate then " mutate=ic-quorum-low" else "");
+  Printf.printf "states explored:  %d\n" s.Bftmc.Search.states;
+  Printf.printf "dedup hits:       %d\n" s.Bftmc.Search.dedup_hits;
+  Printf.printf "leaves judged:    %d\n" s.Bftmc.Search.leaves;
+  if stats_flag then begin
+    Printf.printf "replays:          %d\n" s.Bftmc.Search.replays;
+    Printf.printf "max depth:        %d\n" s.Bftmc.Search.max_depth;
+    Printf.printf "por skipped:      %d (+%d pruned subtrees)\n"
+      s.Bftmc.Search.por_skipped s.Bftmc.Search.por_pruned_subtrees;
+    Printf.printf "frontier choices: %d\n" s.Bftmc.Search.choices_seen;
+    List.iter
+      (fun (crashes, (ps : Bftmc.Search.stats)) ->
+        Printf.printf "  placement [%s]: %d states, %d leaves\n"
+          (String.concat "," (List.map string_of_int crashes))
+          ps.Bftmc.Search.states ps.Bftmc.Search.leaves)
+      outcome.Bftmc.Search.per_placement
+  end;
+  (match outcome.Bftmc.Search.counterexample with
+   | None ->
+     if compare_por && por then begin
+       (* Same sweep without the reduction, to report the factor. *)
+       let base = Bftmc.Search.run ~por:false ~max_faults cfg in
+       let b = base.Bftmc.Search.stats in
+       Printf.printf "no-por states:    %d\n" b.Bftmc.Search.states;
+       Printf.printf "por reduction:    %.2fx\n"
+         (float_of_int b.Bftmc.Search.states
+         /. float_of_int (Stdlib.max 1 s.Bftmc.Search.states))
+     end;
+     Printf.printf "verdict: no violation found\n"
+   | Some cex ->
+     Printf.printf "verdict: VIOLATION\n";
+     Format.printf "%a@?" Bftmc.Cex.pp cex;
+     let path =
+       match out with
+       | None -> None
+       | Some dir ->
+         (try Unix.mkdir dir 0o755
+          with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+         Some (Filename.concat dir "mc-cex.scn")
+     in
+     let repro = Bftmc.Cex.extract ?out:path cex in
+     (match path with
+      | Some p ->
+        Printf.printf "cex scenario: %s (%s, %d shrink runs)\n" p
+          (if repro.Bftmc.Cex.reproduced then "reproduces, shrunk"
+           else "schedule-sensitive, saved unshrunk")
+          repro.Bftmc.Cex.shrink_tests
+      | None -> ());
+     Printf.printf "invariant digest: %s\n" repro.Bftmc.Cex.target_digest;
+     exit 1)
+
+let mc_cmd =
+  let requests =
+    Arg.(
+      value & opt int 2
+      & info [ "requests" ] ~doc:"Client requests in the workload burst.")
+  in
+  let max_faults =
+    Arg.(
+      value & opt int 0
+      & info [ "max-faults" ]
+          ~doc:"Sweep crash placements of up to this many nodes (capped at f).")
+  in
+  let depth =
+    Arg.(value & opt int 6 & info [ "depth" ] ~doc:"Schedule length bound.")
+  in
+  let no_por =
+    Arg.(
+      value & flag
+      & info [ "no-por" ] ~doc:"Disable the partial-order reduction.")
+  in
+  let stats_flag =
+    Arg.(
+      value & flag
+      & info [ "stats" ] ~doc:"Print detailed search statistics.")
+  in
+  let mutate =
+    Arg.(
+      value & flag
+      & info [ "mutate" ]
+          ~doc:
+            "Self-test: break the instance-change quorum (accept 1 vote \
+             instead of 2f+1) and expect a violation.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"World seed.") in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Where to write the counterexample .scn scenario.")
+  in
+  let compare_por =
+    Arg.(
+      value & flag
+      & info [ "compare-por" ]
+          ~doc:"After a clean sweep, rerun without POR and report the factor.")
+  in
+  Cmd.v
+    (Cmd.info "mc"
+       ~doc:
+         "Exhaustively model-check delivery orders and crash placements of a \
+          small cluster; exit non-zero with a shrunk .scn repro on any \
+          safety, agreement or instance-change-liveness violation")
+    Term.(
+      const run_mc $ requests $ max_faults $ depth $ no_por $ stats_flag
+      $ mutate $ seed $ out $ compare_por)
+
 let () =
   let doc = "RBFT: Redundant Byzantine Fault Tolerance (ICDCS 2013) reproduction" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "rbft_sim" ~doc)
-          [ run_cmd; trace_spans_cmd; experiment_cmd; compare_cmd; scenario_cmd;
+          [ run_cmd; trace_spans_cmd; experiment_cmd; compare_cmd; scenario_cmd; mc_cmd;
             explore_cmd ]))

@@ -248,6 +248,16 @@ let detach t =
 let events_checked t = t.checked
 let violations t = List.rev t.violations
 
+(* Canonical digest of *which* invariants were violated, ignoring
+   timestamps and per-run details: a counterexample schedule and its
+   shrunk replay hit "the same bug" exactly when these digests agree. *)
+let invariant_digest vs =
+  List.map (fun (v : violation) -> v.invariant) vs
+  |> List.sort_uniq compare
+  |> String.concat "\n"
+  |> Bftcrypto.Sha256.digest_string
+  |> Bftcrypto.Sha256.to_hex
+
 let pp_violation ppf (v : violation) =
   Format.fprintf ppf "[%s] at %s: %s" v.invariant (Time.to_string v.time)
     v.detail

@@ -47,6 +47,12 @@ val events_checked : t -> int
 val violations : t -> violation list
 (** Recorded violations, oldest first. *)
 
+val invariant_digest : violation list -> string
+(** Hex SHA-256 over the sorted set of distinct violated invariant
+    names — a run-independent identity for "which bug fired". The
+    model checker uses it to confirm that a shrunk counterexample
+    still reproduces the original violation. *)
+
 val recent_events : t -> Event.t list
 (** The last few bus events seen, oldest first (context ring). *)
 

@@ -13,5 +13,6 @@
 module Event = Event
 module Bus = Bus
 module Auditor = Auditor
+module Liveness = Liveness
 module Capture = Capture
 module Metrics_bridge = Metrics_bridge

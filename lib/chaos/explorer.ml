@@ -141,6 +141,8 @@ let sample g rng ~index =
     drain = g.drain;
     workload = { Scenario.clients = g.clients; rate = g.rate; payload = g.payload };
     faults;
+    lambda = Time.zero;
+    mutation = None;
   }
 
 type sweep = { total : int; passed : int; failures : Runner.result list }

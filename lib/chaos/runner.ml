@@ -23,7 +23,16 @@ let sum_totals sent completed clients =
   Array.fold_left (fun (s, c) cl -> (s + sent cl, c + completed cl)) (0, 0) clients
 
 let build_rbft ~transport (s : Scenario.t) =
-  let params = Rbft.Params.default ~f:s.Scenario.f in
+  let params =
+    {
+      (Rbft.Params.default ~f:s.Scenario.f) with
+      Rbft.Params.lambda = s.Scenario.lambda;
+      ic_quorum =
+        (match s.Scenario.mutation with
+         | Some Scenario.Ic_quorum_low -> Some 1
+         | None -> None);
+    }
+  in
   let cluster =
     Rbft.Cluster.create ~seed:s.Scenario.seed ~transport
       ~clients:s.Scenario.workload.Scenario.clients

@@ -21,6 +21,14 @@ let all_protocols = [| Rbft; Rbft_udp; Aardvark; Spinning; Prime |]
 
 type workload = { clients : int; rate : float; payload : int }
 
+type mutation = Ic_quorum_low
+
+let mutation_name = function Ic_quorum_low -> "ic-quorum-low"
+
+let mutation_of_name = function
+  | "ic-quorum-low" -> Some Ic_quorum_low
+  | _ -> None
+
 type t = {
   name : string;
   protocol : protocol;
@@ -30,6 +38,8 @@ type t = {
   drain : Time.t;
   workload : workload;
   faults : Fault.plan;
+  lambda : Time.t;
+  mutation : mutation option;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -80,24 +90,36 @@ let fault_to_sexp (f : Fault.t) =
     ]
 
 let to_sexp t =
+  (* Optional fields are emitted only when non-default, so scenarios
+     that do not use them serialize exactly as they did before the
+     fields existed (and old files parse: missing means default). *)
+  let optional =
+    (if t.lambda = Time.zero then []
+     else [ pair "lambda-ns" (time_atom t.lambda) ])
+    @
+    match t.mutation with
+    | None -> []
+    | Some m -> [ pair "mutation" (Sexp.Atom (mutation_name m)) ]
+  in
   Sexp.List
-    [
-      Sexp.Atom "scenario";
-      pair "name" (Sexp.Atom t.name);
-      pair "protocol" (Sexp.Atom (protocol_name t.protocol));
-      pair "f" (int_atom t.f);
-      pair "seed" (Sexp.Atom (Int64.to_string t.seed));
-      pair "duration-ns" (time_atom t.duration);
-      pair "drain-ns" (time_atom t.drain);
-      Sexp.List
-        [
-          Sexp.Atom "workload";
-          pair "clients" (int_atom t.workload.clients);
-          pair "rate" (float_atom t.workload.rate);
-          pair "payload" (int_atom t.workload.payload);
-        ];
-      Sexp.List (Sexp.Atom "faults" :: List.map fault_to_sexp t.faults);
-    ]
+    ([
+       Sexp.Atom "scenario";
+       pair "name" (Sexp.Atom t.name);
+       pair "protocol" (Sexp.Atom (protocol_name t.protocol));
+       pair "f" (int_atom t.f);
+       pair "seed" (Sexp.Atom (Int64.to_string t.seed));
+       pair "duration-ns" (time_atom t.duration);
+       pair "drain-ns" (time_atom t.drain);
+       Sexp.List
+         [
+           Sexp.Atom "workload";
+           pair "clients" (int_atom t.workload.clients);
+           pair "rate" (float_atom t.workload.rate);
+           pair "payload" (int_atom t.workload.payload);
+         ];
+       Sexp.List (Sexp.Atom "faults" :: List.map fault_to_sexp t.faults);
+     ]
+    @ optional)
 
 let to_string t = Sexp.to_string (to_sexp t) ^ "\n"
 
@@ -244,6 +266,21 @@ let of_sexp s =
         (Ok [])
         (Sexp.field_all faults_sexp "fault")
     in
+    (* Optional fields, absent in older scenario files. *)
+    let* lambda =
+      match Sexp.field s "lambda-ns" with
+      | None -> Ok Time.zero
+      | Some _ -> get_time s "lambda-ns" ~what
+    in
+    let* mutation =
+      match Sexp.field s "mutation" with
+      | None -> Ok None
+      | Some _ ->
+        let* a = get_atom s "mutation" ~what in
+        (match mutation_of_name a with
+         | Some m -> Ok (Some m)
+         | None -> Error (Printf.sprintf "unknown mutation %S" a))
+    in
     Ok
       {
         name;
@@ -254,6 +291,8 @@ let of_sexp s =
         drain;
         workload = { clients; rate; payload };
         faults = List.rev faults;
+        lambda;
+        mutation;
       }
   | _ -> Error "expected (scenario ...)"
 

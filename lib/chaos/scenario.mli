@@ -24,6 +24,14 @@ type workload = {
   payload : int;  (** request payload bytes *)
 }
 
+type mutation = Ic_quorum_low
+      (** run with a deliberately broken instance-change quorum of 1
+          instead of 2f+1 — the model checker's mutation self-test;
+          the auditor's [instance-change-quorum] invariant must fire *)
+
+val mutation_name : mutation -> string
+val mutation_of_name : string -> mutation option
+
 type t = {
   name : string;
   protocol : protocol;
@@ -33,6 +41,15 @@ type t = {
   drain : Time.t;  (** post-heal settle phase used as the liveness bound *)
   workload : workload;
   faults : Fault.plan;
+  lambda : Time.t;
+      (** Λ parameter handed to RBFT protocols ([Time.zero] = disabled,
+          the default); counterexamples emitted by the model checker
+          carry a tight Λ so the instance-change path re-triggers under
+          rate-driven replay. Serialized only when non-zero, so
+          pre-existing [.scn] files are unaffected. *)
+  mutation : mutation option;
+      (** protocol mutation to install ([None] = faithful protocol);
+          serialized only when set *)
 }
 
 val to_sexp : t -> Sexp.t

@@ -105,6 +105,11 @@ and make_request t =
     mac_invalid_for = t.behaviour.mac_invalid_for;
   }
 
+let send_burst t ~count =
+  for _ = 1 to count do
+    send_one t
+  done
+
 let set_closed_loop t ~outstanding =
   t.rate <- 0.0;
   t.rate_epoch <- t.rate_epoch + 1;

@@ -52,6 +52,11 @@ val set_closed_loop : t -> outstanding:int -> unit
 val send_one : t -> unit
 (** Send a single request immediately (used by examples and tests). *)
 
+val send_burst : t -> count:int -> unit
+(** [send_burst t ~count] sends [count] requests back-to-back without
+    arming any rate timer — the model checker's workload: a fixed,
+    finite set of requests so the reachable state space is finite. *)
+
 val sent : t -> int
 val completed : t -> int
 (** Requests for which f+1 matching replies arrived. *)

@@ -9,12 +9,16 @@ type t = {
   clients : Client.t array;
 }
 
-let create ?(seed = 42L) ?(transport = Bftnet.Network.Tcp)
+let create ?(seed = 42L) ?(transport = Bftnet.Network.Tcp) ?net_config
     ?(service = fun () -> Null_service.create ()) ?(clients = 0)
     ?(payload_size = 8) params =
   let engine = Engine.create ~seed () in
   let n = Params.n params in
-  let cfg = { (Bftnet.Network.default_config ~nodes:n) with transport } in
+  let cfg =
+    match net_config with
+    | Some cfg -> cfg
+    | None -> { (Bftnet.Network.default_config ~nodes:n) with transport }
+  in
   let net = Bftnet.Network.create engine cfg in
   let nodes =
     Array.init n (fun id -> Node.create engine net params ~id ~service:(service ()))

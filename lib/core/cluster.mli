@@ -10,6 +10,7 @@ type t
 val create :
   ?seed:int64 ->
   ?transport:Bftnet.Network.transport ->
+  ?net_config:Bftnet.Network.config ->
   ?service:(unit -> Service.t) ->
   ?clients:int ->
   ?payload_size:int ->
@@ -18,7 +19,9 @@ val create :
 (** [create params] builds the system. [service] is instantiated once
     per node (defaults to {!Bftapp.Null_service}); [clients] endpoints
     are created (default 0 — add load later via {!client}). Nodes are
-    started (monitoring armed). *)
+    started (monitoring armed). [net_config] overrides the whole
+    network configuration (it wins over [transport]); the model checker
+    passes a zero-jitter config so no per-send randomness survives. *)
 
 val engine : t -> Engine.t
 val network : t -> Messages.t Bftnet.Network.t

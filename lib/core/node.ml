@@ -139,6 +139,12 @@ let cpi t = t.cpi
 let instance_changes t = t.instance_changes
 let blacklisted_clients t = t.blacklist
 let is_blacklisted t ~client = List.mem client t.blacklist
+let suspicious t = t.suspicious
+let ic_vote_count t = Pbftcore.Voteset.count t.ic_votes
+
+let ic_vote_cpi_of t ~node =
+  if node >= 0 && node < Array.length t.ic_vote_cpi then t.ic_vote_cpi.(node)
+  else -1
 
 (* Chaos knobs: per-node clock drift and CPU slowdown. *)
 let set_clock_factor t k = Clock.set_factor t.clock k
@@ -452,8 +458,15 @@ let perform_instance_change t target_cpi =
     t.master_instance <- (t.master_instance + 1) mod instance_count t;
     Monitoring.set_master t.monitoring t.master_instance
 
+(* The correct quorum is 2f+1; [ic_quorum] is the mutation knob the
+   model checker uses to plant a detectable protocol bug. *)
+let ic_quorum t =
+  match t.params.Params.ic_quorum with
+  | Some q -> q
+  | None -> (2 * t.params.Params.f) + 1
+
 let check_ic_quorum t =
-  if Pbftcore.Voteset.count t.ic_votes >= (2 * t.params.Params.f) + 1 then
+  if Pbftcore.Voteset.count t.ic_votes >= ic_quorum t then
     perform_instance_change t t.cpi
 
 let send_instance_change t =
@@ -802,3 +815,46 @@ let start t =
     arm_monitoring t;
     start_flooding t
   end
+
+(* Canonical digest input for the model checker's visited-state set.
+   Everything that constrains which protocol actions are still possible
+   is rendered in a fixed order; virtual-time values (first_seen,
+   dispatch_time, last_change_at), spans and metric handles are
+   deliberately left out so that states reached by commuted independent
+   deliveries compare equal. *)
+let mc_fingerprint t =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let hex_short s =
+    if s = "" then "-"
+    else
+      let h = Sha256.to_hex s in
+      if String.length h > 12 then String.sub h 0 12 else h
+  in
+  add "n%d cpi=%d mi=%d susp=%b sent=%d chg=%d;" t.id t.cpi t.master_instance
+    t.suspicious t.ic_sent_for t.instance_changes;
+  add "icv=%s #%d;"
+    (String.concat ","
+       (Array.to_list (Array.map string_of_int t.ic_vote_cpi)))
+    (Pbftcore.Voteset.count t.ic_votes);
+  add "exec=%d/%s;" t.exec_count (hex_short t.exec_digest);
+  add "bl=%s;"
+    (String.concat "," (List.map string_of_int (List.sort compare t.blacklist)));
+  add "inv=%s;"
+    (String.concat ","
+       (Array.to_list (Array.map string_of_int t.invalid_counts)));
+  Request_id_table.fold (fun id rs acc -> (id, rs) :: acc) t.requests []
+  |> List.sort (fun (a, _) (b, _) -> compare_request_id a b)
+  |> List.iter (fun (id, rs) ->
+         add "r%d/%d{s=%s p=%b v=%b%b d=%b q=%b};" id.client id.rid
+           (String.concat ","
+              (List.map string_of_int (Pbftcore.Voteset.to_list rs.senders)))
+           rs.propagated rs.sig_checked rs.sig_inflight rs.dispatched
+           (rs.req <> None));
+  Request_id_table.fold (fun id _ acc -> (id, ()) :: acc) t.executed []
+  |> List.sort (fun (a, _) (b, _) -> compare_request_id a b)
+  |> List.iter (fun (id, ()) -> add "x%d/%d;" id.client id.rid);
+  Array.iteri
+    (fun i r -> add "I%d[%s]" i (Pbftcore.Replica.fingerprint r))
+    t.replicas;
+  Buffer.contents buf

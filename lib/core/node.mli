@@ -82,6 +82,27 @@ val cpi : t -> int
 val instance_changes : t -> int
 (** Completed protocol instance changes. *)
 
+val suspicious : t -> bool
+(** Latest monitoring verdict: whether this node currently suspects
+    the master instance's primary. *)
+
+val ic_vote_count : t -> int
+(** Distinct INSTANCE-CHANGE votes covering the current [cpi]. *)
+
+val ic_vote_cpi_of : t -> node:int -> int
+(** Highest cpi node [node] has voted an instance change for, as seen
+    by this node ([-1] = never voted; out-of-range ids also [-1]).
+    Together with {!ic_vote_count} this lets tests pin the vote-set
+    rebuild across cpi advances. *)
+
+val mc_fingerprint : t -> string
+(** Canonical, printable rendering of all schedule-relevant node state:
+    instance-change machinery, execution log digest, per-request
+    propagation/dispatch flags, blacklist, and every hosted replica's
+    {!Pbftcore.Replica.fingerprint}. Deliberately excludes virtual-time
+    values and metric state. The model checker hashes this per node
+    into its visited-state set. *)
+
 val set_latency_probe : t -> (instance:int -> client:int -> Dessim.Time.t -> unit) -> unit
 (** Observe every per-request ordering latency the node measures
     (instance, client, dispatch-to-delivery time) — used to draw the

@@ -19,6 +19,7 @@ type t = {
   post_vc_quiet : Time.t;
   exec_cost : Time.t;
   costs : Bftcrypto.Costmodel.t;
+  ic_quorum : int option;
 }
 
 let default ~f =
@@ -39,6 +40,7 @@ let default ~f =
     post_vc_quiet = Time.zero;
     exec_cost = Time.us 1;
     costs = Bftcrypto.Costmodel.default;
+    ic_quorum = None;
   }
 
 let n t = (3 * t.f) + 1

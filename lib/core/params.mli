@@ -50,6 +50,12 @@ type t = {
           Aardvark-style recovery costs *)
   exec_cost : Time.t;  (** virtual execution cost of one request *)
   costs : Bftcrypto.Costmodel.t;
+  ic_quorum : int option;
+      (** override of the instance-change vote quorum; [None] means the
+          correct 2f+1. Anything else is a deliberately {e broken}
+          protocol used by the model checker's mutation self-test
+          ({!Bftmc}) to prove the checker can detect quorum bugs —
+          never set it in a real configuration *)
 }
 
 val default : f:int -> t

@@ -1,0 +1,20 @@
+(** bftmc — small-scope explicit-state model checker for RBFT's
+    instance-change protocol.
+
+    Exhaustively explores message-delivery orders and bounded crash
+    placements of a tiny cluster (n = 3f+1, a handful of requests),
+    checking the bftaudit safety invariants after every delivery and —
+    at every schedule leaf — execution agreement plus the liveness
+    property {e every triggered instance change eventually completes}.
+
+    - {!World}: one schedulable universe — delivery choices, fixed
+      time slices, canonical state fingerprints, drain-and-judge.
+    - {!Search}: DFS with visited-state dedup and partial-order
+      reduction over commuting deliveries to distinct receivers.
+    - {!Cex}: violating schedules re-expressed as [.scn] fault plans,
+      verified against the original invariant digest and shrunk with
+      the bftchaos minimizer. *)
+
+module World = World
+module Search = Search
+module Cex = Cex

@@ -1,0 +1,231 @@
+open Dessim
+
+type stats = {
+  mutable states : int;
+  mutable dedup_hits : int;
+  mutable leaves : int;
+  mutable por_skipped : int;
+  mutable por_pruned_subtrees : int;
+  mutable replays : int;
+  mutable max_depth : int;
+  mutable choices_seen : int;
+}
+
+let fresh_stats () =
+  {
+    states = 0;
+    dedup_hits = 0;
+    leaves = 0;
+    por_skipped = 0;
+    por_pruned_subtrees = 0;
+    replays = 0;
+    max_depth = 0;
+    choices_seen = 0;
+  }
+
+let add_stats a b =
+  a.states <- a.states + b.states;
+  a.dedup_hits <- a.dedup_hits + b.dedup_hits;
+  a.leaves <- a.leaves + b.leaves;
+  a.por_skipped <- a.por_skipped + b.por_skipped;
+  a.por_pruned_subtrees <- a.por_pruned_subtrees + b.por_pruned_subtrees;
+  a.replays <- a.replays + b.replays;
+  a.max_depth <- Stdlib.max a.max_depth b.max_depth;
+  a.choices_seen <- a.choices_seen + b.choices_seen
+
+type cex = {
+  cex_config : World.config;  (** includes the crash placement *)
+  schedule : Engine.choice list;  (** fired deliveries, in order *)
+  cex_safety : Bftaudit.Auditor.violation list;
+  cex_liveness : Bftaudit.Liveness.problem list;
+  cex_agreement : bool;
+}
+
+type outcome = {
+  stats : stats;
+  per_placement : (int list * stats) list;
+  counterexample : cex option;
+}
+
+(* Partial-order reduction, left-normal-form flavour: choice ids grow
+   monotonically, so a child choice [c] with [c.id < last.id] was
+   already schedulable when [last] fired. If it also targets a
+   different node, firing it now commutes with [last] (deliveries to
+   distinct receivers touch disjoint node state, and the clock advance
+   per step is fixed), so the schedule [... c; last; ...] reaches the
+   same state and is explored from this node's parent. Only the
+   id-sorted representative of each commutation class survives. *)
+let por_filter ~(last : Engine.choice) children =
+  List.filter
+    (fun (c : Engine.choice) ->
+      not (c.Engine.id < last.Engine.id && c.Engine.dst <> last.Engine.dst))
+    children
+
+type frame = {
+  path : int list;  (* choice ids to reach this node, newest first *)
+  mutable todo : Engine.choice list;  (* children not yet explored *)
+}
+
+exception Found of cex
+
+(* DFS over schedule prefixes for one crash placement.
+
+   World management: descending into the just-fired child reuses the
+   live world in place; anything else (sibling after a backtrack,
+   pruned or drained world) replays the prefix into a fresh world —
+   stateless search, affordable because prefixes are bounded by
+   [cfg.depth]. *)
+let explore ?(por = true) ?(on_progress = fun (_ : stats) -> ())
+    (cfg : World.config) =
+  let stats = fresh_stats () in
+  let visited : (string, unit) Hashtbl.t = Hashtbl.create 4096 in
+  let world = ref None in
+  let get_world path =
+    match !world with
+    | Some w when World.fired w = List.rev path -> w
+    | _ ->
+      Option.iter World.destroy !world;
+      stats.replays <- stats.replays + 1;
+      let w = World.replay cfg (List.rev path) in
+      world := Some w;
+      w
+  in
+  let drop_world () =
+    Option.iter World.destroy !world;
+    world := None
+  in
+  (* Choices fired anywhere so far, by id, to rebuild cex listings. *)
+  let seen_choices : (int, Engine.choice) Hashtbl.t = Hashtbl.create 256 in
+  let choices_of path =
+    List.rev_map (fun id -> Hashtbl.find seen_choices id) path
+  in
+  let fail cex =
+    drop_world ();
+    raise (Found cex)
+  in
+  (* Leaf: drain the world and judge safety + liveness + agreement. *)
+  let check_verdict w path =
+    stats.leaves <- stats.leaves + 1;
+    let v = World.evaluate w in
+    if not (World.verdict_clean v) then
+      fail
+        {
+          cex_config = cfg;
+          schedule = choices_of path;
+          cex_safety = v.World.safety;
+          cex_liveness = v.World.liveness;
+          cex_agreement = v.World.agreement;
+        };
+    drop_world ()
+  in
+  try
+    let root = get_world [] in
+    stats.states <- 1;
+    Hashtbl.replace visited (World.fingerprint root) ();
+    let root_children = World.enabled root in
+    stats.choices_seen <- stats.choices_seen + List.length root_children;
+    if root_children = [] then check_verdict root []
+    else begin
+      let stack = ref [ { path = []; todo = root_children } ] in
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | frame :: rest -> (
+          match frame.todo with
+          | [] -> stack := rest
+          | c :: siblings ->
+            frame.todo <- siblings;
+            let w = get_world frame.path in
+            World.step w c;
+            Hashtbl.replace seen_choices c.Engine.id c;
+            let path = c.Engine.id :: frame.path in
+            let d = List.length path in
+            stats.states <- stats.states + 1;
+            if d > stats.max_depth then stats.max_depth <- d;
+            if stats.states mod 500 = 0 then on_progress stats;
+            (* Safety is monotone: checking right after the step keeps
+               the violating schedule as short as possible. *)
+            (match World.violations w with
+             | [] -> ()
+             | vs ->
+               fail
+                 {
+                   cex_config = cfg;
+                   schedule = choices_of path;
+                   cex_safety = vs;
+                   cex_liveness = [];
+                   cex_agreement = true;
+                 });
+            let fp = World.fingerprint w in
+            if Hashtbl.mem visited fp then
+              (* Known state: prune. The world now sits off the stack
+                 path; the next iteration replays as needed. *)
+              stats.dedup_hits <- stats.dedup_hits + 1
+            else begin
+              Hashtbl.replace visited fp ();
+              if d >= cfg.World.depth then check_verdict w path
+              else begin
+                let all = World.enabled w in
+                stats.choices_seen <- stats.choices_seen + List.length all;
+                match all with
+                | [] -> check_verdict w path (* genuine quiescence *)
+                | _ ->
+                  let kids = if por then por_filter ~last:c all else all in
+                  stats.por_skipped <-
+                    stats.por_skipped + (List.length all - List.length kids);
+                  if kids = [] then
+                    (* Every child commutes into an already-covered
+                       schedule: prune the subtree. This is NOT
+                       quiescence — deliveries are still pending — so
+                       no verdict here. *)
+                    stats.por_pruned_subtrees <- stats.por_pruned_subtrees + 1
+                  else stack := { path; todo = kids } :: !stack
+              end
+            end)
+      done;
+      drop_world ()
+    end;
+    {
+      stats;
+      per_placement = [ (cfg.World.crashes, stats) ];
+      counterexample = None;
+    }
+  with Found cex ->
+    {
+      stats;
+      per_placement = [ (cfg.World.crashes, stats) ];
+      counterexample = Some cex;
+    }
+
+(* All crash subsets of {0..n-1} with at most [max_faults] elements
+   (and at most f — more would exceed the fault model). Ascending size,
+   then lexicographic: the fault-free run explores first. *)
+let placements ~n ~max_faults ~f =
+  let k = Stdlib.min max_faults f in
+  let rec combos lst size =
+    if size = 0 then [ [] ]
+    else
+      match lst with
+      | [] -> []
+      | x :: rest ->
+        List.map (fun c -> x :: c) (combos rest (size - 1)) @ combos rest size
+  in
+  let nodes = List.init n (fun i -> i) in
+  List.concat_map (fun size -> combos nodes size) (List.init (k + 1) (fun s -> s))
+
+(* Sweep every fault placement; stop at the first counterexample. *)
+let run ?(por = true) ?(max_faults = 0) ?on_progress (cfg : World.config) =
+  let n = (3 * cfg.World.f) + 1 in
+  let total = fresh_stats () in
+  let rec go acc = function
+    | [] -> { stats = total; per_placement = List.rev acc; counterexample = None }
+    | crashes :: more -> (
+      let o = explore ~por ?on_progress { cfg with World.crashes } in
+      add_stats total o.stats;
+      let acc = (crashes, o.stats) :: acc in
+      match o.counterexample with
+      | Some _ ->
+        { stats = total; per_placement = List.rev acc; counterexample = o.counterexample }
+      | None -> go acc more)
+  in
+  go [] (placements ~n ~max_faults ~f:cfg.World.f)

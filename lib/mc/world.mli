@@ -1,0 +1,98 @@
+(** One schedulable RBFT universe for the model checker.
+
+    A world is a full simulated cluster (engine, network, 3f+1 nodes,
+    one client) put under checker control: message deliveries to nodes
+    park as {e choice events} instead of firing in timestamp order
+    ({!Dessim.Engine.set_choice_capture}), and virtual time advances
+    only in fixed per-step slices, so a state is a pure function of the
+    schedule prefix — replaying the same choice ids reconstructs the
+    same world bit-for-bit.
+
+    Determinism ingredients: the heap's total event order, a fixed
+    seed, zero network jitter (no per-send randomness), and
+    depth-indexed slice horizons (the clock never depends on {e which}
+    choice fired, only on {e how many}). *)
+
+open Dessim
+
+type config = {
+  f : int;  (** cluster size is 3f+1 *)
+  requests : int;  (** client burst size — the whole workload *)
+  crashes : int list;  (** nodes crashed from t=0 for the whole run *)
+  mutate : bool;  (** install the broken ic-quorum=1 mutation *)
+  depth : int;  (** schedule length bound (used by {!Search}) *)
+  slice : Time.t;  (** virtual time advanced after each delivery *)
+  drain : Time.t;  (** settle horizon for {!evaluate} *)
+  lambda : Time.t;  (** Λ handed to the protocol (IC trigger path) *)
+  seed : int64;
+}
+
+val default_config : config
+(** n=4 (f=1), 2 requests, no crashes, unmutated, depth 6, 100 us
+    slices, 300 ms drain, Λ = 300 us. *)
+
+val correct_nodes : config -> int list
+(** Node ids not crashed under this config. *)
+
+type t
+
+val create : config -> t
+(** Build the cluster, attach a (non-raising) safety auditor and the
+    instance-change liveness monitor, install the crash plan, send the
+    client burst and run slice 0 so the initial deliveries park. *)
+
+val destroy : t -> unit
+(** Detach the bus sinks. Must be called on every world — the search
+    creates thousands, and leaked subscriptions would slow the bus and
+    corrupt later auditors. *)
+
+val replay : config -> int list -> t
+(** [replay cfg ids] = [create cfg] then fire the given choice ids in
+    order: the checkpoint/replay primitive of the stateless search.
+    Raises [Invalid_argument] if an id fails to reappear (a determinism
+    regression). *)
+
+val pending : t -> Engine.choice list
+(** All parked deliveries, in creation order. *)
+
+val enabled : t -> Engine.choice list
+(** The schedulable frontier: the oldest parked delivery of each
+    (src, dst) channel — TCP FIFO means later ones on the same channel
+    cannot overtake. Ascending id order. *)
+
+val step : t -> Engine.choice -> unit
+(** Fire one enabled delivery, then advance exactly one slice. *)
+
+val step_id : t -> int -> unit
+(** {!step} by choice id (replay path). *)
+
+val depth : t -> int
+(** Choices fired so far. *)
+
+val fired : t -> int list
+(** The schedule prefix (choice ids, firing order). *)
+
+val violations : t -> Bftaudit.Auditor.violation list
+(** Safety violations recorded so far — checked after every step, so a
+    safety bug is caught at the step that commits it, not at the leaf. *)
+
+val fingerprint : t -> string
+(** Canonical digest of (depth, per-node protocol state, parked
+    deliveries); equal fingerprints ⇒ identical remaining behaviour,
+    the visited-set key. *)
+
+type verdict = {
+  safety : Bftaudit.Auditor.violation list;
+  liveness : Bftaudit.Liveness.problem list;
+  agreement : bool;  (** execution digests agree across correct nodes *)
+}
+
+val verdict_clean : verdict -> bool
+
+val evaluate : t -> verdict
+(** Terminate the schedule: release parked deliveries to timestamp
+    order, drain, then check safety, instance-change liveness and
+    execution agreement. The world is spent afterwards (one-shot). *)
+
+val describe : Rbft.Messages.t -> string
+(** The delivery-label function installed on the network. *)

@@ -116,6 +116,10 @@ type 'a t = {
   mutable dropped : int;
   mutable bytes : int;
   mutable fault_hook : fault_hook option;
+  (* Model-checker hook: labels node-bound deliveries (message type +
+     identifying fields) for choice-event fingerprints. Only consulted
+     while the engine captures choices. *)
+  mutable describe : ('a -> string) option;
   m : net_metrics;
 }
 
@@ -151,6 +155,7 @@ let create engine cfg =
     dropped = 0;
     bytes = 0;
     fault_hook = None;
+    describe = None;
     m = register_metrics ();
   }
 
@@ -209,6 +214,7 @@ let close_nic t ~node ~peer ~for_ =
   ports.closed_until <- Principal.Map.add peer until ports.closed_until
 
 let set_fault_hook t hook = t.fault_hook <- hook
+let set_describe t f = t.describe <- f
 
 (* Resolve the egress queue at the sender and the ingress queue at the
    receiver for a (src, dst) pair. *)
@@ -276,9 +282,8 @@ let send_copy t ~src ~dst ~size ~corrupt ~extra_delay ~span ~span_tag payload =
             Hashtbl.replace t.last_arrival key arrival;
             Time.sub arrival (Engine.now t.engine)
         in
-        ignore
-          (Engine.after t.engine delay (fun () ->
-               match deliver_to t ~src ~dst with
+        let deliver () =
+          match deliver_to t ~src ~dst with
                | None ->
                  t.dropped <- t.dropped + 1;
                  if Bftmetrics.Registry.active () then
@@ -331,7 +336,27 @@ let send_copy t ~src ~dst ~size ~corrupt ~extra_delay ~span ~span_tag payload =
                            delivered_at = now;
                            corrupted = corrupt;
                            span = span';
-                         }))))
+                         })
+        in
+        (* Node-bound deliveries are scheduling choices for the model
+           checker; everything else (and every delivery when capture is
+           off) keeps the ordinary timestamp-ordered path. *)
+        (match dst with
+         | Principal.Node j when Engine.choice_capture t.engine ->
+           let src_id =
+             match src with
+             | Principal.Node i -> i
+             | Principal.Client c -> -(c + 1)
+           in
+           let label =
+             match t.describe with Some f -> f payload | None -> ""
+           in
+           ignore
+             (Engine.at_choice t.engine
+                (Time.add (Engine.now t.engine) delay)
+                ~src:src_id ~dst:j ~label deliver)
+         | Principal.Node _ | Principal.Client _ ->
+           ignore (Engine.after t.engine delay deliver)))
 
 let send ?(span = -1) ?(span_tag = Bftspan.Tag.Net_transit) t ~src ~dst ~size
     payload =

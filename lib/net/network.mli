@@ -76,6 +76,14 @@ val set_fault_hook : 'a t -> fault_hook option -> unit
 (** Installs (or clears) the fault hook. At most one hook is active;
     installing a new one replaces the previous. *)
 
+val set_describe : 'a t -> ('a -> string) option -> unit
+(** Installs a payload description function used to label node-bound
+    deliveries when the engine is capturing scheduling choices
+    ({!Dessim.Engine.set_choice_capture}). The label feeds the model
+    checker's state fingerprints, so it should identify the message
+    (type tag plus distinguishing fields) deterministically. Never
+    consulted outside capture mode. *)
+
 val create : Engine.t -> config -> 'a t
 
 val engine : 'a t -> Engine.t

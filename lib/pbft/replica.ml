@@ -832,3 +832,78 @@ let debug_dump t =
    survive) without exposing the table itself. *)
 let debug_live_seqs t =
   List.sort compare (Hashtbl.fold (fun s _ acc -> s :: acc) t.entries [])
+
+(* Canonical protocol-state digest input for the model checker. Every
+   ingredient is sorted or enumerated in a fixed order, so two replicas
+   reached by different-but-equivalent schedules stringify identically.
+   Deliberately excluded: wall-clock-relative values ([pp_release],
+   span/timing bookkeeping, metric handles) — they do not influence
+   which protocol actions are possible next. *)
+let fingerprint t =
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  (* Digests are 32 raw bytes (or sentinels like "genesis"); render a
+     12-hex-char prefix so the fingerprint stays printable. *)
+  let hex_short s =
+    if s = "" then "-"
+    else
+      let h = Bftcrypto.Sha256.to_hex s in
+      if String.length h > 12 then String.sub h 0 12 else h
+  in
+  add "v=%d vc=%b vcc=%d ns=%d nd=%d ls=%d pend=%d oc=%d st=%d chain=%s;"
+    t.view t.in_vc t.vc_completed t.next_seq t.next_deliver t.last_stable
+    t.pending_len t.ordered_count t.state_transfers t.chain_digest;
+  let members (vs : Voteset.Tagged.t) =
+    let b = Buffer.create 8 in
+    for r = 0 to t.cfg.n - 1 do
+      if Voteset.Tagged.mem vs r then Buffer.add_string b (string_of_int r)
+    done;
+    Buffer.contents b
+  in
+  Hashtbl.fold (fun seq e acc -> (seq, e) :: acc) t.entries []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.iter (fun (seq, e) ->
+         let pp_desc =
+           match e.pp with
+           | None -> "-"
+           | Some pp ->
+             Printf.sprintf "%d/%d:%s" pp.Messages.view pp.Messages.seq
+               (String.concat ","
+                  (List.map
+                     (fun (d : request_desc) -> hex_short d.digest)
+                     pp.Messages.descs))
+         in
+         add "e%d{pp=%s pv=%d dg=%s P=%s/%s C=%s/%s sp=%b sc=%b dl=%b};" seq
+           pp_desc e.pp_view
+           (hex_short e.digest)
+           (members e.prepares)
+           (hex_short (Voteset.Tagged.reference e.prepares))
+           (members e.commits)
+           (hex_short (Voteset.Tagged.reference e.commits))
+           e.sent_prepare e.sent_commit e.delivered);
+  (* Primary-side batch accumulator, in accumulation order (it is a
+     deterministic function of submission order, which the schedule
+     fixes). *)
+  List.iter
+    (fun (d : request_desc) -> add "b%s;" (hex_short d.digest))
+    (List.rev t.pending_batch);
+  Hashtbl.fold (fun v vs acc -> (v, vs) :: acc) t.vc_votes []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.iter (fun (v, vs) ->
+         add "vc%d=%s;" v
+           (String.concat "," (List.map string_of_int (Voteset.to_list vs))));
+  Hashtbl.fold (fun seq cps acc -> (seq, cps) :: acc) t.checkpoints []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.iter (fun (seq, cps) ->
+         List.sort compare
+           (List.map
+              (fun (dg, vs) ->
+                Printf.sprintf "%s=%s" (hex_short dg)
+                  (String.concat ","
+                     (List.map string_of_int (Voteset.to_list vs))))
+              !cps)
+         |> List.iter (fun s -> add "cp%d{%s};" seq s));
+  List.sort compare
+    (List.map (fun (pp : Messages.pre_prepare) -> (pp.view, pp.seq)) t.waiting_pps)
+  |> List.iter (fun (v, s) -> add "w%d/%d;" v s);
+  Buffer.contents buf

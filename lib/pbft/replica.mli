@@ -138,3 +138,12 @@ val debug_dump : t -> string
 val debug_live_seqs : t -> seqno list
 (** Ascending sequence numbers currently held in the entry log, for
     tests pinning the checkpoint garbage collection. *)
+
+val fingerprint : t -> string
+(** Canonical, printable rendering of the protocol-relevant state:
+    view/sequence counters, every live entry with its votes and phase
+    flags, the pending batch, view-change and checkpoint votes, and
+    parked PRE-PREPAREs — all in a fixed order, with no wall-clock or
+    metric state. Two replicas with equal fingerprints behave
+    identically under any future schedule; the model checker
+    ({!Bftmc}) hashes this into its visited-state set. *)

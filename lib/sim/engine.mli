@@ -50,6 +50,62 @@ val run : ?until:Time.t -> t -> unit
 val stop : t -> unit
 (** Request [run] to return after the current event. *)
 
+(** {1 Choice events — the model-checker scheduler seam}
+
+    A {e choice} event is one whose firing order is a genuine
+    scheduling decision (in practice: a message delivery to a node).
+    By default choice events behave exactly like {!at} events and cost
+    one extra branch. With capture enabled ({!set_choice_capture}),
+    they are {e parked} instead of entering the heap: an external
+    scheduler — the {!Bftmc} explorer — inspects {!pending_choices}
+    and decides which to fire next with {!fire_choice}, exploring
+    delivery orders the timestamp order would never produce. *)
+
+type choice = {
+  id : int;
+      (** creation order; unique and monotonically increasing, so a
+          choice with a smaller id was already pending when a larger
+          one was created — the fact the partial-order reduction
+          relies on *)
+  key : Time.t;  (** nominal arrival instant under timestamp order *)
+  src : int;  (** sending principal (node id, or [-(c+1)] for client c) *)
+  dst : int;  (** receiving node id *)
+  label : string;  (** content-based description, for state fingerprints *)
+}
+
+val set_choice_capture : t -> bool -> unit
+(** Toggle capture mode. Off (the default), {!at_choice} degrades to
+    {!at} and the engine behaves exactly as before this seam existed. *)
+
+val choice_capture : t -> bool
+
+val at_choice :
+  t -> Time.t -> src:int -> dst:int -> label:string -> (unit -> unit) -> timer
+(** Like {!at}, but marks the event as a scheduling choice. With
+    capture off this {e is} {!at}. With capture on the event is parked
+    until {!fire_choice} or {!release_choices}; [cancel] still works. *)
+
+val pending_choices : t -> choice list
+(** Parked, uncancelled choices in creation (id) order. *)
+
+val pending_choice_count : t -> int
+
+val choices_created : t -> int
+(** Total choices ever created on this engine (the id high-water mark). *)
+
+val fire_choice : t -> int -> bool
+(** [fire_choice t id] runs the parked choice with that id now, at the
+    {e current} clock — deliberately not advancing to [key]: under
+    checker control virtual time advances only through [run ~until]
+    slices, which keeps states reached by commuted independent
+    deliveries bit-identical. Returns [false] if no such choice is
+    parked. *)
+
+val release_choices : t -> unit
+(** Push every parked choice back into the heap (at [max key now], in
+    id order) so a subsequent [run] drains them under normal timestamp
+    order — how the checker ends a schedule prefix deterministically. *)
+
 val events_processed : t -> int
 (** Total number of events executed so far; a cheap progress and
     cost metric for the simulation itself. *)

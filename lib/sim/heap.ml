@@ -8,6 +8,12 @@ let size h = h.size
 
 let is_empty h = h.size = 0
 
+(* Strict total order on entries: primary key first, then the
+   insertion sequence number. Callers (the engine) assign [seq] from a
+   monotonic counter, so no two live entries ever compare equal — two
+   events scheduled for the same instant always pop in insertion
+   order, which is what makes replays bit-identical even under heavy
+   timestamp ties (property-tested in test_sim.ml). *)
 let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
 
 (* A single shared placeholder written into vacated slots so popped

@@ -2,7 +2,18 @@
 
     The sequence number breaks ties between events scheduled for the
     same instant, guaranteeing FIFO order among simultaneous events and
-    therefore a fully deterministic simulation. *)
+    therefore a fully deterministic simulation.
+
+    Precisely: entries are ordered by the strict total order
+    [(key, seq) <lex (key', seq')], and the engine assigns [seq] from a
+    monotonic counter, so equal-instant events pop in exactly the order
+    they were pushed. This totality is load-bearing for the model
+    checker ({!Bftmc}): replaying a prefix of scheduling decisions must
+    reconstruct the very same simulator state, which it only does if
+    the heap never has freedom in which of two simultaneous events to
+    surface first. The order is property-tested (random same-key
+    pushes pop in push order) and pinned by a replay-digest regression
+    test in [test_sim.ml]. *)
 
 type 'a t
 

@@ -93,6 +93,10 @@ let gen_scenario =
   let* rate = float_range 0.0 500.0 in
   let* payload = int_range 1 4096 in
   let* faults = list_size (int_range 0 4) gen_fault in
+  (* Optional fields: exercised both at their defaults (omitted from
+     the sexp) and set (emitted), so the codec round-trips both forms. *)
+  let* lambda = oneof [ return Time.zero; gen_time 1_000 10_000_000 ] in
+  let* mutation = oneofl [ None; Some Scenario.Ic_quorum_low ] in
   return
     {
       Scenario.name;
@@ -103,6 +107,8 @@ let gen_scenario =
       drain;
       workload = { Scenario.clients; rate; payload };
       faults;
+      lambda;
+      mutation;
     }
 
 let prop_scenario_roundtrip =
@@ -132,6 +138,8 @@ let test_scenario_single_node_group () =
             kind = Fault.Partition { group = [ 3 ] };
           };
         ];
+      lambda = Time.zero;
+      mutation = None;
     }
   in
   match Scenario.of_string (Scenario.to_string s) with
@@ -328,6 +336,8 @@ let base_scenario ?(name = "test") ?(protocol = Scenario.Rbft) ?(faults = []) ()
     drain = Time.sec 1;
     workload = { Scenario.clients = 2; rate = 60.0; payload = 8 };
     faults;
+    lambda = Time.zero;
+    mutation = None;
   }
 
 let test_runner_fault_free () =
@@ -362,6 +372,48 @@ let test_runner_deterministic_digest () =
   let d2 = (Runner.run ~capture:true s).Runner.digest in
   Alcotest.(check bool) "digest present" true (d1 <> None);
   Alcotest.(check bool) "same scenario, same digest" true (d1 = d2)
+
+let test_runner_digest_stable_under_heavy_ties () =
+  (* A saturating workload makes broadcast fan-outs pile onto identical
+     timestamps, so nearly every event pop is a heap tie. Only the
+     total (key, seq) order keeps two identical runs bit-identical —
+     this pins that down at the audit-digest level. *)
+  let s =
+    {
+      (base_scenario ~name:"ties" ()) with
+      Scenario.duration = Time.ms 200;
+      workload = { Scenario.clients = 4; rate = 400.0; payload = 8 };
+    }
+  in
+  let d1 = (Runner.run ~capture:true s).Runner.digest in
+  let d2 = (Runner.run ~capture:true s).Runner.digest in
+  Alcotest.(check bool) "digest present" true (d1 <> None);
+  Alcotest.(check bool) "tie-heavy runs replay identically" true (d1 = d2)
+
+let test_runner_ic_quorum_mutation_violates () =
+  (* The model checker's planted bug: with [ic-quorum-low] a single
+     vote triggers an instance change, which the instance-change-quorum
+     invariant flags. A tight Λ guarantees organic votes. *)
+  let s =
+    {
+      (base_scenario ~name:"ic-quorum-low" ()) with
+      Scenario.duration = Time.ms 300;
+      workload = { Scenario.clients = 2; rate = 200.0; payload = 8 };
+      lambda = Time.us 300;
+      mutation = Some Scenario.Ic_quorum_low;
+    }
+  in
+  let r = Runner.run s in
+  Alcotest.(check bool) "safety violated" true (r.Runner.safety_violations <> []);
+  Alcotest.(check bool) "the planted invariant fires" true
+    (List.exists
+       (fun v -> v.Bftaudit.Auditor.invariant = "instance-change-quorum")
+       r.Runner.safety_violations);
+  (* And deterministically: the replay contract behind .scn repros. *)
+  let r2 = Runner.run s in
+  Alcotest.(check string) "same invariant digest on replay"
+    (Bftaudit.Auditor.invariant_digest r.Runner.safety_violations)
+    (Bftaudit.Auditor.invariant_digest r2.Runner.safety_violations)
 
 (* Satellite: monitoring verdicts under mild injected skew. A correct
    master that is merely a bit slow (clock 1.2x, one backup CPU 0.9x,
@@ -566,6 +618,10 @@ let suites =
         Alcotest.test_case "fault-free baselines" `Slow test_runner_fault_free;
         Alcotest.test_case "crash and rejoin" `Quick test_runner_crash_rejoin;
         Alcotest.test_case "deterministic digest" `Quick test_runner_deterministic_digest;
+        Alcotest.test_case "digest stable under heavy ties" `Quick
+          test_runner_digest_stable_under_heavy_ties;
+        Alcotest.test_case "ic-quorum mutation caught" `Quick
+          test_runner_ic_quorum_mutation_violates;
         Alcotest.test_case "no spurious instance change under mild skew" `Quick
           test_monitoring_no_spurious_ic_under_mild_skew;
       ] );

@@ -392,6 +392,87 @@ let test_primary_placement () =
       (List.length (List.sort_uniq compare primaries))
   done
 
+(* ------------------------------------------------------------------ *)
+(* Instance-change vote set edge cases                                *)
+(*                                                                    *)
+(* Votes are tracked as per-node maxima plus a bitset of voters whose
+   maximum covers the *current* cpi; the bitset is rebuilt from the
+   maxima whenever the cpi advances. These tests inject raw
+   Instance_change messages into an otherwise idle cluster (no
+   workload, so no organic suspicion) and watch node 0's vote state. *)
+(* ------------------------------------------------------------------ *)
+
+let ic_idle_cluster () =
+  let cluster = Rbft.Cluster.create ~clients:1 (mk_params ()) in
+  Rbft.Cluster.run_for cluster (Time.ms 1);
+  cluster
+
+(* [voter] is the replica id claimed inside the payload — a Byzantine
+   sender can put anything there, including out-of-range ids. *)
+let ic_vote cluster ~src ~voter ~cpi =
+  Bftnet.Network.send
+    (Rbft.Cluster.network cluster)
+    ~src:(Bftcrypto.Principal.node src) ~dst:(Bftcrypto.Principal.node 0)
+    ~size:16
+    (Rbft.Messages.Instance_change { cpi; node = voter });
+  Rbft.Cluster.run_for cluster (Time.ms 5)
+
+let test_ic_duplicate_votes_counted_once () =
+  let cluster = ic_idle_cluster () in
+  let n0 = Rbft.Cluster.node cluster 0 in
+  ic_vote cluster ~src:1 ~voter:1 ~cpi:0;
+  ic_vote cluster ~src:1 ~voter:1 ~cpi:0;
+  ic_vote cluster ~src:1 ~voter:1 ~cpi:0;
+  Alcotest.(check int) "replayed vote counts once" 1 (Rbft.Node.ic_vote_count n0);
+  Alcotest.(check int) "no change below quorum" 0 (Rbft.Node.instance_changes n0);
+  ic_vote cluster ~src:2 ~voter:2 ~cpi:0;
+  Alcotest.(check int) "distinct voter counts" 2 (Rbft.Node.ic_vote_count n0);
+  Alcotest.(check int) "2 < 2f+1: still no change" 0
+    (Rbft.Node.instance_changes n0)
+
+let test_ic_out_of_range_voter_ignored () =
+  let cluster = ic_idle_cluster () in
+  let n0 = Rbft.Cluster.node cluster 0 in
+  ic_vote cluster ~src:1 ~voter:7 ~cpi:0;
+  ic_vote cluster ~src:1 ~voter:(-3) ~cpi:0;
+  Alcotest.(check int) "forged ids never enter the vote set" 0
+    (Rbft.Node.ic_vote_count n0);
+  Alcotest.(check int) "out-of-range lookup is -1" (-1)
+    (Rbft.Node.ic_vote_cpi_of n0 ~node:7);
+  (* The node remains fully functional for legitimate votes. *)
+  ic_vote cluster ~src:1 ~voter:1 ~cpi:0;
+  Alcotest.(check int) "legitimate vote still lands" 1
+    (Rbft.Node.ic_vote_count n0)
+
+let test_ic_bitset_rebuild_after_advance () =
+  let cluster = ic_idle_cluster () in
+  let n0 = Rbft.Cluster.node cluster 0 in
+  (* Node 1 votes far ahead; 2 and 3 vote for the current cpi. *)
+  ic_vote cluster ~src:1 ~voter:1 ~cpi:5;
+  ic_vote cluster ~src:2 ~voter:2 ~cpi:0;
+  Alcotest.(check int) "forward vote covers cpi 0 too" 2
+    (Rbft.Node.ic_vote_count n0);
+  ic_vote cluster ~src:3 ~voter:3 ~cpi:0;
+  (* Quorum of 3: node 0 changes, advances to cpi 1 and rebuilds the
+     bitset from the maxima — only node 1's forward vote survives. *)
+  Alcotest.(check int) "change performed" 1 (Rbft.Node.instance_changes n0);
+  Alcotest.(check int) "cpi advanced" 1 (Rbft.Node.cpi n0);
+  Alcotest.(check int) "rebuilt set keeps the forward vote" 1
+    (Rbft.Node.ic_vote_count n0);
+  Alcotest.(check int) "node 1 maximum retained" 5
+    (Rbft.Node.ic_vote_cpi_of n0 ~node:1);
+  Alcotest.(check int) "node 2 maximum retained" 0
+    (Rbft.Node.ic_vote_cpi_of n0 ~node:2);
+  (* A stale re-send for the old cpi must not re-enter the set... *)
+  ic_vote cluster ~src:2 ~voter:2 ~cpi:0;
+  Alcotest.(check int) "stale vote ignored after advance" 1
+    (Rbft.Node.ic_vote_count n0);
+  (* ...while catch-up votes for the new cpi complete a second quorum. *)
+  ic_vote cluster ~src:2 ~voter:2 ~cpi:1;
+  ic_vote cluster ~src:3 ~voter:3 ~cpi:1;
+  Alcotest.(check int) "second change" 2 (Rbft.Node.instance_changes n0);
+  Alcotest.(check int) "cpi 2" 2 (Rbft.Node.cpi n0)
+
 let prop_monitoring_delta_boundary =
   QCheck.Test.make ~name:"delta verdict matches the ratio arithmetic"
     QCheck.(pair (int_range 100 100_000) (int_range 100 100_000))
@@ -449,6 +530,15 @@ let suites =
         Alcotest.test_case "primary placement" `Quick test_primary_placement;
         Alcotest.test_case "duplicate request" `Quick test_duplicate_request_rereplied;
         Alcotest.test_case "closed-loop client" `Quick test_closed_loop_client;
+      ] );
+    ( "rbft.ic-votes",
+      [
+        Alcotest.test_case "duplicate votes counted once" `Quick
+          test_ic_duplicate_votes_counted_once;
+        Alcotest.test_case "out-of-range voter ignored" `Quick
+          test_ic_out_of_range_voter_ignored;
+        Alcotest.test_case "bitset rebuilt on cpi advance" `Quick
+          test_ic_bitset_rebuild_after_advance;
       ] );
     ( "rbft.attacks",
       [

@@ -184,6 +184,25 @@ let prop_heap_sorts =
       in
       drain [] = List.sort compare keys)
 
+let prop_heap_tie_total_order =
+  (* Keys drawn from {0..3} so almost every pop is a tie: the (key, seq)
+     order must be total — pops equal a stable sort of the insertion
+     sequence, which is what makes whole simulations replayable. *)
+  QCheck.Test.make ~name:"same-key pops follow insertion order"
+    QCheck.(list_of_size Gen.(int_range 0 200) (int_bound 3))
+    (fun keys ->
+      let h = Heap.create () in
+      List.iteri (fun i k -> Heap.push h ~key:k ~seq:i (k, i)) keys;
+      let rec drain acc =
+        match Heap.pop h with
+        | None -> List.rev acc
+        | Some (_, _, v) -> drain (v :: acc)
+      in
+      drain []
+      = List.stable_sort
+          (fun (a, _) (b, _) -> compare a b)
+          (List.mapi (fun i k -> (k, i)) keys))
+
 (* ------------------------------------------------------------------ *)
 (* Engine                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -270,6 +289,100 @@ let test_engine_past_event_clamped () =
       ignore (Engine.at e (Time.ms 1) (fun () ->
           check_int "clamped to now" (Time.ms 5) (Engine.now e)))));
   Engine.run e
+
+(* ------------------------------------------------------------------ *)
+(* Engine choice seam (the model checker's scheduler hook)            *)
+(* ------------------------------------------------------------------ *)
+
+let test_choice_passthrough_when_off () =
+  let e = Engine.create () in
+  let fired = ref Time.zero in
+  ignore
+    (Engine.at_choice e (Time.ms 2) ~src:0 ~dst:1 ~label:"m" (fun () ->
+         fired := Engine.now e));
+  Engine.run e;
+  check_int "fires like a plain event" (Time.ms 2) !fired;
+  check_int "nothing parked" 0 (Engine.pending_choice_count e)
+
+let test_choice_capture_parks_and_fires () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.set_choice_capture e true;
+  ignore
+    (Engine.at_choice e (Time.ms 1) ~src:0 ~dst:1 ~label:"a" (fun () ->
+         log := ("a", Engine.now e) :: !log));
+  ignore
+    (Engine.at_choice e (Time.ms 2) ~src:0 ~dst:2 ~label:"b" (fun () ->
+         log := ("b", Engine.now e) :: !log));
+  Engine.run ~until:(Time.ms 10) e;
+  check_bool "parked past their instants" true (!log = []);
+  (match Engine.pending_choices e with
+   | [ a; b ] ->
+     check_bool "listed in id order" true (a.Engine.id < b.Engine.id);
+     Alcotest.(check string) "label" "a" a.Engine.label;
+     check_int "src" 0 b.Engine.src;
+     check_int "dst" 2 b.Engine.dst;
+     (* Fire against timestamp order: the checker's whole point. *)
+     check_bool "fire b" true (Engine.fire_choice e b.Engine.id);
+     check_bool "fire a" true (Engine.fire_choice e a.Engine.id)
+   | other -> Alcotest.failf "expected 2 parked choices, got %d" (List.length other));
+  (* Both ran at the clock — firing never advances virtual time — and
+     in the chosen order, not key order. *)
+  Alcotest.(check (list (pair string int)))
+    "chosen order, at the clock"
+    [ ("b", Time.ms 10); ("a", Time.ms 10) ]
+    (List.rev !log);
+  check_int "clock unmoved" (Time.ms 10) (Engine.now e);
+  check_bool "unknown id refused" false (Engine.fire_choice e 999);
+  check_int "all consumed" 0 (Engine.pending_choice_count e)
+
+let test_choice_release_restores_timestamp_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.set_choice_capture e true;
+  ignore
+    (Engine.at_choice e (Time.ms 5) ~src:0 ~dst:1 ~label:"late" (fun () ->
+         log := ("late", Engine.now e) :: !log));
+  ignore
+    (Engine.at_choice e (Time.ms 3) ~src:0 ~dst:2 ~label:"early" (fun () ->
+         log := ("early", Engine.now e) :: !log));
+  Engine.run ~until:(Time.ms 1) e;
+  Engine.set_choice_capture e false;
+  Engine.release_choices e;
+  Engine.run e;
+  Alcotest.(check (list (pair string int)))
+    "released back to key order"
+    [ ("early", Time.ms 3); ("late", Time.ms 5) ]
+    (List.rev !log)
+
+let test_choice_release_clamps_past_keys () =
+  let e = Engine.create () in
+  let at = ref Time.zero in
+  Engine.set_choice_capture e true;
+  ignore
+    (Engine.at_choice e (Time.ms 1) ~src:0 ~dst:1 ~label:"x" (fun () ->
+         at := Engine.now e));
+  (* The clock overtakes the parked key; release must not schedule into
+     the past. *)
+  Engine.run ~until:(Time.ms 8) e;
+  Engine.release_choices e;
+  Engine.run e;
+  check_int "clamped to now" (Time.ms 8) !at
+
+let test_choice_cancel_while_parked () =
+  let e = Engine.create () in
+  let fired = ref false in
+  Engine.set_choice_capture e true;
+  let t =
+    Engine.at_choice e (Time.ms 1) ~src:0 ~dst:1 ~label:"x" (fun () ->
+        fired := true)
+  in
+  Engine.run ~until:(Time.ms 2) e;
+  Engine.cancel t;
+  check_int "cancelled choice not listed" 0 (Engine.pending_choice_count e);
+  Engine.release_choices e;
+  Engine.run e;
+  check_bool "never fires" false !fired
 
 (* ------------------------------------------------------------------ *)
 (* Resource                                                           *)
@@ -409,7 +522,7 @@ let suites =
         Alcotest.test_case "pop/clear drop value references" `Quick
           test_heap_drops_popped_references;
       ]
-      @ qsuite [ prop_heap_sorts ] );
+      @ qsuite [ prop_heap_sorts; prop_heap_tie_total_order ] );
     ( "sim.engine",
       [
         Alcotest.test_case "runs in order" `Quick test_engine_runs_in_order;
@@ -420,6 +533,19 @@ let suites =
         Alcotest.test_case "FIFO ties" `Quick test_engine_same_time_fifo;
         Alcotest.test_case "event count" `Quick test_engine_events_processed;
         Alcotest.test_case "past events clamped" `Quick test_engine_past_event_clamped;
+      ] );
+    ( "sim.choice",
+      [
+        Alcotest.test_case "pass-through when capture off" `Quick
+          test_choice_passthrough_when_off;
+        Alcotest.test_case "capture parks, fire runs at the clock" `Quick
+          test_choice_capture_parks_and_fires;
+        Alcotest.test_case "release restores timestamp order" `Quick
+          test_choice_release_restores_timestamp_order;
+        Alcotest.test_case "release clamps past keys" `Quick
+          test_choice_release_clamps_past_keys;
+        Alcotest.test_case "cancel while parked" `Quick
+          test_choice_cancel_while_parked;
       ] );
     ( "sim.trace",
       [

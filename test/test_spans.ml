@@ -120,6 +120,8 @@ let chaos_scenario ~name ~faults ~drain =
     drain;
     workload = { Bftchaos.Scenario.clients = 2; rate = 60.0; payload = 8 };
     faults;
+    lambda = Time.zero;
+    mutation = None;
   }
 
 let test_chaos_crash_trees () =
