@@ -8,6 +8,7 @@
      experiment  run one named experiment from the benchmark harness
      scenario    replay a chaos scenario file and judge it
      explore     randomized chaos sweep with shrinking of failures
+     doctor      analyze an incident bundle written by the flight recorder
 
    Examples:
      rbft_sim run --f 1 --clients 10 --rate 2000 --seconds 2
@@ -25,7 +26,7 @@ open Dessim
 (* ------------------------------------------------------------------ *)
 
 let run_cluster f clients rate seconds payload attack transport seed trace chrome
-    audit metrics prom =
+    audit metrics prom doctor =
   (* Structured observability: a capture (for file export and the run
      digest) whenever any trace output is requested, a console printer
      for [--trace -], and an online safety auditor for [--audit]. *)
@@ -74,6 +75,16 @@ let run_cluster f clients rate seconds payload attack transport seed trace chrom
         (Bftmetrics.Sampler.attach ~period:(Time.ms 100)
            (Rbft.Cluster.engine cluster) Bftmetrics.Registry.default)
     | None -> None
+  in
+  (* The doctor attaches before the attack so the flight recorder sees
+     the whole run, including the attack's installation effects. *)
+  let doctor_t =
+    Option.map
+      (fun dir ->
+        Bftharness.Incident.attach ~dir
+          ~extra_fields:[ ("attack", attack) ]
+          cluster)
+      doctor
   in
   (match attack with
    | "none" -> ()
@@ -137,6 +148,26 @@ let run_cluster f clients rate seconds payload attack transport seed trace chrom
       | None -> ());
      Printf.printf "trace digest: %s\n" (Bftaudit.Capture.digest c);
      Bftaudit.Capture.detach c
+   | None -> ());
+  (match doctor_t with
+   | Some d ->
+     let incidents = Bftdoctor.Doctor.incidents d in
+     Printf.printf "doctor: %d incident(s) recorded%s\n" (List.length incidents)
+       (match Bftdoctor.Doctor.fires_suppressed d with
+        | 0 -> ""
+        | n -> Printf.sprintf " (%d further fire(s) suppressed)" n);
+     List.iter
+       (fun (i : Bftdoctor.Doctor.incident_ref) ->
+         Printf.printf "  #%d [%s] at %s: %s\n" i.Bftdoctor.Doctor.i_seq
+           i.Bftdoctor.Doctor.i_trigger
+           (Time.to_string i.Bftdoctor.Doctor.i_at)
+           i.Bftdoctor.Doctor.i_reason;
+         (match i.Bftdoctor.Doctor.i_dir with
+          | Some dir -> Printf.printf "      bundle: %s\n" dir
+          | None -> ());
+         Printf.printf "      digest: %s\n" i.Bftdoctor.Doctor.i_digest)
+       incidents;
+     Bftdoctor.Doctor.detach d
    | None -> ());
   match auditor with
   | Some a ->
@@ -222,11 +253,22 @@ let run_cmd =
             "Enable the metric registry and write an end-of-run Prometheus \
              text-format dump to $(docv) ('-' for stdout).")
   in
+  let doctor =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "doctor" ] ~docv:"DIR"
+          ~doc:
+            "Attach the always-on flight recorder with the default anomaly \
+             triggers (instance change, auditor violation, Δ-ratio near \
+             miss) and write incident bundles under $(docv). Analyze them \
+             with $(b,rbft_sim doctor).")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate an RBFT cluster")
     Term.(
       const run_cluster $ f $ clients $ rate $ seconds $ payload $ attack $ transport
-      $ seed $ trace $ chrome $ audit $ metrics $ prom)
+      $ seed $ trace $ chrome $ audit $ metrics $ prom $ doctor)
 
 (* ------------------------------------------------------------------ *)
 (* trace-spans                                                        *)
@@ -445,7 +487,17 @@ let print_result r =
       (r.Bftchaos.Runner.sent - r.Bftchaos.Runner.completed)
       r.Bftchaos.Runner.sent
 
-let run_scenario file verbose =
+let print_incidents incidents =
+  List.iter
+    (fun (i : Bftdoctor.Doctor.incident_ref) ->
+      Printf.printf "incident #%d [%s]: %s\n" i.Bftdoctor.Doctor.i_seq
+        i.Bftdoctor.Doctor.i_trigger i.Bftdoctor.Doctor.i_reason;
+      match i.Bftdoctor.Doctor.i_dir with
+      | Some dir -> Printf.printf "  bundle: %s\n" dir
+      | None -> ())
+    incidents
+
+let run_scenario file verbose doctor =
   match Bftchaos.Scenario.load file with
   | Error e ->
     Printf.eprintf "cannot load %s: %s\n" file e;
@@ -455,8 +507,9 @@ let run_scenario file verbose =
       List.iter
         (fun f -> print_endline ("  " ^ Bftchaos.Fault.describe f))
         s.Bftchaos.Scenario.faults;
-    let r = Bftchaos.Runner.run ~capture:true s in
+    let r = Bftchaos.Runner.run ~capture:true ?doctor_dir:doctor s in
     print_result r;
+    print_incidents r.Bftchaos.Runner.incidents;
     if not (Bftchaos.Runner.ok r) then exit 1
 
 let scenario_cmd =
@@ -469,18 +522,29 @@ let scenario_cmd =
   let verbose =
     Arg.(value & flag & info [ "verbose" ] ~doc:"Print the fault plan first.")
   in
+  let doctor =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "doctor" ] ~docv:"DIR"
+          ~doc:
+            "Ride a flight recorder along the replay and write incident \
+             bundles under $(docv) (the active .scn is embedded in each \
+             bundle).")
+  in
   Cmd.v
     (Cmd.info "scenario"
        ~doc:
          "Replay a chaos scenario deterministically, print the audit digest \
           and exit non-zero on any safety or liveness violation")
-    Term.(const run_scenario $ file $ verbose)
+    Term.(const run_scenario $ file $ verbose $ doctor)
 
 (* ------------------------------------------------------------------ *)
 (* explore                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let run_explore count seed f duration drain protocols out_dir shrink_budget verbose =
+let run_explore count seed f duration drain protocols out_dir shrink_budget verbose
+    bundles =
   let protocols =
     match protocols with
     | "" -> Bftchaos.Scenario.all_protocols
@@ -506,7 +570,8 @@ let run_explore count seed f duration drain protocols out_dir shrink_budget verb
       print_endline (Bftchaos.Runner.summary r)
   in
   let sweep =
-    Bftchaos.Explorer.sweep ~grammar ~progress ~seed:(Int64.of_int seed) ~count ()
+    Bftchaos.Explorer.sweep ~grammar ~progress ?bundle_dir:bundles
+      ~seed:(Int64.of_int seed) ~count ()
   in
   Printf.printf "%d/%d scenarios passed\n" sweep.Bftchaos.Explorer.passed
     sweep.Bftchaos.Explorer.total;
@@ -570,6 +635,15 @@ let explore_cmd =
   let verbose =
     Arg.(value & flag & info [ "verbose" ] ~doc:"Print every run, not only failures.")
   in
+  let bundles =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bundles" ] ~docv:"DIR"
+          ~doc:
+            "Ride a flight recorder along every sampled run; incident \
+             bundles land under $(docv)/<scenario-name>/.")
+  in
   Cmd.v
     (Cmd.info "explore"
        ~doc:
@@ -577,7 +651,67 @@ let explore_cmd =
           liveness oracles, shrink and save any failure")
     Term.(
       const run_explore $ count $ seed $ f $ duration $ drain $ protocols $ out_dir
-      $ shrink_budget $ verbose)
+      $ shrink_budget $ verbose $ bundles)
+
+(* ------------------------------------------------------------------ *)
+(* doctor                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_doctor bundle json chrome no_verify =
+  if not (Sys.file_exists (Filename.concat bundle "manifest.json")) then begin
+    Printf.eprintf "%s: not an incident bundle (no manifest.json)\n" bundle;
+    exit 2
+  end;
+  (if not no_verify then
+     match Bftdoctor.Bundle.verify ~dir:bundle with
+     | Ok _ -> ()
+     | Error e ->
+       Printf.eprintf "bundle integrity check FAILED: %s\n" e;
+       exit 3);
+  let l = Bftdoctor.Bundle.load ~dir:bundle in
+  if json then print_endline (Bftdoctor.Analyze.verdict_json l)
+  else print_string (Bftdoctor.Analyze.report l);
+  match chrome with
+  | Some path ->
+    Bftdoctor.Analyze.write_chrome l path;
+    if not json then Printf.printf "chrome trace -> %s\n" path
+  | None -> ()
+
+let doctor_cmd =
+  let bundle =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BUNDLE" ~doc:"Incident bundle directory to analyze.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Print a one-line machine-readable verdict instead of the report.")
+  in
+  let chrome =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome-trace" ] ~docv:"FILE"
+          ~doc:
+            "Export the incident window (spans + audit instants) as a Chrome \
+             trace_event file to $(docv) (open in Perfetto).")
+  in
+  let no_verify =
+    Arg.(
+      value & flag
+      & info [ "no-verify" ]
+          ~doc:"Skip the chained-digest integrity check before analyzing.")
+  in
+  Cmd.v
+    (Cmd.info "doctor"
+       ~doc:
+         "Analyze an incident bundle: verify its chained digest, reconstruct \
+          the timeline, attribute the cause (node / instance / stage) and \
+          print a forensic report or JSON verdict")
+    Term.(const run_doctor $ bundle $ json $ chrome $ no_verify)
 
 (* ------------------------------------------------------------------ *)
 (* mc                                                                 *)
@@ -719,4 +853,4 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "rbft_sim" ~doc)
           [ run_cmd; trace_spans_cmd; experiment_cmd; compare_cmd; scenario_cmd; mc_cmd;
-            explore_cmd ]))
+            explore_cmd; doctor_cmd ]))

@@ -1,0 +1,130 @@
+(* bench_diff: perf-regression gate over two BENCH_*.json reports.
+
+   The benchmark numbers that matter (throughput, latency percentiles,
+   relative throughput under attack) are derived from *virtual* time
+   in a seeded deterministic simulation, so a fresh run on any machine
+   reproduces the committed baseline exactly unless the code's
+   behaviour changed. Wall-clock sections (profile, metrics_overhead)
+   are machine-dependent and skipped by default.
+
+   Usage:
+     bench_diff BASELINE.json FRESH.json [--tolerance 0.15]
+                [--skip SUBSTR] [--list]
+
+   Every numeric leaf present in the baseline must exist in the fresh
+   report and agree within the relative tolerance; missing keys and
+   out-of-tolerance deviations fail the gate (exit 1). Leaves whose
+   path contains a skip substring, or whose baseline magnitude is
+   below 1e-3 (noise-dominated shares), are ignored. *)
+
+let default_skips =
+  [ "profile"; "metrics_overhead"; "seconds"; "share"; "sample"; "calls" ]
+
+(* Flatten a Jmini tree to (dotted-path, number) leaves. *)
+let rec flatten prefix (v : Bftdoctor.Jmini.v) acc =
+  let join p k = if p = "" then k else p ^ "." ^ k in
+  match v with
+  | Bftdoctor.Jmini.Num n -> (prefix, n) :: acc
+  | Bftdoctor.Jmini.Obj kvs ->
+    List.fold_left (fun acc (k, v) -> flatten (join prefix k) v acc) acc kvs
+  | Bftdoctor.Jmini.Arr vs ->
+    List.fold_left
+      (fun (i, acc) v -> (i + 1, flatten (join prefix (string_of_int i)) v acc))
+      (0, acc) vs
+    |> snd
+  | Bftdoctor.Jmini.Null | Bftdoctor.Jmini.Bool _ | Bftdoctor.Jmini.Str _ ->
+    acc
+
+let read_json path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  try Bftdoctor.Jmini.parse s
+  with Bftdoctor.Jmini.Parse_error msg ->
+    Printf.eprintf "%s: %s\n" path msg;
+    exit 2
+
+let () =
+  let baseline = ref None and fresh = ref None in
+  let tolerance = ref 0.15 in
+  let skips = ref default_skips in
+  let list_all = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--tolerance" :: t :: rest ->
+      (match float_of_string_opt t with
+      | Some t when t >= 0.0 -> tolerance := t
+      | _ ->
+        Printf.eprintf "bad --tolerance %S\n" t;
+        exit 2);
+      parse rest
+    | "--skip" :: s :: rest ->
+      skips := s :: !skips;
+      parse rest
+    | "--list" :: rest ->
+      list_all := true;
+      parse rest
+    | path :: rest ->
+      (if !baseline = None then baseline := Some path
+       else if !fresh = None then fresh := Some path
+       else begin
+         Printf.eprintf "unexpected argument %S\n" path;
+         exit 2
+       end);
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let baseline, fresh =
+    match (!baseline, !fresh) with
+    | Some b, Some f -> (b, f)
+    | _ ->
+      Printf.eprintf
+        "usage: bench_diff BASELINE.json FRESH.json [--tolerance T] [--skip \
+         SUBSTR] [--list]\n";
+      exit 2
+  in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    nn = 0 || go 0
+  in
+  let skipped path = List.exists (contains path) !skips in
+  let base_leaves =
+    flatten "" (read_json baseline) []
+    |> List.filter (fun (p, v) -> (not (skipped p)) && Float.abs v >= 1e-3)
+    |> List.sort compare
+  in
+  let fresh_tbl = Hashtbl.create 256 in
+  List.iter
+    (fun (p, v) -> Hashtbl.replace fresh_tbl p v)
+    (flatten "" (read_json fresh) []);
+  let failures = ref [] in
+  let compared = ref 0 in
+  List.iter
+    (fun (path, bv) ->
+      match Hashtbl.find_opt fresh_tbl path with
+      | None -> failures := Printf.sprintf "%s: missing in %s" path fresh :: !failures
+      | Some fv ->
+        incr compared;
+        let rel = Float.abs (fv -. bv) /. Float.abs bv in
+        if !list_all then
+          Printf.printf "  %-60s %14.6g %14.6g %+7.2f%%\n" path bv fv
+            (100.0 *. (fv -. bv) /. bv);
+        if rel > !tolerance then
+          failures :=
+            Printf.sprintf "%s: baseline %.6g, fresh %.6g (%+.1f%%, tolerance ±%.0f%%)"
+              path bv fv
+              (100.0 *. (fv -. bv) /. bv)
+              (100.0 *. !tolerance)
+            :: !failures)
+    base_leaves;
+  match List.rev !failures with
+  | [] ->
+    Printf.printf "bench_diff: %d leaves within ±%.0f%% of %s\n" !compared
+      (100.0 *. !tolerance) baseline
+  | fs ->
+    Printf.eprintf "bench_diff: %d regression(s) vs %s:\n" (List.length fs)
+      baseline;
+    List.iter (fun f -> Printf.eprintf "  %s\n" f) fs;
+    exit 1

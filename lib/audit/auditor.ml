@@ -37,6 +37,13 @@ let declared_faulty : (int, unit) Hashtbl.t = Hashtbl.create 8
 let declare_faulty ids = List.iter (fun i -> Hashtbl.replace declared_faulty i ()) ids
 let reset_declared () = Hashtbl.reset declared_faulty
 
+(* Observer slot for recorded violations (called before any raise).
+   Bftdoctor installs its auditor-violation trigger here while
+   attached; single slot, saved and restored by the installer. *)
+let violation_hook_ref : (violation -> unit) option ref = ref None
+let violation_hook () = !violation_hook_ref
+let set_violation_hook h = violation_hook_ref := h
+
 (* Per-(node, client) execution log. Closed-loop clients execute in
    rid order so [contig] absorbs almost everything; the [extras] table
    only holds out-of-order rids transiently. *)
@@ -97,6 +104,7 @@ let violate t ~time ~invariant fmt =
     (fun detail ->
       let v = { time; invariant; detail } in
       t.violations <- v :: t.violations;
+      (match !violation_hook_ref with Some f -> f v | None -> ());
       if t.raise_on_violation then raise (Violation (report t v)))
     fmt
 

@@ -25,6 +25,15 @@ val declare_faulty : int list -> unit
 val reset_declared : unit -> unit
 (** Clear the global faulty set; call between runs. *)
 
+val set_violation_hook : (violation -> unit) option -> unit
+(** Install an observer called for every violation any live auditor
+    records, before any raise. Single global slot (the doctor's
+    auditor-violation trigger); installers save {!violation_hook} and
+    restore it on detach. *)
+
+val violation_hook : unit -> (violation -> unit) option
+(** The currently installed observer. *)
+
 type t
 
 val create :

@@ -147,13 +147,21 @@ let sample g rng ~index =
 
 type sweep = { total : int; passed : int; failures : Runner.result list }
 
-let sweep ?(grammar = default_grammar) ?(progress = fun _ -> ()) ~seed ~count () =
+let sweep ?(grammar = default_grammar) ?(progress = fun _ -> ()) ?bundle_dir
+    ~seed ~count () =
   let rng = Rng.create seed in
   let failures = ref [] in
   let passed = ref 0 in
   for index = 0 to count - 1 do
     let scenario = sample grammar rng ~index in
-    let result = Runner.run scenario in
+    (* Each scenario dumps under its own subdirectory so a sweep's
+       bundles never collide. *)
+    let doctor_dir =
+      Option.map
+        (fun d -> Filename.concat d scenario.Scenario.name)
+        bundle_dir
+    in
+    let result = Runner.run ?doctor_dir scenario in
     if Runner.ok result then incr passed else failures := result :: !failures;
     progress result
   done;

@@ -47,8 +47,12 @@ type sweep = {
 val sweep :
   ?grammar:grammar ->
   ?progress:(Runner.result -> unit) ->
+  ?bundle_dir:string ->
   seed:int64 ->
   count:int ->
   unit ->
   sweep
-(** Run [count] sampled scenarios; [progress] fires after each. *)
+(** Run [count] sampled scenarios; [progress] fires after each. With
+    [bundle_dir], every run rides a {!Bftdoctor.Doctor} (see
+    {!Runner.run}) and incident bundles land under
+    [bundle_dir/<scenario-name>/]. *)

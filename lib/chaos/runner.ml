@@ -8,6 +8,7 @@ type result = {
   safety_violations : Bftaudit.Auditor.violation list;
   events_checked : int;
   digest : string option;
+  incidents : Bftdoctor.Doctor.incident_ref list;
 }
 
 (* A protocol-agnostic view of a freshly built cluster. *)
@@ -17,6 +18,8 @@ type sys = {
   set_rates : float -> unit;
   totals : unit -> int * int;  (* sent, completed *)
   executed : unit -> int;
+  describe : (string * string) list;  (* incident-bundle config fields *)
+  context : (unit -> (string * string) list) option;  (* dump-time fields *)
 }
 
 let sum_totals sent completed clients =
@@ -58,6 +61,14 @@ let build_rbft ~transport (s : Scenario.t) =
       (fun () ->
         sum_totals Rbft.Client.sent Rbft.Client.completed (Rbft.Cluster.clients cluster));
     executed = (fun () -> Rbft.Cluster.total_executed cluster);
+    describe = Rbft.Cluster.describe cluster;
+    context =
+      Some
+        (fun () ->
+          [
+            ( "master_primary",
+              string_of_int (Rbft.Cluster.master_primary cluster) );
+          ]);
   }
 
 (* Aardvark's paper policy times (5 s grace) dwarf a chaos scenario;
@@ -107,6 +118,9 @@ let build_aardvark (s : Scenario.t) =
         sum_totals Aardvark.Client.sent Aardvark.Client.completed
           (Aardvark.Cluster.clients cluster));
     executed = (fun () -> Aardvark.Cluster.total_executed cluster);
+    describe =
+      [ ("protocol", "aardvark"); ("f", string_of_int s.Scenario.f) ];
+    context = None;
   }
 
 let build_spinning (s : Scenario.t) =
@@ -141,6 +155,9 @@ let build_spinning (s : Scenario.t) =
         sum_totals Spinning.Client.sent Spinning.Client.completed
           (Spinning.Cluster.clients cluster));
     executed = (fun () -> Spinning.Cluster.total_executed cluster);
+    describe =
+      [ ("protocol", "spinning"); ("f", string_of_int s.Scenario.f) ];
+    context = None;
   }
 
 let build_prime (s : Scenario.t) =
@@ -172,6 +189,8 @@ let build_prime (s : Scenario.t) =
         sum_totals Prime.Client.sent Prime.Client.completed
           (Prime.Cluster.clients cluster));
     executed = (fun () -> Prime.Cluster.total_executed cluster);
+    describe = [ ("protocol", "prime"); ("f", string_of_int s.Scenario.f) ];
+    context = None;
   }
 
 let build (s : Scenario.t) =
@@ -182,7 +201,20 @@ let build (s : Scenario.t) =
   | Scenario.Spinning -> build_spinning s
   | Scenario.Prime -> build_prime s
 
-let run ?(capture = false) (s : Scenario.t) =
+(* Triggers for chaos runs: dump on any safety-relevant edge, and on a
+   liveness stall well inside the drain bound so the bundle still holds
+   the stalled state. *)
+let doctor_triggers =
+  let open Bftdoctor in
+  [
+    Trigger.spec Trigger.Instance_change ~cooldown:(Time.sec 1);
+    Trigger.spec Trigger.Auditor_violation ~cooldown:(Time.sec 1);
+    Trigger.spec
+      (Trigger.Liveness_stall { idle = Time.of_sec_f 0.8 })
+      ~cooldown:(Time.sec 5);
+  ]
+
+let run ?(capture = false) ?doctor_dir (s : Scenario.t) =
   (* Chaos faults are benign (crash, partition, message-level chaos):
      no node is Byzantine, so the auditor checks all of them. *)
   Bftaudit.Auditor.reset_declared ();
@@ -192,6 +224,19 @@ let run ?(capture = false) (s : Scenario.t) =
   in
   let cap = if capture then Some (Bftaudit.Capture.attach ()) else None in
   let sys = build s in
+  let doctor =
+    match doctor_dir with
+    | None -> None
+    | Some dir ->
+      let config =
+        Bftdoctor.Doctor.default_config ~dir:(Some dir) ~seed:s.Scenario.seed
+          ~config_fields:(("scenario_name", s.Scenario.name) :: sys.describe)
+          ~context:sys.context
+          ~scenario:(Some (Scenario.to_string s))
+          ~triggers:doctor_triggers ()
+      in
+      Some (Bftdoctor.Doctor.attach config sys.hooks.Injector.engine)
+  in
   let injector = Injector.install sys.hooks ~seed:s.Scenario.seed s.Scenario.faults in
   sys.set_rates s.Scenario.workload.Scenario.rate;
   sys.run_for s.Scenario.duration;
@@ -199,19 +244,38 @@ let run ?(capture = false) (s : Scenario.t) =
   sys.set_rates 0.0;
   sys.run_for s.Scenario.drain;
   let sent, completed = sys.totals () in
+  let safety_violations = Bftaudit.Auditor.violations auditor in
+  (* A run that failed the oracles without tripping any trigger still
+     deserves forensics: force one bundle of the post-drain state. *)
+  (match doctor with
+  | Some d
+    when Bftdoctor.Doctor.incidents d = []
+         && (safety_violations <> [] || completed <> sent) ->
+    Bftdoctor.Doctor.force d
+      ~reason:
+        (Printf.sprintf
+           "oracle failure after drain: %d/%d completed, %d violation(s)"
+           completed sent
+           (List.length safety_violations))
+  | _ -> ());
   let result =
     {
       scenario = s;
       executed = sys.executed ();
       sent;
       completed;
-      safety_violations = Bftaudit.Auditor.violations auditor;
+      safety_violations;
       events_checked = Bftaudit.Auditor.events_checked auditor;
       digest = Option.map Bftaudit.Capture.digest cap;
+      incidents =
+        (match doctor with
+        | Some d -> Bftdoctor.Doctor.incidents d
+        | None -> []);
     }
   in
   Bftaudit.Auditor.detach auditor;
   Option.iter Bftaudit.Capture.detach cap;
+  Option.iter Bftdoctor.Doctor.detach doctor;
   result
 
 let liveness_ok r =

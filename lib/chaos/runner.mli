@@ -25,10 +25,17 @@ type result = {
   safety_violations : Bftaudit.Auditor.violation list;
   events_checked : int;
   digest : string option;  (** chained audit digest when captured *)
+  incidents : Bftdoctor.Doctor.incident_ref list;
+      (** bundles dumped by the doctor when [doctor_dir] was given *)
 }
 
-val run : ?capture:bool -> Scenario.t -> result
-(** [capture] defaults to [false]. *)
+val run : ?capture:bool -> ?doctor_dir:string -> Scenario.t -> result
+(** [capture] defaults to [false]. With [doctor_dir], a
+    {!Bftdoctor.Doctor} rides along (instance-change,
+    auditor-violation and liveness-stall triggers) and writes incident
+    bundles under that directory; a run that fails the oracles without
+    tripping any trigger force-dumps one bundle of the post-drain
+    state. *)
 
 val liveness_ok : result -> bool
 (** [completed = sent] (and something was actually sent when the

@@ -7,6 +7,8 @@ type t = {
   params : Params.t;
   nodes : Node.t array;
   clients : Client.t array;
+  seed : int64;
+  transport : Bftnet.Network.transport;
 }
 
 let create ?(seed = 42L) ?(transport = Bftnet.Network.Tcp) ?net_config
@@ -38,7 +40,7 @@ let create ?(seed = 42L) ?(transport = Bftnet.Network.Tcp) ?net_config
   Bftmetrics.Registry.gauge_fn Bftmetrics.Registry.default "dessim_queue_size"
     ~help:"Pending events in the simulation engine queue" ~labels:[]
     (fun () -> float_of_int (Engine.queue_size engine));
-  { engine; net; params; nodes; clients }
+  { engine; net; params; nodes; clients; seed; transport }
 
 let engine t = t.engine
 let network t = t.net
@@ -47,6 +49,27 @@ let node t i = t.nodes.(i)
 let nodes t = t.nodes
 let client t i = t.clients.(i)
 let clients t = t.clients
+
+(* Incident-bundle hooks: a stable textual identity for the run
+   (recorded once at doctor attach) and the node currently acting as
+   master primary (re-read at dump time, after any instance change). *)
+let describe t =
+  [
+    ("protocol", "rbft");
+    ("n", string_of_int (Params.n t.params));
+    ("f", string_of_int t.params.Params.f);
+    ("instances", string_of_int (Params.instances t.params));
+    ("clients", string_of_int (Array.length t.clients));
+    ("seed", Int64.to_string t.seed);
+    ( "transport",
+      match t.transport with Bftnet.Network.Tcp -> "tcp" | Udp -> "udp" );
+  ]
+
+let master_primary t =
+  let node0 = t.nodes.(0) in
+  let mi = Node.master_instance node0 in
+  let view = Pbftcore.Replica.view (Node.replica node0 ~instance:mi) in
+  Params.primary_of t.params ~instance:mi ~view
 
 let run_for t d =
   let target = Dessim.Time.add (Engine.now t.engine) d in

@@ -32,6 +32,15 @@ val nodes : t -> Node.t array
 val client : t -> int -> Client.t
 val clients : t -> Client.t array
 
+val describe : t -> (string * string) list
+(** Stable textual identity of the deployment — protocol, n, f,
+    instance count, client count, seed, transport — recorded into
+    incident-bundle configs so a bundle is self-describing. *)
+
+val master_primary : t -> int
+(** The node currently acting as primary of node 0's master instance
+    (re-read at incident-dump time, after any instance change). *)
+
 val run_for : t -> Time.t -> unit
 (** Advance virtual time by the given duration. *)
 

@@ -1,0 +1,42 @@
+(** Fixed-capacity ring buffer: O(1) push keeping the most recent
+    [capacity] items.
+
+    This is the flight recorder's bounded memory: every always-on
+    stream (audit events, closed spans, metrics snapshots, root
+    latencies) lands in one of these, so a week-long run holds exactly
+    as much evidence as a ten-second one. *)
+
+type 'a t = {
+  data : 'a option array;
+  mutable next : int;  (* slot the next push writes *)
+  mutable pushed : int;  (* total pushes over the ring's lifetime *)
+}
+
+let create capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  { data = Array.make capacity None; next = 0; pushed = 0 }
+
+let capacity t = Array.length t.data
+let pushed t = t.pushed
+let length t = min t.pushed (Array.length t.data)
+
+let push t x =
+  t.data.(t.next) <- Some x;
+  t.next <- (t.next + 1) mod Array.length t.data;
+  t.pushed <- t.pushed + 1
+
+let clear t =
+  Array.fill t.data 0 (Array.length t.data) None;
+  t.next <- 0;
+  t.pushed <- 0
+
+(** Oldest first. *)
+let to_list t =
+  let cap = Array.length t.data in
+  let n = length t in
+  let start = ((t.next - n) mod cap + cap) mod cap in
+  List.init n (fun i -> Option.get t.data.((start + i) mod cap))
+
+let iter f t = List.iter f (to_list t)
+
+let fold f acc t = List.fold_left f acc (to_list t)

@@ -5,3 +5,4 @@ module Calibrate = Calibrate
 module Experiments = Experiments
 module Audit = Audit
 module Perfreport = Perfreport
+module Incident = Incident

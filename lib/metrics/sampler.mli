@@ -1,6 +1,13 @@
 (** Sim-time periodic sampler: snapshots a {!Registry} into a time
     series that the CSV/JSON exporters can dump after the run.
 
+    Sampling is anchored to {e engine} sim-time: ticks fire at the
+    absolute instants [epoch + k*period] (epoch = the attach instant),
+    not relative to the previous callback and never through a per-node
+    [Dessim.Clock]. Chaos clock-skew faults therefore cannot drift the
+    series — a skewed and an unskewed same-seed run sample at
+    identical timestamps.
+
     Attaching enables global collection ({!Registry.enable}). The
     rearming tick keeps the engine's queue non-empty, so drive the
     simulation with [Engine.run ~until] (as the clusters' [run_for]
@@ -23,6 +30,10 @@ val sample_now : t -> unit
     point at the end of a run. *)
 
 val period : t -> Time.t
+
+val epoch : t -> Time.t
+(** The attach instant; every periodic sample lands at
+    [epoch + k*period] exactly. *)
 
 val points : t -> point list
 (** Oldest first. *)

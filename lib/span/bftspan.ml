@@ -12,5 +12,6 @@
 
 module Tag = Tag
 module Span = Span
+module Chunkdig = Chunkdig
 module Tracer = Tracer
 module Analyze = Analyze

@@ -48,6 +48,17 @@ let alloc ~parent ~client ~rid ~node ~instance ~tag ~t0 ~t1 =
 
 let get id = !spans.(id)
 
+(* Close hook: the doctor's flight recorder rings subscribe to the
+   span stream here. One ref read + match per close while tracing is
+   enabled; nothing at all when tracing is off (the [id >= 0] guards
+   short-circuit first). *)
+let close_hook_ref : (Span.t -> unit) option ref = ref None
+let close_hook () = !close_hook_ref
+let set_close_hook h = close_hook_ref := h
+
+let notify_close s =
+  match !close_hook_ref with Some f -> f s | None -> ()
+
 let root ~client ~rid ~node ~instance ~tag ~t0 =
   if not !enabled then -1
   else
@@ -63,7 +74,12 @@ let span ~parent ~tag ~node ~instance ~t0 ~t1 =
 let start ~parent ~tag ~node ~instance ~t0 =
   span ~parent ~tag ~node ~instance ~t0 ~t1:Span.none
 
-let finish id ~t1 = if id >= 0 && id < !len then (get id).Span.t1 <- t1
+let finish id ~t1 =
+  if id >= 0 && id < !len then begin
+    let s = get id in
+    s.Span.t1 <- t1;
+    notify_close s
+  end
 
 (* A traced CPU job is a pair of consecutive spans: a queue-wait span
    opened at submission time and the work span proper. Both are closed
@@ -90,7 +106,11 @@ let on_job_start id ~start ~finish =
     let q = get (id - 1) in
     if q.Span.tag = Tag.Queue_wait && q.Span.parent = w.Span.parent
        && Span.is_open q
-    then q.Span.t1 <- start
+    then begin
+      q.Span.t1 <- start;
+      notify_close q
+    end;
+    notify_close w
   end
 
 let enable ?(sample = 1) () =
@@ -113,22 +133,21 @@ let to_array () = Array.sub !spans 0 !len
 (* Chained over 64 KiB chunks of the JSONL rendering rather than span
    by span: the digest stays order- and prefix-sensitive, but a full
    1/1 capture (millions of spans) pays SHA-256 padding and finalisation
-   once per chunk instead of once per span. *)
-let digest () =
-  let chain = ref (Bftcrypto.Sha256.digest_string "bftspan-trace-v1") in
-  let buf = Buffer.create (64 * 1024) in
-  let flush () =
-    if Buffer.length buf > 0 then begin
-      chain := Bftcrypto.Sha256.digest_string (!chain ^ Buffer.contents buf);
-      Buffer.clear buf
-    end
-  in
-  iter (fun s ->
-      Span.write_json buf s;
-      Buffer.add_char buf '\n';
-      if Buffer.length buf >= (64 * 1024) - 256 then flush ());
-  flush ();
-  Bftcrypto.Sha256.to_hex !chain
+   once per chunk instead of once per span. Chunking and the
+   final-partial-chunk flush live in {!Chunkdig}, so a truncated run
+   (crash scenario, incident dump) digests its captured prefix exactly
+   — [hex] folds the tail chunk in before reading the chain. *)
+let digest_seed = "bftspan-trace-v1"
+
+let digest_upto n =
+  let d = Chunkdig.create ~seed:digest_seed () in
+  let n = max 0 (min n !len) in
+  for i = 0 to n - 1 do
+    Chunkdig.add_line d (fun buf -> Span.write_json buf !spans.(i))
+  done;
+  Chunkdig.hex d
+
+let digest () = digest_upto !len
 
 let write_jsonl path =
   let oc = open_out path in

@@ -281,6 +281,58 @@ let test_sampler_series () =
   Engine.run ~until:(Time.ms 200) e;
   Alcotest.(check int) "no points after detach" n (Sampler.count s)
 
+(* Regression: the sampler is anchored to absolute engine sim-time
+   ([epoch + k*period]), never to a per-node Clock, so a skewed clock
+   driving the workload shifts the *values* but cannot drift the
+   sample *timestamps*. Before the anchoring fix a tick rearmed
+   relative to its own callback, and any scheduling perturbation
+   accumulated into the series timeline. *)
+let test_sampler_skew_anchoring () =
+  let run factor =
+    let e = Engine.create () in
+    let r = Registry.create () in
+    let c = Registry.counter r "work_total" ~labels:[] in
+    let clock = Clock.create e in
+    Clock.set_factor clock factor;
+    (* periodic workload routed through the (possibly skewed) clock,
+       the way protocol nodes drive their loops *)
+    let rec work () =
+      Registry.Counter.inc c;
+      ignore (Clock.after clock (Time.ms 7) work)
+    in
+    ignore (Clock.after clock (Time.ms 7) work);
+    let s = Sampler.attach ~period:(Time.ms 10) e r in
+    Engine.run ~until:(Time.ms 95) e;
+    Sampler.detach s;
+    let value_at (p : Sampler.point) =
+      match
+        List.find_opt
+          (fun smp -> smp.Registry.s_name = "work_total")
+          p.Sampler.p_samples
+      with
+      | Some { Registry.s_value = Registry.Counter_v v; _ } -> v
+      | _ -> -1
+    in
+    ( Sampler.epoch s,
+      List.map (fun p -> p.Sampler.p_time) (Sampler.points s),
+      List.map value_at (Sampler.points s) )
+  in
+  let epoch, times_plain, values_plain = run 1.0 in
+  let _, times_skew, values_skew = run 1.7 in
+  Alcotest.(check bool) "several samples" true (List.length times_plain >= 8);
+  (* the skew really perturbed the workload... *)
+  Alcotest.(check bool) "skew changes the sampled values" true
+    (values_plain <> values_skew);
+  (* ...but the sample instants are identical and sit exactly on the
+     epoch + k*period grid *)
+  Alcotest.(check bool) "timestamps immune to clock skew" true
+    (times_plain = times_skew);
+  List.iter
+    (fun t ->
+      Alcotest.(check int) "on the absolute period grid" 0
+        ((Time.sub t epoch : Time.t) mod (Time.ms 10 : Time.t)))
+    times_plain
+
 (* --- exporters ---------------------------------------------------- *)
 
 let starts_with s prefix =
@@ -415,7 +467,11 @@ let suites =
           test_registry_snapshot_gauge_fn;
       ] );
     ( "metrics.sampler",
-      [ Alcotest.test_case "time series" `Quick test_sampler_series ] );
+      [
+        Alcotest.test_case "time series" `Quick test_sampler_series;
+        Alcotest.test_case "skewed-clock anchoring" `Quick
+          test_sampler_skew_anchoring;
+      ] );
     ( "metrics.export",
       [
         Alcotest.test_case "prometheus text" `Quick test_export_prometheus;

@@ -322,6 +322,73 @@ let test_tag_roundtrip () =
       | None -> Alcotest.failf "tag %s does not parse" (Bftspan.Tag.name tag))
     Bftspan.Tag.all
 
+(* Regression for the final-partial-chunk flush: a capture smaller
+   than one 64 KiB chunk digests as exactly one chained fold,
+   sha256(sha256(seed) ^ jsonl) — recomputable by hand with the raw
+   hash. Before the flush fix, [hex] on a sub-chunk capture returned
+   the bare seed digest: every line since the last chunk boundary
+   silently dropped out, so a truncated run collided with its own
+   (empty) prefix. *)
+let test_truncated_digest () =
+  with_tracer (fun () ->
+      for rid = 1 to 12 do
+        let id =
+          Bftspan.Tracer.root ~client:0 ~rid ~node:(-1) ~instance:(-1)
+            ~tag:Bftspan.Tag.Client ~t0:(Time.ms rid)
+        in
+        Bftspan.Tracer.finish id ~t1:(Time.ms (rid + 5))
+      done;
+      let n = Bftspan.Tracer.count () in
+      Alcotest.(check int) "all roots captured" 12 n;
+      (* manual recomputation over the whole (sub-chunk) capture *)
+      let jsonl = Buffer.create 1024 in
+      Array.iter
+        (fun s ->
+          Bftspan.Span.write_json jsonl s;
+          Buffer.add_char jsonl '\n')
+        (Bftspan.Tracer.to_array ());
+      Alcotest.(check bool) "capture fits one chunk" true
+        (Buffer.length jsonl < (64 * 1024) - 256);
+      let manual =
+        Bftcrypto.Sha256.to_hex
+          (Bftcrypto.Sha256.digest_string
+             (Bftcrypto.Sha256.digest_string Bftspan.Tracer.digest_seed
+             ^ Buffer.contents jsonl))
+      in
+      Alcotest.(check string) "partial chunk folds into the chain" manual
+        (Bftspan.Tracer.digest ());
+      (* the same discipline through Chunkdig directly *)
+      let d = Bftspan.Chunkdig.create ~seed:Bftspan.Tracer.digest_seed () in
+      String.split_on_char '\n' (Buffer.contents jsonl)
+      |> List.iter (fun line ->
+             if line <> "" then Bftspan.Chunkdig.add_string_line d line);
+      Alcotest.(check string) "chunkdig agrees" manual (Bftspan.Chunkdig.hex d);
+      (* prefix sensitivity: a truncated capture digests its exact
+         prefix and differs from the full digest *)
+      let d7 = Bftspan.Tracer.digest_upto 7 in
+      Alcotest.(check bool) "truncation changes the digest" true
+        (d7 <> Bftspan.Tracer.digest ());
+      Alcotest.(check string) "digest_upto count = digest"
+        (Bftspan.Tracer.digest ())
+        (Bftspan.Tracer.digest_upto n);
+      (* the 7-span prefix recomputed by hand *)
+      let prefix = Buffer.create 512 in
+      Array.iteri
+        (fun i s ->
+          if i < 7 then begin
+            Bftspan.Span.write_json prefix s;
+            Buffer.add_char prefix '\n'
+          end)
+        (Bftspan.Tracer.to_array ());
+      let manual7 =
+        Bftcrypto.Sha256.to_hex
+          (Bftcrypto.Sha256.digest_string
+             (Bftcrypto.Sha256.digest_string Bftspan.Tracer.digest_seed
+             ^ Buffer.contents prefix))
+      in
+      Alcotest.(check string) "truncated digest is the prefix digest" manual7
+        d7)
+
 let suites =
   [
     ( "spans.tracer",
@@ -331,6 +398,8 @@ let suites =
           test_disabled_records_nothing;
         Alcotest.test_case "1/N sampling" `Quick test_sampling;
         Alcotest.test_case "deterministic digest" `Quick test_determinism;
+        Alcotest.test_case "truncated-capture digest" `Quick
+          test_truncated_digest;
         Alcotest.test_case "tag codec" `Quick test_tag_roundtrip;
       ] );
     ( "spans.chaos",
