@@ -25,8 +25,8 @@ open Dessim
 (* run                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let run_cluster f clients rate seconds payload attack transport seed trace chrome
-    audit metrics prom doctor =
+let run_cluster f clients rate seconds payload attack mode transport seed trace
+    chrome audit metrics prom doctor =
   (* Structured observability: a capture (for file export and the run
      digest) whenever any trace output is requested, a console printer
      for [--trace -], and an online safety auditor for [--audit]. *)
@@ -45,7 +45,13 @@ let run_cluster f clients rate seconds payload attack transport seed trace chrom
     end
     else None
   in
-  let params = Rbft.Params.default ~f in
+  let ordering =
+    match mode with
+    | "redundant" -> Rbft.Params.Redundant
+    | "concurrent" -> Rbft.Params.Concurrent
+    | other -> failwith ("unknown mode: " ^ other)
+  in
+  let params = { (Rbft.Params.default ~f) with Rbft.Params.ordering } in
   (* The unfair-primary attack is detected by the latency check, which
      is disabled by default (it is workload-dependent, Sec. IV-C). *)
   let params =
@@ -82,7 +88,7 @@ let run_cluster f clients rate seconds payload attack transport seed trace chrom
     Option.map
       (fun dir ->
         Bftharness.Incident.attach ~dir
-          ~extra_fields:[ ("attack", attack) ]
+          ~extra_fields:[ ("attack", attack); ("mode", mode) ]
           cluster)
       doctor
   in
@@ -203,6 +209,16 @@ let run_cmd =
       value & opt string "none"
       & info [ "attack" ] ~doc:"none | worst1 | worst2 | unfair.")
   in
+  let mode =
+    Arg.(
+      value & opt string "redundant"
+      & info [ "mode" ]
+          ~doc:
+            "Ordering mode: $(b,redundant) (every instance orders every \
+             request, classic RBFT) or $(b,concurrent) (bftrcc: disjoint \
+             client partitions per instance, merged deterministically, so \
+             added instances add capacity).")
+  in
   let transport =
     Arg.(value & opt string "tcp" & info [ "transport" ] ~doc:"tcp | udp.")
   in
@@ -267,8 +283,8 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate an RBFT cluster")
     Term.(
-      const run_cluster $ f $ clients $ rate $ seconds $ payload $ attack $ transport
-      $ seed $ trace $ chrome $ audit $ metrics $ prom $ doctor)
+      const run_cluster $ f $ clients $ rate $ seconds $ payload $ attack $ mode
+      $ transport $ seed $ trace $ chrome $ audit $ metrics $ prom $ doctor)
 
 (* ------------------------------------------------------------------ *)
 (* trace-spans                                                        *)
@@ -618,7 +634,9 @@ let explore_cmd =
     Arg.(
       value & opt string ""
       & info [ "protocols" ]
-          ~doc:"Comma-separated subset: rbft,rbft-udp,aardvark,spinning,prime.")
+          ~doc:
+            "Comma-separated subset: \
+             rbft,rbft-udp,rbft-concurrent,aardvark,spinning,prime.")
   in
   let out_dir =
     Arg.(

@@ -10,12 +10,19 @@
    Usage:
      bench_diff BASELINE.json FRESH.json [--tolerance 0.15]
                 [--skip SUBSTR] [--list]
+     bench_diff --scale-check BENCH_scale.json
 
    Every numeric leaf present in the baseline must exist in the fresh
    report and agree within the relative tolerance; missing keys and
    out-of-tolerance deviations fail the gate (exit 1). Leaves whose
    path contains a skip substring, or whose baseline magnitude is
-   below 1e-3 (noise-dominated shares), are ignored. *)
+   below 1e-3 (noise-dominated shares), are ignored.
+
+   [--scale-check] instead validates a single BENCH_scale.json
+   structurally: cluster shapes, positive headline numbers, and the
+   two scaling laws — redundant ordering loses throughput with every
+   extra fault tolerated while concurrent (bftrcc) ordering gains it,
+   with f = 3 concurrent at least 1.5x the f = 1 value. *)
 
 let default_skips =
   [ "profile"; "metrics_overhead"; "seconds"; "share"; "sample"; "calls" ]
@@ -45,8 +52,98 @@ let read_json path =
     Printf.eprintf "%s: %s\n" path msg;
     exit 2
 
+(* Structural gate over the scaling sweep: replaces the shell-side
+   monotonicity check that used to live in CI. Exit 1 with every
+   complaint listed, so a broken report shows all its problems at
+   once. *)
+let scale_check path =
+  let v = read_json path in
+  let problems = ref [] in
+  let complain fmt =
+    Printf.ksprintf (fun m -> problems := m :: !problems) fmt
+  in
+  let obj = function Bftdoctor.Jmini.Obj kvs -> Some kvs | _ -> None in
+  let field kvs k = List.assoc_opt k kvs in
+  let num kvs k =
+    match field kvs k with Some (Bftdoctor.Jmini.Num n) -> Some n | _ -> None
+  in
+  let headline =
+    [ "throughput_req_s"; "latency_p50_ms"; "latency_p99_ms";
+      "ordering_p50_ms"; "ordering_p99_ms" ]
+  in
+  let check_block label kvs =
+    List.iter
+      (fun k ->
+        match num kvs k with
+        | Some n when n > 0.0 -> ()
+        | Some n -> complain "%s.%s non-positive: %g" label k n
+        | None -> complain "%s.%s missing" label k)
+      headline
+  in
+  let sweep =
+    match obj v with
+    | Some kvs -> field kvs "sweep" |> Option.map obj |> Option.join
+    | None -> None
+  in
+  (match sweep with
+   | None -> complain "no sweep section"
+   | Some sweep ->
+     let redundant = Array.make 3 0.0 and concurrent = Array.make 3 0.0 in
+     for f = 1 to 3 do
+       let fkey = Printf.sprintf "f%d" f in
+       match field sweep fkey |> Option.map obj |> Option.join with
+       | None -> complain "sweep.%s missing" fkey
+       | Some row ->
+         if num row "n" <> Some (float_of_int ((3 * f) + 1)) then
+           complain "sweep.%s.n should be %d" fkey ((3 * f) + 1);
+         if num row "instances" <> Some (float_of_int (f + 1)) then
+           complain "sweep.%s.instances should be %d" fkey (f + 1);
+         check_block ("sweep." ^ fkey) row;
+         (match num row "throughput_req_s" with
+          | Some n -> redundant.(f - 1) <- n
+          | None -> ());
+         (match field row "concurrent" |> Option.map obj |> Option.join with
+          | None -> complain "sweep.%s.concurrent missing" fkey
+          | Some c ->
+            check_block ("sweep." ^ fkey ^ ".concurrent") c;
+            (match num c "throughput_req_s" with
+             | Some n -> concurrent.(f - 1) <- n
+             | None -> ()))
+     done;
+     (* Redundant ordering: added instances are pure overhead, so
+        throughput must fall with every extra fault tolerated. *)
+     if not (redundant.(0) > redundant.(1) && redundant.(1) > redundant.(2))
+     then
+       complain "redundant throughput should decrease with f, got %g > %g > %g"
+         redundant.(0) redundant.(1) redundant.(2);
+     (* Concurrent ordering: disjoint partitions turn the same
+        instances into capacity, so throughput must rise instead —
+        and by at least 1.5x from f = 1 to f = 3 (the headline claim
+        of the bftrcc subsystem). *)
+     if not (concurrent.(0) < concurrent.(1) && concurrent.(1) < concurrent.(2))
+     then
+       complain "concurrent throughput should increase with f, got %g < %g < %g"
+         concurrent.(0) concurrent.(1) concurrent.(2);
+     if concurrent.(0) > 0.0 && concurrent.(2) < 1.5 *. concurrent.(0) then
+       complain "concurrent f3 is %.2fx f1, need >= 1.5x"
+         (concurrent.(2) /. concurrent.(0));
+     if !problems = [] then
+       Printf.printf
+         "scale-check ok: redundant %.0f > %.0f > %.0f req/s, concurrent %.0f \
+          < %.0f < %.0f req/s (f3 = %.2fx f1)\n"
+         redundant.(0) redundant.(1) redundant.(2) concurrent.(0)
+         concurrent.(1) concurrent.(2)
+         (concurrent.(2) /. concurrent.(0)));
+  match List.rev !problems with
+  | [] -> ()
+  | ps ->
+    Printf.eprintf "scale-check: %d problem(s) in %s:\n" (List.length ps) path;
+    List.iter (fun p -> Printf.eprintf "  %s\n" p) ps;
+    exit 1
+
 let () =
   let baseline = ref None and fresh = ref None in
+  let scale = ref None in
   let tolerance = ref 0.15 in
   let skips = ref default_skips in
   let list_all = ref false in
@@ -65,6 +162,9 @@ let () =
     | "--list" :: rest ->
       list_all := true;
       parse rest
+    | "--scale-check" :: path :: rest ->
+      scale := Some path;
+      parse rest
     | path :: rest ->
       (if !baseline = None then baseline := Some path
        else if !fresh = None then fresh := Some path
@@ -75,13 +175,18 @@ let () =
       parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
+  (match !scale with
+   | Some path ->
+     scale_check path;
+     exit 0
+   | None -> ());
   let baseline, fresh =
     match (!baseline, !fresh) with
     | Some b, Some f -> (b, f)
     | _ ->
       Printf.eprintf
         "usage: bench_diff BASELINE.json FRESH.json [--tolerance T] [--skip \
-         SUBSTR] [--list]\n";
+         SUBSTR] [--list] | bench_diff --scale-check REPORT.json\n";
       exit 2
   in
   let contains hay needle =

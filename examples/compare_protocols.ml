@@ -21,7 +21,7 @@ let run_one proto =
   let duration = Time.of_sec_f 1.5 in
   let warm = Time.ms 400 in
   match proto with
-  | Calibrate.Rbft | Calibrate.Rbft_udp ->
+  | Calibrate.Rbft | Calibrate.Rbft_udp | Calibrate.Rbft_concurrent ->
     let transport =
       match proto with Calibrate.Rbft_udp -> Bftnet.Network.Udp | _ -> Bftnet.Network.Tcp
     in

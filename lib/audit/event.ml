@@ -31,6 +31,17 @@ type kind =
     }
   | Lambda_exceeded of { client : int; latency : Time.t }
   | Omega_exceeded of { client : int }
+  | Seq_stall of { waiting_on : int; age : Time.t; pending : int }
+      (** concurrent (bftrcc) ordering: head-of-line state of the merge
+          sequencer, sampled every monitoring period. [waiting_on] is
+          the instance whose next batch the round-robin merge needs
+          ([-1] when not stalled), [age] how long it has been missing,
+          [pending] committed batches queued behind it. *)
+  | Degrade_changed of { instance : int; active : bool }
+      (** concurrent ordering: the degrade path for [instance]'s
+          partition toggled — [active] means every primary now also
+          proposes that partition's requests (classic redundant
+          fallback) until the new master is stable. *)
   | Nic_closed of { peer : int; until : Time.t }
   | Blacklisted of { client : int }
   | Net_dropped of { src : string; reason : string }
@@ -57,6 +68,8 @@ let kind_name = function
   | Monitor_verdict _ -> "monitor-verdict"
   | Lambda_exceeded _ -> "lambda-exceeded"
   | Omega_exceeded _ -> "omega-exceeded"
+  | Seq_stall _ -> "seq-stall"
+  | Degrade_changed _ -> "degrade"
   | Nic_closed _ -> "nic-closed"
   | Blacklisted _ -> "blacklisted"
   | Net_dropped _ -> "net-dropped"
@@ -109,6 +122,14 @@ let pp_kind ppf = function
   | Lambda_exceeded { client; latency } ->
     Format.fprintf ppf "lambda-exceeded c%d latency=%a" client Time.pp latency
   | Omega_exceeded { client } -> Format.fprintf ppf "omega-exceeded c%d" client
+  | Seq_stall { waiting_on; age; pending } ->
+    if waiting_on < 0 then Format.fprintf ppf "seq-stall none"
+    else
+      Format.fprintf ppf "seq-stall waiting-on=i%d age=%a pending=%d"
+        waiting_on Time.pp age pending
+  | Degrade_changed { instance; active } ->
+    Format.fprintf ppf "degrade i%d %s" instance
+      (if active then "active" else "cleared")
   | Nic_closed { peer; until } ->
     Format.fprintf ppf "nic-closed peer=%d until=%a" peer Time.pp until
   | Blacklisted { client } -> Format.fprintf ppf "blacklisted c%d" client
@@ -174,6 +195,11 @@ let args_json kind =
   | Lambda_exceeded { client; latency } ->
     Printf.sprintf {|"client":%d,"latency_ns":%d|} client (latency : Time.t)
   | Omega_exceeded { client } -> Printf.sprintf {|"client":%d|} client
+  | Seq_stall { waiting_on; age; pending } ->
+    Printf.sprintf {|"waiting_on":%d,"age_ns":%d,"pending":%d|} waiting_on
+      (age : Time.t) pending
+  | Degrade_changed { instance; active } ->
+    Printf.sprintf {|"instance":%d,"active":%b|} instance active
   | Nic_closed { peer; until } ->
     Printf.sprintf {|"peer":%d,"until_ns":%d|} peer (until : Time.t)
   | Blacklisted { client } -> Printf.sprintf {|"client":%d|} client

@@ -29,7 +29,11 @@ type caps = { loss : bool; isolation : bool }
 
 let caps_of = function
   | Scenario.Prime -> { loss = false; isolation = false }
-  | Scenario.Rbft | Scenario.Rbft_udp | Scenario.Aardvark | Scenario.Spinning ->
+  (* Concurrent ordering survives isolation of a partition owner: the
+     stall-driven instance change re-homes its clients and the degrade
+     path keeps the merge advancing, all well inside the drain bound. *)
+  | Scenario.Rbft | Scenario.Rbft_udp | Scenario.Rbft_concurrent
+  | Scenario.Aardvark | Scenario.Spinning ->
     { loss = true; isolation = true }
 
 (* A fault window inside the chaos phase: starts within the first half

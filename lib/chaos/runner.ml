@@ -25,11 +25,12 @@ type sys = {
 let sum_totals sent completed clients =
   Array.fold_left (fun (s, c) cl -> (s + sent cl, c + completed cl)) (0, 0) clients
 
-let build_rbft ~transport (s : Scenario.t) =
+let build_rbft ~transport ?(ordering = Rbft.Params.Redundant) (s : Scenario.t) =
   let params =
     {
       (Rbft.Params.default ~f:s.Scenario.f) with
       Rbft.Params.lambda = s.Scenario.lambda;
+      ordering;
       ic_quorum =
         (match s.Scenario.mutation with
          | Some Scenario.Ic_quorum_low -> Some 1
@@ -197,6 +198,9 @@ let build (s : Scenario.t) =
   match s.Scenario.protocol with
   | Scenario.Rbft -> build_rbft ~transport:Bftnet.Network.Tcp s
   | Scenario.Rbft_udp -> build_rbft ~transport:Bftnet.Network.Udp s
+  | Scenario.Rbft_concurrent ->
+    build_rbft ~transport:Bftnet.Network.Tcp
+      ~ordering:Rbft.Params.Concurrent s
   | Scenario.Aardvark -> build_aardvark s
   | Scenario.Spinning -> build_spinning s
   | Scenario.Prime -> build_prime s
@@ -212,6 +216,10 @@ let doctor_triggers =
     Trigger.spec
       (Trigger.Liveness_stall { idle = Time.of_sec_f 0.8 })
       ~cooldown:(Time.sec 5);
+    (* Only ever samples under rbft-concurrent; inert elsewhere. *)
+    Trigger.spec
+      (Trigger.Seq_stall { age = Time.ms 125 })
+      ~cooldown:(Time.sec 2);
   ]
 
 let run ?(capture = false) ?doctor_dir (s : Scenario.t) =

@@ -1,10 +1,11 @@
 open Dessim
 
-type protocol = Rbft | Rbft_udp | Aardvark | Spinning | Prime
+type protocol = Rbft | Rbft_udp | Rbft_concurrent | Aardvark | Spinning | Prime
 
 let protocol_name = function
   | Rbft -> "rbft"
   | Rbft_udp -> "rbft-udp"
+  | Rbft_concurrent -> "rbft-concurrent"
   | Aardvark -> "aardvark"
   | Spinning -> "spinning"
   | Prime -> "prime"
@@ -12,12 +13,14 @@ let protocol_name = function
 let protocol_of_name = function
   | "rbft" -> Some Rbft
   | "rbft-udp" -> Some Rbft_udp
+  | "rbft-concurrent" -> Some Rbft_concurrent
   | "aardvark" -> Some Aardvark
   | "spinning" -> Some Spinning
   | "prime" -> Some Prime
   | _ -> None
 
-let all_protocols = [| Rbft; Rbft_udp; Aardvark; Spinning; Prime |]
+let all_protocols =
+  [| Rbft; Rbft_udp; Rbft_concurrent; Aardvark; Spinning; Prime |]
 
 type workload = { clients : int; rate : float; payload : int }
 

@@ -12,7 +12,12 @@
 
 open Dessim
 
-type protocol = Rbft | Rbft_udp | Aardvark | Spinning | Prime
+type protocol = Rbft | Rbft_udp | Rbft_concurrent | Aardvark | Spinning | Prime
+(** [Rbft_concurrent] is the same RBFT stack in disjoint-partition
+    (bftrcc) ordering: each instance orders only its own clients and
+    the per-instance streams merge deterministically, so crashing a
+    partition owner or cutting a sequencer input exercises the
+    stall-driven instance change and the degrade path. *)
 
 val protocol_name : protocol -> string
 val protocol_of_name : string -> protocol option

@@ -147,8 +147,8 @@ let create engine net params ~id ?(payload_size = 8) () =
       else
       match d.Network.payload with
       | Messages.Reply { id; result; node } -> on_reply t id ~node ~result
-      | Messages.Request _ | Messages.Propagate _ | Messages.Instance _
-      | Messages.Instance_change _ ->
+      | Messages.Request _ | Messages.Propagate _ | Messages.Propagate_batch _
+      | Messages.Instance _ | Messages.Instance_change _ ->
         ());
   t
 

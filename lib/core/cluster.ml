@@ -56,6 +56,7 @@ let clients t = t.clients
 let describe t =
   [
     ("protocol", "rbft");
+    ("ordering", Params.ordering_name t.params.Params.ordering);
     ("n", string_of_int (Params.n t.params));
     ("f", string_of_int t.params.Params.f);
     ("instances", string_of_int (Params.instances t.params));
@@ -91,18 +92,30 @@ let throughput_between t start stop =
     start stop
 
 let agreement_ok t ~faulty =
+  (* A node that state-transferred adopted checkpointed state wholesale
+     instead of executing the skipped batches; in a real deployment the
+     application snapshot travels with the checkpoint, so the node is
+     consistent but its local execution log is shorter. In redundant
+     mode only the master instance executes, so only its transfers
+     matter; in concurrent mode every instance feeds the merge. *)
+  let skips_agreement node =
+    match Node.ordering node with
+    | Params.Redundant ->
+      Pbftcore.Replica.state_transfers
+        (Node.replica node ~instance:(Node.master_instance node))
+      <> 0
+    | Params.Concurrent ->
+      let skips = ref false in
+      for i = 0 to Params.instances t.params - 1 do
+        if Pbftcore.Replica.state_transfers (Node.replica node ~instance:i) <> 0
+        then skips := true
+      done;
+      !skips
+  in
   let correct =
     Array.to_list t.nodes
     |> List.filter (fun node ->
-           (not (List.mem (Node.id node) faulty))
-           (* A node that state-transferred its master instance adopted
-              the checkpointed state wholesale instead of executing the
-              skipped batches; in a real deployment the application
-              snapshot travels with the checkpoint, so the node is
-              consistent but its local execution log is shorter. *)
-           && Pbftcore.Replica.state_transfers
-                (Node.replica node ~instance:(Node.master_instance node))
-              = 0)
+           (not (List.mem (Node.id node) faulty)) && not (skips_agreement node))
   in
   match correct with
   | [] -> true

@@ -6,6 +6,7 @@ let tag_propagate = 11
 let tag_instance = 12
 let tag_instance_change = 13
 let tag_reply = 14
+let tag_propagate_batch = 15
 
 let encode_request w (r : Messages.request) =
   Wire.Writer.u32 w r.desc.id.client;
@@ -41,6 +42,11 @@ let encode ~order_full_requests msg =
      Wire.Writer.u8 w (if junk then 1 else 0);
      if junk then Wire.Writer.varint w req.Messages.desc.op_size
      else encode_request w req
+   | Messages.Propagate_batch { reqs; owner; from } ->
+     Wire.Writer.u8 w tag_propagate_batch;
+     Wire.Writer.u8 w owner;
+     Wire.Writer.u32 w from;
+     Wire.Writer.list w (encode_request w) reqs
    | Messages.Instance { instance; msg } ->
      Wire.Writer.u8 w tag_instance;
      Wire.Writer.u8 w instance;
@@ -76,6 +82,12 @@ let decode ~order_full_requests s =
         else
           let req = decode_request r in
           Some (Messages.Propagate { req; from; junk })
+      end
+      else if tag = tag_propagate_batch then begin
+        let owner = Wire.Reader.u8 r in
+        let from = Wire.Reader.u32 r in
+        let reqs = Wire.Reader.list r decode_request in
+        Some (Messages.Propagate_batch { reqs; owner; from })
       end
       else if tag = tag_instance then begin
         let instance = Wire.Reader.u8 r in

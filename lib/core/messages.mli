@@ -22,6 +22,10 @@ type t =
   | Propagate of { req : request; from : int; junk : bool }
       (** node → nodes (step 2); [junk] marks flood padding whose MAC
           can never verify *)
+  | Propagate_batch of { reqs : request list; owner : int; from : int }
+      (** concurrent (bftrcc) ordering: all of a node's pending
+          PROPAGATEs for the partition [owner] owns, authenticated by
+          one batch MAC authenticator instead of per-request vectors *)
   | Instance of { instance : int; msg : Pbftcore.Messages.t }
       (** replica → replica of the same instance (steps 3–5) *)
   | Instance_change of { cpi : int; node : int }

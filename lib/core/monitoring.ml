@@ -8,6 +8,7 @@ type t = {
   params : Params.t;
   mutable master : int;  (* current master instance *)
   counters : int array;  (* nbreqs, one per instance *)
+  offered : int array;  (* requests offered per owning instance (bftrcc) *)
   mutable window_start : Time.t;
   (* client -> per-instance EMA latency in seconds *)
   client_lat : (int, float array) Hashtbl.t;
@@ -17,6 +18,7 @@ type t = {
   mutable hist_start : int;  (* index of the oldest measurement *)
   mutable hist_len : int;
   mutable recent : float array list;  (* last few windows, for the Δ verdict *)
+  mutable offered_recent : float array list;  (* offered rates, same windows *)
 }
 
 let default_history_cap = 4096
@@ -26,12 +28,14 @@ let create ?(history_cap = default_history_cap) params =
     params;
     master = Params.master_instance;
     counters = Array.make (Params.instances params) 0;
+    offered = Array.make (Params.instances params) 0;
     window_start = Time.zero;
     client_lat = Hashtbl.create 64;
     hist = Array.make (Stdlib.max 1 history_cap) (Time.zero, [||]);
     hist_start = 0;
     hist_len = 0;
     recent = [];
+    offered_recent = [];
   }
 
 let history_cap t = Array.length t.hist
@@ -50,6 +54,16 @@ let record_measurement t m =
 
 let note_ordered t ~instance ~count =
   t.counters.(instance) <- t.counters.(instance) + count
+
+(* Concurrent (bftrcc) ordering: record that [count] requests whose
+   partition [instance] owns were offered for ordering. The Δ verdict
+   then compares each instance's *normalized* rate — observed rate
+   divided by its share of the offered load — so a master that owns a
+   light partition is not demoted for ordering legitimately little,
+   and one that throttles its partition still is. Never calling this
+   (redundant mode) leaves the verdict exactly as in the paper. *)
+let note_offered t ~instance ~count =
+  t.offered.(instance) <- t.offered.(instance) + count
 
 let client_slot t client =
   match Hashtbl.find_opt t.client_lat client with
@@ -72,7 +86,16 @@ type verdict = {
   backup_rate : float;
   ratio : float;
   suspicious : bool;
+  weights : float array;
+      (* per-instance share of the offered load used to normalize the
+         rates; uniform (1/instances) when no offered traffic was
+         recorded, i.e. in redundant mode *)
 }
+
+(* Below this share of the offered load an instance's normalized rate
+   is noise (division by a near-zero weight): it is left out of the
+   backup average, and a master below it is never judged suspicious. *)
+let min_weight_share = 0.05
 
 (* Below this backup throughput (req/s) the Δ test is not applied:
    with no meaningful traffic the ratio is noise. *)
@@ -80,43 +103,99 @@ let min_meaningful_rate = 50.0
 
 let tick t ~now =
   let window = Time.to_sec_f (Time.sub now t.window_start) in
-  let rates =
+  let per_window counters =
     Array.map
       (fun c -> if window <= 0.0 then 0.0 else float_of_int c /. window)
-      t.counters
+      counters
   in
+  let rates = per_window t.counters in
+  let offered_rates = per_window t.offered in
   Array.fill t.counters 0 (Array.length t.counters) 0;
+  Array.fill t.offered 0 (Array.length t.offered) 0;
   t.window_start <- now;
   record_measurement t (now, rates);
   (* The Δ verdict uses a short moving average: single 100 ms windows
      carry several percent of sampling noise at moderate rates, which
      would make any Δ close to 1 fire spuriously. *)
   t.recent <- rates :: (match t.recent with a :: b :: _ -> [ a; b ] | l -> l);
+  t.offered_recent <-
+    offered_rates
+    :: (match t.offered_recent with a :: b :: _ -> [ a; b ] | l -> l);
   let n_inst = Array.length rates in
-  let averaged = Array.make n_inst 0.0 in
-  List.iter (fun r -> Array.iteri (fun i v -> averaged.(i) <- averaged.(i) +. v) r) t.recent;
-  let k = float_of_int (List.length t.recent) in
-  Array.iteri (fun i v -> averaged.(i) <- v /. k) averaged;
+  let average windows =
+    let avg = Array.make n_inst 0.0 in
+    List.iter
+      (fun r -> Array.iteri (fun i v -> avg.(i) <- avg.(i) +. v) r)
+      windows;
+    let k = float_of_int (List.length windows) in
+    Array.iteri (fun i v -> avg.(i) <- v /. k) avg;
+    avg
+  in
+  let averaged = average t.recent in
+  (* Partition weights: each instance's share of the offered load over
+     the same moving window. With no offered traffic recorded
+     (redundant mode, or a cold start) the weights are uniform and the
+     normalization below is the identity. *)
+  let offered_avg = average t.offered_recent in
+  let offered_total = Array.fold_left ( +. ) 0.0 offered_avg in
+  let uniform = 1.0 /. float_of_int n_inst in
+  let weights =
+    if offered_total <= 0.0 then Array.make n_inst uniform
+    else Array.map (fun v -> v /. offered_total) offered_avg
+  in
+  let weighted = offered_total > 0.0 in
+  (* Normalized rate: observed rate scaled as if every instance saw a
+     uniform share of the load. Uniform weights make this the raw
+     rate, so the redundant-mode Δ test is unchanged. *)
+  let norm i =
+    if weights.(i) < min_weight_share then Float.nan
+    else averaged.(i) *. (uniform /. weights.(i))
+  in
+  let master_norm = norm t.master in
   let master_rate = averaged.(t.master) in
-  let backups = n_inst - 1 in
+  let backups = ref 0 in
+  let backup_norm =
+    let sum = ref 0.0 in
+    Array.iteri
+      (fun i _ ->
+        if i <> t.master then begin
+          let v = norm i in
+          if not (Float.is_nan v) then begin
+            sum := !sum +. v;
+            incr backups
+          end
+        end)
+      averaged;
+    if !backups = 0 then 0.0 else !sum /. float_of_int !backups
+  in
   let backup_rate =
-    if backups = 0 then 0.0
+    (* Raw mean over all backups, reported for observability (the
+       verdict's decision uses the normalized figures). *)
+    if n_inst <= 1 then 0.0
     else begin
       let sum = ref 0.0 in
       Array.iteri (fun i r -> if i <> t.master then sum := !sum +. r) averaged;
-      !sum /. float_of_int backups
+      !sum /. float_of_int (n_inst - 1)
     end
   in
   let suspicious =
-    backup_rate >= min_meaningful_rate
-    && master_rate < t.params.Params.delta *. backup_rate
+    (not (Float.is_nan master_norm))
+    && backup_norm >= min_meaningful_rate
+    && master_norm < t.params.Params.delta *. backup_norm
   in
   (* The quantity the Δ test compares against the threshold; NaN when
      the backups are idle and the test is not applied. *)
   let ratio =
-    if backup_rate > 0.0 then master_rate /. backup_rate else Float.nan
+    if Float.is_nan master_norm then Float.nan
+    else if backup_norm > 0.0 then master_norm /. backup_norm
+    else Float.nan
   in
-  { rates; master_rate; backup_rate; ratio; suspicious }
+  let master_rate =
+    if weighted && not (Float.is_nan master_norm) then master_norm
+    else master_rate
+  in
+  let backup_rate = if weighted then backup_norm else backup_rate in
+  { rates; master_rate; backup_rate; ratio; suspicious; weights }
 
 let lambda_violation t ~latency =
   t.params.Params.lambda > Time.zero && latency > t.params.Params.lambda

@@ -28,6 +28,15 @@ val set_master : t -> int -> unit
 val note_ordered : t -> instance:int -> count:int -> unit
 (** The local replica of [instance] ordered [count] requests. *)
 
+val note_offered : t -> instance:int -> count:int -> unit
+(** Concurrent (bftrcc) ordering: [count] requests whose partition
+    [instance] owns were offered for ordering (counted at dispatch).
+    {!tick} then normalizes each instance's observed rate by its share
+    of the offered load before applying the Δ test, keeping the
+    master-demotion check meaningful when partitions legitimately
+    carry different loads. Never calling this (redundant mode) leaves
+    the verdict exactly as the paper specifies it. *)
+
 val note_latency : t -> instance:int -> client:int -> Time.t -> unit
 (** One request from [client] was ordered by [instance] with the given
     ordering latency (dispatch → delivery); feeds the per-client
@@ -42,6 +51,11 @@ type verdict = {
           the threshold; NaN while the backups are idle *)
   suspicious : bool;
       (** true when the Δ test fires: the master primary looks slow *)
+  weights : float array;
+      (** per-instance share of the offered load used for the
+          normalization; uniform when no offered traffic was recorded
+          (redundant mode), in which case the normalization is the
+          identity *)
 }
 
 val tick : t -> now:Time.t -> verdict

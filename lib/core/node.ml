@@ -13,6 +13,39 @@ type faults = {
   mutable drop_client_requests : bool;
 }
 
+(* One committed batch travelling from a replica's delivery to the
+   global merge (concurrent ordering): the descriptors with their
+   ordering-chain spans, and the commit instant so the Sequence span
+   covers exactly the committed -> merged interval. *)
+type seq_batch = {
+  sb_descs : (request_desc * int) list;
+  sb_committed : Time.t;
+}
+
+(* State of the concurrent (bftrcc) ordering mode; absent in the
+   paper's redundant mode. *)
+type rcc = {
+  partitioner : Bftrcc.Partitioner.t;
+  sequencer : seq_batch Bftrcc.Sequencer.t;
+  (* Degrade path: while [degraded.(i)] every primary also proposes
+     partition i's requests (classic redundant fallback); cleared when
+     instance i delivers a batch in [degrade_target.(i)] or later. *)
+  degraded : bool array;
+  degrade_target : int array;
+  (* While a partition is degraded every instance orders foreign
+     requests, so per-instance rates stop measuring per-partition
+     service — the normalized Δ comparison would demote on its own
+     fallback traffic. Rate-based suspicion is suppressed while any
+     partition is degraded and until the moving windows have flushed
+     the fallback samples ([quiet_until], set on change and clear). *)
+  mutable quiet_until : Time.t;
+  (* Per-owner PROPAGATE-BATCH accumulation (reversed), flushed by
+     size or timer on the owner's lane. *)
+  prop_buf : Messages.request list array;
+  prop_len : int array;
+  prop_timer : bool array;
+}
+
 (* Book-keeping for one request on its way through the node. *)
 type request_state = {
   first_seen : Time.t;  (* when this node first learned of the request *)
@@ -123,6 +156,7 @@ type t = {
   invalid_counts : int array;
   mutable latency_probe : (instance:int -> client:int -> Time.t -> unit) option;
   mutable started : bool;
+  mutable rcc : rcc option;  (* concurrent (bftrcc) ordering state *)
   m : node_metrics;
 }
 
@@ -141,6 +175,25 @@ let blacklisted_clients t = t.blacklist
 let is_blacklisted t ~client = List.mem client t.blacklist
 let suspicious t = t.suspicious
 let ic_vote_count t = Pbftcore.Voteset.count t.ic_votes
+let ordering t = t.params.Params.ordering
+
+let sequencer_stats t =
+  match t.rcc with
+  | Some rcc -> Some (Bftrcc.Sequencer.stats rcc.sequencer)
+  | None -> None
+
+let degraded_partitions t =
+  match t.rcc with
+  | None -> []
+  | Some rcc ->
+    let acc = ref [] in
+    Array.iteri (fun i d -> if d then acc := i :: !acc) rcc.degraded;
+    List.rev !acc
+
+let partition_owner t ~client =
+  match t.rcc with
+  | Some rcc -> Bftrcc.Partitioner.owner rcc.partitioner ~client
+  | None -> Params.master_instance
 
 let ic_vote_cpi_of t ~node =
   if node >= 0 && node < Array.length t.ic_vote_cpi then t.ic_vote_cpi.(node)
@@ -193,7 +246,7 @@ let cost_bytes t msg =
     (* Headers and authenticators are read once; the operation body is
        what gets copied across buffers. *)
     size + (3 * desc.op_size)
-  | Messages.Propagate _ -> (2 * size) / 5
+  | Messages.Propagate _ | Messages.Propagate_batch _ -> (2 * size) / 5
   | Messages.Instance { msg = Pbftcore.Messages.Pre_prepare _; _ }
     when t.params.Params.order_full_requests ->
     6 * size
@@ -258,6 +311,16 @@ let dispatch_request t ~span (req : Messages.request) =
       audit t
         (Bftaudit.Event.Request_dispatched
            { client = req.desc.id.client; rid = req.desc.id.rid });
+    (* Concurrent ordering: count the request against its owning
+       partition so monitoring can normalize observed rates by the
+       offered load per instance. *)
+    (match t.rcc with
+     | Some rcc ->
+       Monitoring.note_offered t.monitoring
+         ~instance:
+           (Bftrcc.Partitioner.owner rcc.partitioner ~client:req.desc.id.client)
+         ~count:1
+     | None -> ());
     Array.iteri
       (fun i replica_thread ->
         let replica = t.replicas.(i) in
@@ -295,6 +358,37 @@ let note_sender t (state : request_state) sender req =
    | None, None | Some _, _ -> ());
   if Pbftcore.Voteset.add state.senders sender then maybe_dispatch t state
 
+(* Concurrent ordering: own PROPAGATEs are accumulated per owning
+   instance and broadcast as one PROPAGATE-BATCH from the owner's lane
+   — one batch authenticator instead of per-request MAC vectors, which
+   is what buys the concurrent mode its network headroom. *)
+let flush_prop t rcc owner =
+  if rcc.prop_len.(owner) > 0 then begin
+    let reqs = List.rev rcc.prop_buf.(owner) in
+    rcc.prop_buf.(owner) <- [];
+    rcc.prop_len.(owner) <- 0;
+    broadcast_nodes_from t t.replica_threads.(owner)
+      (Messages.Propagate_batch { reqs; owner; from = t.id })
+  end
+
+let buffer_propagate t rcc (req : Messages.request) =
+  let owner =
+    Bftrcc.Partitioner.owner rcc.partitioner ~client:req.desc.id.client
+  in
+  rcc.prop_buf.(owner) <- req :: rcc.prop_buf.(owner);
+  rcc.prop_len.(owner) <- rcc.prop_len.(owner) + 1;
+  if rcc.prop_len.(owner) >= t.params.Params.propagate_batch then
+    Resource.submit t.replica_threads.(owner) ~cost:(Time.ns 200) (fun () ->
+        flush_prop t rcc owner)
+  else if not rcc.prop_timer.(owner) then begin
+    rcc.prop_timer.(owner) <- true;
+    ignore
+      (Clock.after t.clock t.params.Params.propagate_batch_delay (fun () ->
+           rcc.prop_timer.(owner) <- false;
+           Resource.submit t.replica_threads.(owner) ~cost:(Time.ns 200)
+             (fun () -> flush_prop t rcc owner)))
+  end
+
 let propagate_request t (req : Messages.request) =
   let state = request_state t req.desc.id in
   if not state.propagated then begin
@@ -304,8 +398,11 @@ let propagate_request t (req : Messages.request) =
         audit t
           (Bftaudit.Event.Request_propagated
              { client = req.desc.id.client; rid = req.desc.id.rid });
-      broadcast_nodes_from ~span:state.span t t.propagation
-        (Messages.Propagate { req; from = t.id; junk = false })
+      match t.rcc with
+      | Some rcc -> buffer_propagate t rcc req
+      | None ->
+        broadcast_nodes_from ~span:state.span t t.propagation
+          (Messages.Propagate { req; from = t.id; junk = false })
     end
   end;
   note_sender t state t.id (Some req)
@@ -348,26 +445,44 @@ let verify_signature_once t (req : Messages.request) =
   let state = request_state t req.desc.id in
   if (not state.sig_checked) && not state.sig_inflight then begin
     state.sig_inflight <- true;
+    (* Concurrent ordering: the signature check and the post-verify
+       propagate run on the owning partition's lane, so per-request
+       crypto scales with the number of instances instead of
+       serialising on the single verification thread. *)
+    let lane =
+      match t.rcc with
+      | Some rcc ->
+        Some
+          t.replica_threads.(Bftrcc.Partitioner.owner rcc.partitioner
+                               ~client:req.desc.id.client)
+      | None -> None
+    in
+    let thread = match lane with Some r -> r | None -> t.verification in
     let vspan =
       Spans.job ~parent:state.span ~tag:Bftspan.Tag.Crypto_verify ~node:t.id
         ~instance:(-1) ~now:(Engine.now t.engine)
     in
-    Resource.submit ~span:vspan t.verification
+    Resource.submit ~span:vspan thread
       ~cost:(Costmodel.sig_verify (costs t) ~bytes:req.desc.op_size)
       (fun () ->
         state.sig_inflight <- false;
         if req.sig_valid then begin
           state.sig_checked <- true;
           if vspan >= 0 then state.span <- vspan;
-          let pspan =
-            Spans.job ~parent:state.span ~tag:Bftspan.Tag.Propagate ~node:t.id
-              ~instance:(-1) ~now:(Engine.now t.engine)
-          in
-          Resource.submit ~span:pspan t.propagation ~cost:(Time.ns 200)
-            (fun () ->
-              if pspan >= 0 then state.span <- pspan;
-              propagate_request t req;
-              maybe_dispatch t state)
+          match lane with
+          | Some _ ->
+            propagate_request t req;
+            maybe_dispatch t state
+          | None ->
+            let pspan =
+              Spans.job ~parent:state.span ~tag:Bftspan.Tag.Propagate
+                ~node:t.id ~instance:(-1) ~now:(Engine.now t.engine)
+            in
+            Resource.submit ~span:pspan t.propagation ~cost:(Time.ns 200)
+              (fun () ->
+                if pspan >= 0 then state.span <- pspan;
+                propagate_request t req;
+                maybe_dispatch t state)
         end
         else if not (List.mem req.desc.id.client t.blacklist) then begin
           (* Invalid signature: blacklist the client (Sec. IV-B, step 1). *)
@@ -403,9 +518,18 @@ let handle_client_request t ~span (req : Messages.request) =
            });
     let state = request_state t req.desc.id in
     if state.span < 0 && span >= 0 then state.span <- span;
-    if state.sig_checked then
-      Resource.submit t.propagation ~cost:(Time.ns 200) (fun () ->
-          propagate_request t req)
+    if state.sig_checked then begin
+      match t.rcc with
+      | Some rcc ->
+        let owner =
+          Bftrcc.Partitioner.owner rcc.partitioner ~client:req.desc.id.client
+        in
+        Resource.submit t.replica_threads.(owner) ~cost:(Time.ns 200)
+          (fun () -> propagate_request t req)
+      | None ->
+        Resource.submit t.propagation ~cost:(Time.ns 200) (fun () ->
+            propagate_request t req)
+    end
     else verify_signature_once t req
   end
 
@@ -451,6 +575,27 @@ let perform_instance_change t target_cpi =
   t.last_change_at <- Engine.now t.engine;
   t.suspicious <- false;
   rebuild_ic_votes t;
+  (* Concurrent ordering degrade path: Change_primaries rotates every
+     primary, so any partition may momentarily be headless. Until each
+     instance delivers in its new view, every primary also proposes
+     the other partitions' requests (classic redundant fallback) —
+     requests keep executing through the churn. *)
+  (match (t.rcc, t.params.Params.recovery) with
+   | Some rcc, Params.Change_primaries ->
+     Array.iteri
+       (fun i _ ->
+         rcc.degrade_target.(i) <- Pbftcore.Replica.view t.replicas.(i) + 1;
+         if not rcc.degraded.(i) then begin
+           rcc.degraded.(i) <- true;
+           if Bftaudit.Bus.active () then
+             audit t ~instance:i
+               (Bftaudit.Event.Degrade_changed { instance = i; active = true })
+         end)
+       rcc.degraded;
+     rcc.quiet_until <-
+       Time.add t.last_change_at
+         (Time.mul_f t.params.Params.monitoring_period 4.0)
+   | Some _, Params.Switch_master | None, _ -> ());
   match t.params.Params.recovery with
   | Params.Change_primaries ->
     Array.iter (fun r -> Pbftcore.Replica.force_view_change r) t.replicas
@@ -531,11 +676,27 @@ let execute_request t ~span (desc : request_desc) =
         end)
   end
 
-let on_ordered t ~instance descs =
+(* Concurrent ordering: the sequencer's emit callback. Every correct
+   node merges the same per-instance streams in the same round-robin
+   order, so executing here preserves the redundant mode's safety
+   argument with the merge order as the global execution order. *)
+let seq_emit t ~instance (b : seq_batch) =
+  let now = Engine.now t.engine in
+  List.iter
+    (fun ((desc : request_desc), ospan) ->
+      let sspan =
+        Spans.span ~parent:ospan ~tag:Bftspan.Tag.Sequence ~node:t.id
+          ~instance ~t0:b.sb_committed ~t1:now
+      in
+      execute_request t ~span:(if sspan >= 0 then sspan else ospan) desc)
+    b.sb_descs
+
+let on_ordered t ~instance ~seq descs =
   (* Runs on the dispatch & monitoring thread. *)
   Monitoring.note_ordered t.monitoring ~instance ~count:(List.length descs);
   let now = Engine.now t.engine in
   let is_master = instance = t.master_instance in
+  let pairs = ref [] in
   List.iter
     (fun (desc : request_desc) ->
       (* Collect (and clear) the ordering-chain span recorded by this
@@ -581,8 +742,31 @@ let on_ordered t ~instance descs =
            end
          end
        | Some _ | None -> ());
-      if is_master then execute_request t ~span:ospan desc)
-    descs
+      match t.rcc with
+      | Some _ -> pairs := (desc, ospan) :: !pairs
+      | None -> if is_master then execute_request t ~span:ospan desc)
+    descs;
+  match t.rcc with
+  | None -> ()
+  | Some rcc ->
+    (* A delivery in (or past) the degrade-target view means the
+       instance's new primary is proposing again: end the fallback. *)
+    if rcc.degraded.(instance)
+       && Pbftcore.Replica.view t.replicas.(instance)
+          >= rcc.degrade_target.(instance)
+       && not (Pbftcore.Replica.in_view_change t.replicas.(instance))
+    then begin
+      rcc.degraded.(instance) <- false;
+      (* The verdict averages the last 3 windows; one extra covers the
+         partially-contaminated window in flight. *)
+      rcc.quiet_until <-
+        Time.add now (Time.mul_f t.params.Params.monitoring_period 4.0);
+      if Bftaudit.Bus.active () then
+        audit t ~instance
+          (Bftaudit.Event.Degrade_changed { instance; active = false })
+    end;
+    Bftrcc.Sequencer.push rcc.sequencer ~instance ~seq ~now
+      { sb_descs = List.rev !pairs; sb_committed = now }
 
 (* ------------------------------------------------------------------ *)
 (* Replica hosting                                                    *)
@@ -607,9 +791,9 @@ let make_replica t ~instance thread =
   let wrap msg = Messages.Instance { instance; msg } in
   let send dst msg = send_from t thread ~dst:(Principal.node dst) (wrap msg) in
   let broadcast msg = broadcast_nodes_from t thread (wrap msg) in
-  let deliver _seq descs =
+  let deliver seq descs =
     Resource.submit t.dispatch ~cost:(Time.ns 500) (fun () ->
-        on_ordered t ~instance descs)
+        on_ordered t ~instance ~seq descs)
   in
   Pbftcore.Replica.create ~clock:t.clock t.engine cfg
     { Pbftcore.Replica.send; broadcast; deliver; on_view_change = (fun _ -> ()) }
@@ -644,8 +828,28 @@ let on_delivery t (d : Messages.t Network.delivery) =
       Spans.job ~parent:d.Network.span ~tag:Bftspan.Tag.Propagate ~node:t.id
         ~instance:(-1) ~now:(Engine.now t.engine)
     in
-    Resource.submit ~span:pspan t.propagation ~cost:base (fun () ->
+    (* In concurrent mode correct nodes send PROPAGATE-BATCH, so a
+       single PROPAGATE is flood/junk traffic: charge it to the
+       ingress (verification) thread it actually chokes. *)
+    let thread =
+      match t.rcc with Some _ -> t.verification | None -> t.propagation
+    in
+    Resource.submit ~span:pspan thread ~cost:base (fun () ->
         handle_propagate t ~span:pspan ~from req ~junk)
+  | Messages.Propagate_batch { reqs; owner; from } ->
+    (* Ingress demux reads the bytes on the verification thread; the
+       batch authenticator and the per-request work are charged to the
+       claimed owner's lane. The partitioner re-derives the real owner
+       per request, so a lying [owner] field only misdirects CPU cost,
+       never partition membership. *)
+    Resource.submit t.verification ~cost:recv_cost (fun () ->
+        if from >= 0 && from < n_nodes t && owner >= 0
+           && owner < instance_count t
+        then
+          Resource.submit t.replica_threads.(owner) ~cost:mac_cost (fun () ->
+              List.iter
+                (fun req -> handle_propagate t ~span:(-1) ~from req ~junk:false)
+                reqs))
   | Messages.Instance { instance; msg } ->
     if instance < instance_count t then begin
       let thread = t.replica_threads.(instance) in
@@ -686,13 +890,53 @@ let monitoring_tick t =
            backup_rate = verdict.Monitoring.backup_rate;
            suspicious = verdict.Monitoring.suspicious;
          });
-  t.suspicious <- verdict.Monitoring.suspicious;
+  (* Concurrent ordering: while any partition is degraded (and until
+     the moving windows flush the fallback samples) every instance
+     orders foreign requests, so the normalized Δ comparison is not
+     measuring per-partition service — mute it rather than demote on
+     our own fallback traffic. The stall check below stays live: it is
+     what escalates past a dead incoming primary. *)
+  let delta_muted =
+    match t.rcc with
+    | None -> false
+    | Some rcc ->
+      Array.exists Fun.id rcc.degraded
+      || Engine.now t.engine < rcc.quiet_until
+  in
+  t.suspicious <- verdict.Monitoring.suspicious && not delta_muted;
   if t.suspicious then begin
     (* Allow re-voting for the current cpi each period while the
        problem persists. *)
     if t.ic_sent_for >= t.cpi then t.ic_sent_for <- t.cpi - 1;
     send_instance_change t
-  end
+  end;
+  (* Concurrent ordering: sample the merge sequencer's head-of-line
+     state, and treat a long stall as grounds for an instance change —
+     a crashed partition owner produces no batches at all, which the Δ
+     rate comparison cannot see. All correct nodes observe the same
+     stall, so the 2f+1 vote quorum forms. *)
+  match t.rcc with
+  | None -> ()
+  | Some rcc ->
+    let now = Engine.now t.engine in
+    let stall = Bftrcc.Sequencer.stall rcc.sequencer ~now in
+    if Bftaudit.Bus.active () then begin
+      let st = Bftrcc.Sequencer.stats rcc.sequencer in
+      let waiting_on, age =
+        match stall with Some (i, a) -> (i, a) | None -> (-1, Time.zero)
+      in
+      audit t
+        (Bftaudit.Event.Seq_stall
+           { waiting_on; age; pending = st.Bftrcc.Sequencer.pending })
+    end;
+    (match stall with
+     | Some (_, age)
+       when t.params.Params.stall_change > Time.zero
+            && age >= t.params.Params.stall_change ->
+       t.suspicious <- true;
+       if t.ic_sent_for >= t.cpi then t.ic_sent_for <- t.cpi - 1;
+       send_instance_change t
+     | Some _ | None -> ())
 
 let rec arm_monitoring t =
   ignore
@@ -780,11 +1024,71 @@ let create engine net params ~id ~service =
       invalid_counts = Array.make (Params.n params) 0;
       latency_probe = None;
       started = false;
+      rcc = None;
       m = register_node_metrics ~id ~instances;
     }
   in
   t.replicas <-
     Array.init instances (fun i -> make_replica t ~instance:i t.replica_threads.(i));
+  (match params.Params.ordering with
+   | Params.Redundant -> ()
+   | Params.Concurrent ->
+     let partitioner = Bftrcc.Partitioner.create ~instances in
+     let sequencer =
+       Bftrcc.Sequencer.create ~instances ~emit:(fun ~instance ~seq:_ b ->
+           seq_emit t ~instance b)
+     in
+     t.rcc <-
+       Some
+         {
+           partitioner;
+           sequencer;
+           degraded = Array.make instances false;
+           degrade_target = Array.make instances 0;
+           quiet_until = Time.zero;
+           prop_buf = Array.make instances [];
+           prop_len = Array.make instances 0;
+           prop_timer = Array.make instances false;
+         };
+     (* Each replica proposes only its own partition (plus any degraded
+        ones), and keeps its stream flowing with no-op heartbeats when
+        its partition is idle, so the round-robin merge never waits on
+        a healthy instance. The heartbeat is gated on the local merge
+        backlog: an idle stream must not run ahead of a loaded one, or
+        its own later real batches queue behind the accumulated no-ops
+        and the light partition's latency grows without bound. *)
+     Array.iteri
+       (fun i r ->
+         Pbftcore.Replica.set_batch_filter r
+           (Some
+              (fun (desc : request_desc) ->
+                let owner =
+                  Bftrcc.Partitioner.owner partitioner ~client:desc.id.client
+                in
+                owner = i
+                ||
+                match t.rcc with
+                | Some rcc -> rcc.degraded.(owner)
+                | None -> false));
+         Pbftcore.Replica.set_noop_gate r
+           (Some (fun () -> Bftrcc.Sequencer.backlog sequencer ~instance:i = 0));
+         Pbftcore.Replica.set_noop_interval r params.Params.noop_interval)
+       t.replicas;
+     Bftmetrics.Registry.gauge_fn Bftmetrics.Registry.default
+       "bft_seq_pending_batches"
+       ~help:"Committed batches queued behind the merge head-of-line"
+       ~labels:[ ("node", string_of_int id) ]
+       (fun () ->
+         float_of_int
+           (Bftrcc.Sequencer.stats sequencer).Bftrcc.Sequencer.pending);
+     Bftmetrics.Registry.gauge_fn Bftmetrics.Registry.default
+       "bft_seq_stall_age_seconds"
+       ~help:"Age of the merge sequencer's head-of-line stall (0 = none)"
+       ~labels:[ ("node", string_of_int id) ]
+       (fun () ->
+         match Bftrcc.Sequencer.stall sequencer ~now:(Engine.now engine) with
+         | Some (_, age) -> Time.to_sec_f age
+         | None -> 0.0));
   (* Queue-depth gauges are callback-backed: read only at sample or
      export time, so the module threads pay nothing. *)
   List.iter
@@ -843,6 +1147,16 @@ let mc_fingerprint t =
   add "inv=%s;"
     (String.concat ","
        (Array.to_list (Array.map string_of_int t.invalid_counts)));
+  (match t.rcc with
+   | Some rcc ->
+     let st = Bftrcc.Sequencer.stats rcc.sequencer in
+     add "rcc{m=%d r=%d p=%d g=%d deg=%s};" st.Bftrcc.Sequencer.merged
+       st.Bftrcc.Sequencer.rounds st.Bftrcc.Sequencer.pending
+       st.Bftrcc.Sequencer.gaps
+       (String.concat ""
+          (Array.to_list
+             (Array.map (fun b -> if b then "1" else "0") rcc.degraded)))
+   | None -> ());
   Request_id_table.fold (fun id rs acc -> (id, rs) :: acc) t.requests []
   |> List.sort (fun (a, _) (b, _) -> compare_request_id a b)
   |> List.iter (fun (id, rs) ->

@@ -95,6 +95,25 @@ val ic_vote_cpi_of : t -> node:int -> int
     Together with {!ic_vote_count} this lets tests pin the vote-set
     rebuild across cpi advances. *)
 
+(** {1 Concurrent (bftrcc) ordering} *)
+
+val ordering : t -> Params.ordering
+(** The ordering mode this node runs ({!Params.Redundant} reproduces
+    the paper; {!Params.Concurrent} partitions clients across the f+1
+    instances and merges their committed streams deterministically). *)
+
+val partition_owner : t -> client:int -> int
+(** The instance that owns [client]'s partition; the master instance
+    in redundant mode (where there is no partitioning). *)
+
+val sequencer_stats : t -> Bftrcc.Sequencer.stats option
+(** Merge-sequencer counters; [None] in redundant mode. *)
+
+val degraded_partitions : t -> int list
+(** Partitions currently on the degrade path (ordered redundantly by
+    every primary after an instance change, until their new master
+    delivers); always empty in redundant mode. *)
+
 val mc_fingerprint : t -> string
 (** Canonical, printable rendering of all schedule-relevant node state:
     instance-change machinery, execution log digest, per-request

@@ -1,6 +1,11 @@
 open Dessim
 
 type recovery = Change_primaries | Switch_master
+type ordering = Redundant | Concurrent
+
+let ordering_name = function
+  | Redundant -> "redundant"
+  | Concurrent -> "concurrent"
 
 type t = {
   f : int;
@@ -20,6 +25,11 @@ type t = {
   exec_cost : Time.t;
   costs : Bftcrypto.Costmodel.t;
   ic_quorum : int option;
+  ordering : ordering;
+  noop_interval : Time.t;
+  propagate_batch : int;
+  propagate_batch_delay : Time.t;
+  stall_change : Time.t;
 }
 
 let default ~f =
@@ -41,6 +51,11 @@ let default ~f =
     exec_cost = Time.us 1;
     costs = Bftcrypto.Costmodel.default;
     ic_quorum = None;
+    ordering = Redundant;
+    noop_interval = Time.ms 1;
+    propagate_batch = 16;
+    propagate_batch_delay = Time.us 300;
+    stall_change = Time.ms 250;
   }
 
 let n t = (3 * t.f) + 1

@@ -17,6 +17,18 @@ type recovery =
           of changing primaries; implemented as an extension and
           compared in the ablation bench *)
 
+type ordering =
+  | Redundant
+      (** the paper's design: every instance orders the full request
+          stream, only the master's order executes *)
+  | Concurrent
+      (** bftrcc ({!Bftrcc}): each instance orders a disjoint
+          client-id partition and a deterministic sequencer merges the
+          per-instance streams into one global execution order, so the
+          f+1 instances multiply throughput instead of replicating it *)
+
+val ordering_name : ordering -> string
+
 type t = {
   f : int;  (** faults tolerated; n = 3f+1, instances = f+1 *)
   monitoring_period : Time.t;
@@ -56,6 +68,21 @@ type t = {
           protocol used by the model checker's mutation self-test
           ({!Bftmc}) to prove the checker can detect quorum bugs —
           never set it in a real configuration *)
+  ordering : ordering;  (** redundant (paper) or concurrent (bftrcc) *)
+  noop_interval : Time.t;
+      (** concurrent mode: an idle primary orders an empty no-op
+          heartbeat batch after this long without a pre-prepare, so
+          the round-robin merge never waits on a legitimately idle
+          partition. Ignored in redundant mode *)
+  propagate_batch : int;
+      (** concurrent mode: max requests coalesced into one
+          PROPAGATE-BATCH message (amortises per-message handling and
+          the per-request MAC vector) *)
+  propagate_batch_delay : Time.t;  (** flush timer for a partial propagate batch *)
+  stall_change : Time.t;
+      (** concurrent mode: head-of-line merge stall age after which a
+          node votes an instance change (covers a crashed or isolated
+          partition owner, which the Δ-ratio check cannot see) *)
 }
 
 val default : f:int -> t

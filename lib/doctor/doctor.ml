@@ -197,6 +197,20 @@ let on_tick t (r : Recorder.t) now =
                (Printf.sprintf
                   "sliding-window p99 latency %s over SLO %s (%d requests in window)"
                   (Time.to_string p99) (Time.to_string threshold) count))
+      | Trigger.Seq_stall { age = bound } -> (
+        match Recorder.last_seq_stall r with
+        | Some s ->
+          let cond = s.Recorder.s_waiting_on >= 0 && s.Recorder.s_age >= bound in
+          fire_opt t
+            (Trigger.level trig ~now ~cond
+               ~reason:
+                 (Printf.sprintf
+                    "merge sequencer on node %d stalled %s at the head of \
+                     instance %d's stream (%d batches pending behind it)"
+                    s.Recorder.s_node
+                    (Time.to_string s.Recorder.s_age)
+                    s.Recorder.s_waiting_on s.Recorder.s_pending))
+        | None -> fire_opt t (Trigger.level trig ~now ~cond:false ~reason:""))
       | Trigger.Delta_ratio_near { delta; epsilon } -> (
         match Recorder.last_verdict r with
         | Some v ->

@@ -45,6 +45,17 @@ type verdict = {
   v_suspicious : bool;
 }
 
+(* Latest merge-sequencer head-of-line sample (concurrent ordering
+   only; the nodes publish one per monitoring period). [s_waiting_on]
+   is -1 when the merge was not stalled at sampling time. *)
+type seq_stall = {
+  s_time : Time.t;
+  s_node : int;
+  s_waiting_on : int;
+  s_age : Time.t;
+  s_pending : int;
+}
+
 (* Global gate, same discipline as Bus/Registry/Tracer. *)
 let enabled = ref false
 let active () = !enabled
@@ -63,6 +74,7 @@ type t = {
   mutable last_req : Time.t;
   mutable executed : int;
   mutable last_verdict : verdict option;
+  mutable last_seq_stall : seq_stall option;
   mutable token : Bftaudit.Bus.token option;
   mutable saved_close_hook : (Span.t -> unit) option;
   mutable on_event : (t -> Event.t -> unit) option;
@@ -103,6 +115,16 @@ let handle_event t (ev : Event.t) =
           v_master = master_rate;
           v_backup = backup_rate;
           v_suspicious = suspicious;
+        }
+  | Event.Seq_stall { waiting_on; age; pending } ->
+    t.last_seq_stall <-
+      Some
+        {
+          s_time = ev.Event.time;
+          s_node = ev.Event.node;
+          s_waiting_on = waiting_on;
+          s_age = age;
+          s_pending = pending;
         }
   | _ -> ());
   match t.on_event with Some f -> f t ev | None -> ()
@@ -153,6 +175,7 @@ let attach ?(audit_cap = 4096) ?(span_cap = 4096) ?(metrics_cap = 16)
       last_req = now;
       executed = 0;
       last_verdict = None;
+      last_seq_stall = None;
       token = None;
       saved_close_hook = None;
       on_event = None;
@@ -194,6 +217,7 @@ let spans t = Ring.to_list t.spans
 let snapshots t = Ring.to_list t.metrics
 let root_latencies t = Ring.to_list t.roots
 let last_verdict t = t.last_verdict
+let last_seq_stall t = t.last_seq_stall
 let last_exec t = t.last_exec
 let last_req t = t.last_req
 let executed t = t.executed

@@ -44,6 +44,13 @@ type kind =
           it — the master is skirting the Δ envelope without (yet)
           triggering an instance change, which is exactly the worst2
           attack profile. *)
+  | Seq_stall of { age : Time.t }
+      (** Concurrent (bftrcc) ordering only: the deterministic merge
+          sequencer has been waiting at the head of one instance's
+          stream for at least [age] — a head-of-line stall. Set [age]
+          below [Params.stall_change] to freeze a bundle while the
+          stall is still live, before the stall-driven instance change
+          re-homes the partition and clears it. *)
 
 (* Mirrors Rbft.Monitoring.min_meaningful_rate: below this backup
    rate the ratio is noise, not evidence. *)
@@ -56,6 +63,7 @@ let kind_name = function
   | Liveness_stall _ -> "liveness-stall"
   | Slo_p99 _ -> "slo-p99"
   | Delta_ratio_near _ -> "delta-ratio-near"
+  | Seq_stall _ -> "seq-stall"
 
 type spec = { kind : kind; debounce : Time.t; cooldown : Time.t }
 

@@ -7,13 +7,16 @@
     linearly in the request size, which matches how every per-byte
     cost in the model scales. *)
 
-type protocol = Rbft | Rbft_udp | Aardvark | Spinning | Prime
+type protocol = Rbft | Rbft_udp | Rbft_concurrent | Aardvark | Spinning | Prime
 
 val peak_rate : ?f:int -> protocol -> size:int -> float
 (** Estimated peak throughput (req/s) at the given request size.
     [?f] (default 1) scales for larger clusters: the f = 2 point is
     measured, higher [f] extrapolate the same per-fault ratio
-    geometrically. *)
+    geometrically. [Rbft_concurrent] (disjoint-partition ordering,
+    {!Bftrcc}) scales its two anchors independently — small requests
+    gain capacity with every added instance, large requests stay
+    propagation-bound and decline. *)
 
 val saturating_rate : ?f:int -> protocol -> size:int -> float
 (** Offered load used for "static, saturated" experiments: slightly

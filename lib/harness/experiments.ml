@@ -328,7 +328,7 @@ let fig7_point ~proto ~payload ~fraction ~quick =
   let shape = Loadshape.static ~duration ~clients ~rate:(offered /. float_of_int clients) in
   let warm = Time.ms 400 in
   match proto with
-  | Calibrate.Rbft | Calibrate.Rbft_udp ->
+  | Calibrate.Rbft | Calibrate.Rbft_udp | Calibrate.Rbft_concurrent ->
     let transport =
       match proto with Calibrate.Rbft_udp -> Bftnet.Network.Udp | _ -> Bftnet.Network.Tcp
     in
@@ -846,7 +846,7 @@ let seed_sweep ~quick ~seeds =
     let rate = Calibrate.saturating_rate proto ~size in
     let shape = static_shape ~quick ~duration:(Time.of_sec_f 2.0) ~rate in
     match proto with
-    | Calibrate.Rbft ->
+    | Calibrate.Rbft | Calibrate.Rbft_concurrent ->
       fst (run_shape_rbft ~seed ~f:1 ~payload:size ~shape ~attack:no_attack ())
     | Calibrate.Rbft_udp ->
       fst

@@ -19,7 +19,8 @@ module Doctor = Bftdoctor.Doctor
     enough to catch a throttle tuned to 1-2% above Δ, narrow enough
     that an honest master at full speed (ratio ≈ 1) never arms it. *)
 let default_triggers ?(epsilon = 0.04) (cluster : Rbft.Cluster.t) =
-  let delta = (Rbft.Cluster.params cluster).Rbft.Params.delta in
+  let params = Rbft.Cluster.params cluster in
+  let delta = params.Rbft.Params.delta in
   [
     Trigger.spec Trigger.Instance_change ~cooldown:(Time.sec 1);
     Trigger.spec Trigger.Auditor_violation ~cooldown:(Time.sec 1);
@@ -32,6 +33,21 @@ let default_triggers ?(epsilon = 0.04) (cluster : Rbft.Cluster.t) =
       (Trigger.Delta_ratio_near { delta; epsilon })
       ~debounce:(Time.ms 300) ~cooldown:(Time.sec 2);
   ]
+  @
+  (* Concurrent (bftrcc) ordering: watch the merge sequencer for a
+     head-of-line stall, with the bound at ~half the stall-driven
+     instance-change timeout so the bundle freezes while the stall is
+     still live (the instance change then re-homes the partition and
+     clears it). *)
+  match params.Rbft.Params.ordering with
+  | Rbft.Params.Redundant -> []
+  | Rbft.Params.Concurrent ->
+    let stall_change = params.Rbft.Params.stall_change in
+    let bound =
+      if stall_change > Time.zero then Time.mul_f stall_change 0.5
+      else Time.ms 150
+    in
+    [ Trigger.spec (Trigger.Seq_stall { age = bound }) ~cooldown:(Time.sec 2) ]
 
 let config ?dir ?triggers ?epsilon ?scenario ?(extra_fields = [])
     (cluster : Rbft.Cluster.t) =

@@ -26,13 +26,18 @@ let duration ~quick = Time.of_sec_f (if quick then 1.0 else 2.0)
    optionally live (reset per run so counters describe one run).
    [span_sample] > 0 additionally runs the span tracer at 1/N sampling;
    the caller reads the spans back via [Bftspan.Tracer.to_array]. *)
-let static_run ?(attack = fun _ -> ()) ?(f = 1) ?(span_sample = 0) ~with_metrics
-    ~quick ~payload () =
+let static_run ?(attack = fun _ -> ()) ?(f = 1) ?(span_sample = 0)
+    ?(ordering = Rbft.Params.Redundant) ~with_metrics ~quick ~payload () =
   let module Registry = Bftmetrics.Registry in
   (* Calibrate before touching the registry so the probe runs don't
      pollute this run's counters. *)
   Registry.disable ();
-  let rate = Calibrate.saturating_rate ~f Calibrate.Rbft ~size:payload in
+  let proto =
+    match ordering with
+    | Rbft.Params.Redundant -> Calibrate.Rbft
+    | Rbft.Params.Concurrent -> Calibrate.Rbft_concurrent
+  in
+  let rate = Calibrate.saturating_rate ~f proto ~size:payload in
   Registry.reset Registry.default;
   if with_metrics then Registry.enable () else Registry.disable ();
   if span_sample > 0 then begin
@@ -44,7 +49,7 @@ let static_run ?(attack = fun _ -> ()) ?(f = 1) ?(span_sample = 0) ~with_metrics
     Loadshape.static ~duration:(duration ~quick) ~clients
       ~rate:(rate /. float_of_int clients)
   in
-  let params = Rbft.Params.default ~f in
+  let params = { (Rbft.Params.default ~f) with Rbft.Params.ordering } in
   let cluster =
     Rbft.Cluster.create ~clients:(Loadshape.max_clients shape)
       ~payload_size:payload params
@@ -258,9 +263,21 @@ let generate_scale ~quick =
     List.map
       (fun f ->
         let n = (3 * f) + 1 and instances = f + 1 in
-        Profile.time (Printf.sprintf "perfreport:scale-f%d" f) (fun () ->
-            let r = static_run ~f ~with_metrics:true ~quick ~payload () in
-            (f, n, instances, r)))
+        let r =
+          Profile.time (Printf.sprintf "perfreport:scale-f%d" f) (fun () ->
+              static_run ~f ~with_metrics:true ~quick ~payload ())
+        in
+        (* Same cluster size in concurrent (bftrcc) ordering, where the
+           f+1 instances order disjoint client partitions instead of
+           redundantly ordering everything — the column that shows the
+           added instances turning into added capacity. *)
+        let c =
+          Profile.time (Printf.sprintf "perfreport:scale-f%d-concurrent" f)
+            (fun () ->
+              static_run ~f ~ordering:Rbft.Params.Concurrent ~with_metrics:true
+                ~quick ~payload ())
+        in
+        (f, n, instances, r, c))
       [ 1; 2; 3 ]
   in
   Bftmetrics.Registry.disable ();
@@ -275,12 +292,13 @@ let generate_scale ~quick =
   Buffer.add_string buf
     (String.concat ",\n"
        (List.map
-          (fun (f, n, instances, r) ->
-            Printf.sprintf {|    "f%d": {"n":%d,"instances":%d,%s}|} f n
-              instances
-              (let s = json_of_result r in
-               (* splice the result fields into the same object *)
-               String.sub s 1 (String.length s - 2)))
+          (fun (f, n, instances, r, c) ->
+            let splice s = String.sub s 1 (String.length s - 2) in
+            Printf.sprintf {|    "f%d": {"n":%d,"instances":%d,%s,"concurrent":%s}|}
+              f n instances
+              (* splice the result fields into the same object *)
+              (splice (json_of_result r))
+              (json_of_result c))
           rows));
   Buffer.add_string buf "\n  },\n";
   Buffer.add_string buf

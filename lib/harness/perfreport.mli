@@ -17,7 +17,10 @@ val generate_scale : quick:bool -> string
 (** Scaling sweep ([BENCH_scale.json]): fault-free 8 B RBFT at
     f = 1, 2, 3 (4, 7 and 10 nodes; f+1 protocol instances), each at
     its calibrated saturation point, reduced to throughput and
-    latency percentiles per cluster size. *)
+    latency percentiles per cluster size. Each row also carries a
+    [concurrent] column — the same cluster in disjoint-partition
+    (bftrcc) ordering, where added instances add capacity instead of
+    redundancy. *)
 
 val write_scale : quick:bool -> path:string -> unit
 (** {!generate_scale} and write to [path] ('-' for stdout). *)

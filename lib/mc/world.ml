@@ -56,6 +56,10 @@ let describe (m : Rbft.Messages.t) =
     Printf.sprintf "prop:c%d.%d@%d%s" req.Rbft.Messages.desc.id.client
       req.Rbft.Messages.desc.id.rid from
       (if junk then "!" else "")
+  | Rbft.Messages.Propagate_batch { reqs; owner; from } ->
+    (* Not reachable in checked configurations (the checker runs the
+       redundant ordering only), but labelled for completeness. *)
+    Printf.sprintf "propb:i%d.%d@%d" owner (List.length reqs) from
   | Rbft.Messages.Instance { instance; msg } ->
     let detail =
       match msg with

@@ -72,7 +72,11 @@ let encode ~order_full_requests msg =
        (fun (p : Messages.prepared_proof) ->
          Wire.Writer.u64 w p.pseq;
          Wire.Writer.u32 w p.pview;
-         Wire.Writer.bytes w p.pdigest)
+         Wire.Writer.bytes w p.pdigest;
+         (* Certificate batches always travel as identifiers. *)
+         Wire.Writer.list w
+           (encode_desc ~order_full_requests:false w)
+           p.pdescs)
        prepared;
      Wire.Writer.u32 w replica
    | Messages.New_view { view; pre_prepares; replica } ->
@@ -118,7 +122,10 @@ let decode ~order_full_requests s =
               let pseq = Wire.Reader.u64 r in
               let pview = Wire.Reader.u32 r in
               let pdigest = Wire.Reader.bytes r Bftcrypto.Sha256.size in
-              { Messages.pseq; pview; pdigest })
+              let pdescs =
+                Wire.Reader.list r (decode_desc ~order_full_requests:false)
+              in
+              { Messages.pseq; pview; pdigest; pdescs })
         in
         let replica = Wire.Reader.u32 r in
         Some (Messages.View_change { new_view; last_stable; prepared; replica })

@@ -2,7 +2,17 @@ open Types
 
 type pre_prepare = { view : view; seq : seqno; descs : request_desc list }
 
-type prepared_proof = { pseq : seqno; pview : view; pdigest : string }
+(* A prepared certificate carried in a VIEW-CHANGE: this replica
+   collected 2f matching PREPAREs for [pdigest] at [pseq] in [pview].
+   [pdescs] is the batch behind the digest (identifiers only), so the
+   new primary can re-propose a certificate it never saw the
+   PRE-PREPARE of — the role of the new-view computation in PBFT. *)
+type prepared_proof = {
+  pseq : seqno;
+  pview : view;
+  pdigest : string;
+  pdescs : request_desc list;
+}
 
 type t =
   | Pre_prepare of pre_prepare
@@ -47,7 +57,11 @@ let wire_size ~n ~order_full_requests = function
   | Checkpoint _ -> header_size + Bftcrypto.Sha256.size + mac_auth_size ~n
   | View_change { prepared; _ } ->
     header_size + 8
-    + (List.length prepared * (12 + Bftcrypto.Sha256.size))
+    + List.fold_left
+        (fun acc (p : prepared_proof) ->
+          acc + 12 + Bftcrypto.Sha256.size
+          + (List.length p.pdescs * id_wire_size))
+        0 prepared
     + mac_auth_size ~n
   | New_view { pre_prepares; _ } ->
     header_size

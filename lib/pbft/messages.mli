@@ -14,8 +14,21 @@ type pre_prepare = {
   descs : request_desc list;  (** the ordered batch *)
 }
 
-type prepared_proof = { pseq : seqno; pview : view; pdigest : string }
-(** Summary of a prepared batch carried by VIEW-CHANGE messages. *)
+type prepared_proof = {
+  pseq : seqno;
+  pview : view;
+  pdigest : string;
+  pdescs : request_desc list;
+      (** the batch behind [pdigest] (identifiers only), so the new
+          primary can re-propose a certificate whose PRE-PREPARE it
+          never received *)
+}
+(** Prepared certificate carried by VIEW-CHANGE messages: the sender
+    collected 2f matching PREPAREs for [pdigest] at [pseq] in [pview].
+    The new primary re-proposes, per sequence number, the certificate
+    with the highest [pview] across 2f+1 VIEW-CHANGEs (the new-view
+    computation of PBFT), which is what keeps a batch committed at one
+    replica from being displaced in a later view. *)
 
 type t =
   | Pre_prepare of pre_prepare

@@ -114,6 +114,12 @@ type t = {
   adv : adversary;
   mutable view : view;
   mutable in_vc : bool;
+  (* Highest view this replica has voted a view change for. A view
+     change can wedge when the target view's primary is faulty (it
+     never sends NEW-VIEW); a later [force_view_change] must then
+     escalate PAST the wedged target rather than re-vote it, or the
+     instance never leaves [in_vc]. *)
+  mutable vc_target : view;
   mutable vc_completed : int;
   entries : (seqno, entry) Hashtbl.t;
   known : request_desc Request_id_table.t;  (* submitted, available for ordering *)
@@ -121,6 +127,23 @@ type t = {
   mutable pending_batch : request_desc list;  (* primary: reversed accumulation *)
   mutable pending_len : int;  (* length of [pending_batch], kept in step *)
   mutable batch_timer : Engine.timer option;
+  (* Concurrent (bftrcc) mode: a primary only proposes requests the
+     filter admits (its own partition, plus degraded partitions). The
+     filter is a node-owned closure so degrade-path changes apply
+     without reconfiguring the replica. *)
+  mutable batch_filter : (request_desc -> bool) option;
+  (* Concurrent mode: an idle primary orders an empty no-op heartbeat
+     batch after this long without a pre-prepare, keeping the global
+     round-robin merge flowing. [Time.zero] (the default) disables the
+     heartbeat entirely — no timer is ever armed. *)
+  mutable noop_interval : Time.t;
+  (* Pacing brake for the heartbeat: when the gate returns false the
+     idle primary holds its no-op. The hosting node points this at its
+     merge sequencer so a stream already ahead of the round-robin
+     cursor stops inflating the queue every later real batch of the
+     stream would have to sit behind. *)
+  mutable noop_gate : (unit -> bool) option;
+  mutable last_pp_at : Time.t;
   mutable next_seq : seqno;  (* primary: next seq to assign *)
   mutable next_deliver : seqno;
   mutable last_stable : seqno;
@@ -130,6 +153,14 @@ type t = {
   (* view-change votes: target view -> voters (messages are re-derived
      from local state, never read back from the votes) *)
   vc_votes : (view, Voteset.t) Hashtbl.t;
+  (* prepared certificates carried by received VIEW-CHANGE messages,
+     keyed (target view, sender). A primary taking over reads these
+     back: per sequence number it must re-propose the certificate with
+     the highest view across the 2f+1 VIEW-CHANGEs, not whatever its
+     local log happens to hold — a batch committed at some replica is
+     prepared at 2f+1, so every vote quorum contains a copy of its
+     certificate and the new view cannot displace it. *)
+  vc_proofs : (view * int, Messages.prepared_proof list) Hashtbl.t;
   mutable ordered_count : int;
   mutable state_transfers : int;
   mutable pp_release : Time.t;  (* pacing floor for adversarial PP delays *)
@@ -159,6 +190,7 @@ let create ?clock engine cfg cb =
       };
     view = 0;
     in_vc = false;
+    vc_target = 0;
     vc_completed = 0;
     entries = Hashtbl.create 512;
     known = Request_id_table.create 1024;
@@ -166,12 +198,17 @@ let create ?clock engine cfg cb =
     pending_batch = [];
     pending_len = 0;
     batch_timer = None;
+    batch_filter = None;
+    noop_interval = Time.zero;
+    noop_gate = None;
+    last_pp_at = Time.zero;
     next_seq = 1;
     next_deliver = 1;
     last_stable = 0;
     chain_digest = "genesis";
     checkpoints = Hashtbl.create 16;
     vc_votes = Hashtbl.create 8;
+    vc_proofs = Hashtbl.create 8;
     ordered_count = 0;
     state_transfers = 0;
     pp_release = Time.zero;
@@ -182,6 +219,7 @@ let create ?clock engine cfg cb =
 
 let config t = t.cfg
 let adversary t = t.adv
+let last_pp_at t = t.last_pp_at
 let view t = t.view
 let current_primary t = t.cfg.primary_of_view t.view
 let is_primary t = current_primary t = t.cfg.replica_id
@@ -472,6 +510,7 @@ let rec flush_batch t =
     t.next_seq <- seq + 1;
     let pp = { Messages.view = t.view; seq; descs = batch } in
     record_pp t pp;
+    t.last_pp_at <- Engine.now t.engine;
     (* A malicious primary delays the ordering message; the release
        floor keeps successive PRE-PREPAREs FIFO. *)
     let issue () =
@@ -518,12 +557,59 @@ let maybe_batch t =
                   flush_batch t))
   end
 
+let admits t desc =
+  match t.batch_filter with None -> true | Some f -> f desc
+
 let enqueue_for_batching t desc =
-  if not (Request_id_table.mem t.delivered_ids desc.id) then begin
+  if (not (Request_id_table.mem t.delivered_ids desc.id)) && admits t desc
+  then begin
     t.pending_batch <- desc :: t.pending_batch;
     t.pending_len <- t.pending_len + 1;
     maybe_batch t
   end
+
+(* ------------------------------------------------------------------ *)
+(* No-op heartbeats (concurrent ordering)                             *)
+(* ------------------------------------------------------------------ *)
+
+(* An empty batch ordered through the normal three-phase pipeline. The
+   round-robin merge of Bftrcc.Sequencer cannot skip an idle instance
+   on local evidence (nodes would diverge), so the skip is itself
+   agreed on: the idle primary orders "nothing" and every correct node
+   merges the same nothing. Empty batches skip the batch-occupancy
+   histogram so they do not dilute the real batching statistics. *)
+let flush_noop t =
+  if (not t.in_vc) && t.pending_len = 0 && in_window t t.next_seq then begin
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    let pp = { Messages.view = t.view; seq; descs = [] } in
+    record_pp t pp;
+    t.last_pp_at <- Engine.now t.engine;
+    broadcast t (Messages.Pre_prepare pp);
+    let e = entry_for t seq in
+    e.sent_prepare <- true;
+    maybe_send_commit t seq e
+  end
+
+let rec arm_noop t =
+  ignore
+    (Clock.after t.clock t.noop_interval (fun () ->
+         if t.noop_interval > Time.zero then begin
+           if
+             is_primary t && (not t.in_vc) && t.pending_len = 0
+             && Time.sub (Engine.now t.engine) t.last_pp_at >= t.noop_interval
+             && (match t.noop_gate with None -> true | Some ok -> ok ())
+           then flush_noop t;
+           arm_noop t
+         end))
+
+let set_noop_interval t interval =
+  let was = t.noop_interval in
+  t.noop_interval <- interval;
+  if was = Time.zero && interval > Time.zero then arm_noop t
+
+let set_noop_gate t g = t.noop_gate <- g
+let set_batch_filter t f = t.batch_filter <- f
 
 (* ------------------------------------------------------------------ *)
 (* Prepares and commits                                               *)
@@ -570,13 +656,7 @@ let accept_pp t ~from (pp : Messages.pre_prepare) =
   then begin
     let e = entry_for t pp.seq in
     let digest = Messages.batch_digest pp.descs in
-    match e.pp with
-    | Some _ when e.digest <> digest -> () (* equivocation: ignore *)
-    | Some _ when e.sent_prepare || e.delivered ->
-      () (* duplicate of an already-acknowledged batch *)
-    | Some _ | None ->
-      (* Fresh in this view — possibly a batch retained from an
-         earlier view and re-proposed by the new primary. *)
+    let adopt () =
       e.pp <- Some pp;
       e.pp_view <- pp.view;
       set_entry_digest e digest;
@@ -589,6 +669,38 @@ let accept_pp t ~from (pp : Messages.pre_prepare) =
         pp.descs;
       maybe_send_prepare t pp;
       maybe_send_commit t pp.seq e
+    in
+    match e.pp with
+    | Some _ when e.digest <> digest ->
+      (* A conflicting batch for a slot we already hold one for. From
+         the same view this is primary equivocation: ignore. From a
+         LATER view it is the new view's decision for the slot (the
+         max-view certificate of the new-view computation, or a fresh
+         assignment when no certificate survived): adopt it and
+         restart the quorum — unless the local batch is committed.
+         Committed entries keep their certificates across view changes,
+         and a committed batch is prepared at 2f+1 replicas, so the
+         new-view computation necessarily re-proposes that same batch:
+         ignoring the (impossible) conflict is what makes adoption
+         safe. *)
+      if
+        pp.view > e.pp_view && (not e.delivered)
+        && not
+             (e.sent_commit
+             && Voteset.Tagged.matching e.commits >= (2 * t.cfg.f) + 1)
+      then begin
+        Voteset.Tagged.clear e.prepares;
+        Voteset.Tagged.clear e.commits;
+        e.sent_prepare <- false;
+        e.sent_commit <- false;
+        adopt ()
+      end
+    | Some _ when e.sent_prepare || e.delivered ->
+      () (* duplicate of an already-acknowledged batch *)
+    | Some _ | None ->
+      (* Fresh in this view — possibly a batch retained from an
+         earlier view and re-proposed by the new primary. *)
+      adopt ()
   end
 
 let accept_prepare t ~view ~seq ~digest ~replica =
@@ -615,9 +727,16 @@ let accept_commit t ~view ~seq ~digest ~replica =
 let prepared_proofs t =
   Hashtbl.fold
     (fun seq (e : entry) acc ->
-      if e.sent_commit && not e.delivered then
-        { Messages.pseq = seq; pview = e.pp_view; pdigest = e.digest } :: acc
-      else acc)
+      match e.pp with
+      | Some pp when e.sent_commit && not e.delivered ->
+        {
+          Messages.pseq = seq;
+          pview = e.pp_view;
+          pdigest = e.digest;
+          pdescs = pp.descs;
+        }
+        :: acc
+      | Some _ | None -> acc)
     t.entries []
 
 let vc_votes_for t target =
@@ -632,6 +751,7 @@ let rec start_view_change t target =
   if target > t.view && not (Voteset.mem (vc_votes_for t target) t.cfg.replica_id)
   then begin
     t.in_vc <- true;
+    t.vc_target <- Stdlib.max t.vc_target target;
     cancel_batch_timer t;
     let msg =
       Messages.View_change
@@ -679,24 +799,57 @@ and enter_view t v =
       end)
     t.entries;
   t.waiting_pps <- [];
+  (* Certificates for this and earlier targets are spent. *)
+  let dead =
+    Hashtbl.fold
+      (fun ((target, _) as key) _ acc -> if target <= v then key :: acc else acc)
+      t.vc_proofs []
+  in
+  List.iter (Hashtbl.remove t.vc_proofs) dead;
   t.cb.on_view_change v
 
 and new_primary_repropose t v =
-  (* Re-issue PRE-PREPAREs for batches prepared in earlier views (using
-     this replica's log) and re-batch every known undelivered request
-     not covered by them. *)
+  (* The new-view computation: per sequence number, re-propose the
+     batch with the highest view among (a) the prepared certificates
+     carried by the VIEW-CHANGE messages that elected this primary and
+     (b) this replica's own log. The certificates are what carries a
+     batch committed at some replica into the new view — this
+     replica's log alone may hold a different (or no) batch for the
+     slot, e.g. when the PRE-PREPARE raced the previous view change.
+     Every known undelivered request not covered is then re-batched. *)
+  let best : (seqno, view * request_desc list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let offer seq pview descs =
+    match Hashtbl.find_opt best seq with
+    | Some (bv, _) when bv >= pview -> ()
+    | Some _ | None -> Hashtbl.replace best seq (pview, descs)
+  in
+  Hashtbl.iter
+    (fun seq (e : entry) ->
+      match e.pp with
+      | Some pp when not e.delivered -> offer seq e.pp_view pp.descs
+      | Some _ | None -> ())
+    t.entries;
+  Hashtbl.iter
+    (fun (target, _) proofs ->
+      if target = v then
+        List.iter
+          (fun (p : Messages.prepared_proof) ->
+            if p.pseq > t.last_stable && p.pseq >= t.next_deliver then
+              offer p.pseq p.pview p.pdescs)
+          proofs)
+    t.vc_proofs;
   let reproposed = ref Request_id_set.empty in
   let pps =
     Hashtbl.fold
-      (fun seq (e : entry) acc ->
-        match e.pp with
-        | Some pp when not e.delivered ->
-          List.iter
-            (fun d -> reproposed := Request_id_set.add d.id !reproposed)
-            pp.descs;
-          { pp with Messages.view = v; seq } :: acc
-        | Some _ | None -> acc)
-      t.entries []
+      (fun seq (pview, descs) acc ->
+        ignore pview;
+        List.iter
+          (fun d -> reproposed := Request_id_set.add d.id !reproposed)
+          descs;
+        { Messages.view = v; seq; descs } :: acc)
+      best []
   in
   let pps = List.sort (fun a b -> compare a.Messages.seq b.Messages.seq) pps in
   let max_seq =
@@ -727,7 +880,8 @@ and new_primary_repropose t v =
     (fun id d ->
       if
         (not (Request_id_table.mem t.delivered_ids id))
-        && not (Request_id_set.mem id !reproposed)
+        && (not (Request_id_set.mem id !reproposed))
+        && admits t d
       then begin
         t.pending_batch <- d :: t.pending_batch;
         t.pending_len <- t.pending_len + 1
@@ -743,14 +897,20 @@ and check_new_view t target =
     && t.view < target
   then new_primary_repropose t target
 
-let accept_view_change t ~from ~new_view =
+let accept_view_change t ~from ~new_view ~prepared =
   if new_view > t.view then begin
     let votes = vc_votes_for t new_view in
+    Hashtbl.replace t.vc_proofs (new_view, from) prepared;
     ignore (Voteset.add votes from);
     (* Join the view change once f+1 votes are seen: at least one
-       correct replica wants it. *)
-    if Voteset.count votes >= t.cfg.f + 1 && not t.in_vc then
-      start_view_change t new_view;
+       correct replica wants it. A replica wedged in an earlier view
+       change (its target's primary is faulty and never sends
+       NEW-VIEW) still joins a strictly later one — higher view
+       changes subsume lower. *)
+    if
+      Voteset.count votes >= t.cfg.f + 1
+      && ((not t.in_vc) || new_view > t.vc_target)
+    then start_view_change t new_view;
     check_new_view t new_view
   end
 
@@ -799,12 +959,17 @@ let receive t ~from msg =
       accept_commit t ~view ~seq ~digest ~replica
     | Messages.Checkpoint { seq; state_digest; replica } ->
       accept_checkpoint t ~seq ~state_digest ~replica
-    | Messages.View_change { new_view; _ } ->
-      accept_view_change t ~from ~new_view
+    | Messages.View_change { new_view; prepared; _ } ->
+      accept_view_change t ~from ~new_view ~prepared
     | Messages.New_view { view; pre_prepares; _ } ->
       accept_new_view t ~from view pre_prepares
 
-let force_view_change t = start_view_change t (t.view + 1)
+(* Normally the next view; once wedged mid view-change, the view after
+   the wedged target — its primary proved unresponsive, re-voting it
+   would deadlock the instance. *)
+let force_view_change t =
+  start_view_change t
+    ((if t.in_vc then Stdlib.max t.view t.vc_target else t.view) + 1)
 
 let last_stable t = t.last_stable
 let state_transfers t = t.state_transfers

@@ -92,6 +92,39 @@ val submit : ?span:int -> t -> request_desc -> unit
     spans chained under it, and keeps the commit span id for
     {!take_span}. *)
 
+val set_batch_filter : t -> (request_desc -> bool) option -> unit
+(** Concurrent (bftrcc) ordering: restrict which requests this replica
+    proposes when primary. A request the filter rejects is still
+    tracked in the known table (so the replica can prepare batches
+    proposed by others, and a later filter change can re-admit it) but
+    is never enqueued for batching here. [None] (the default) admits
+    everything — classic redundant ordering. The node owning the
+    replica supplies a closure over its degrade state, so fallback to
+    redundant ordering for a degraded partition needs no
+    reconfiguration. *)
+
+val set_noop_interval : t -> Time.t -> unit
+(** Concurrent ordering: when primary and idle for this long, order an
+    empty no-op heartbeat batch through the normal three-phase
+    pipeline, so the deterministic round-robin merge
+    ({!Bftrcc.Sequencer}) never waits on a legitimately idle
+    partition. [Time.zero] (the default) disables the heartbeat; the
+    timer is armed on the first transition to a positive interval. *)
+
+val set_noop_gate : t -> (unit -> bool) option -> unit
+(** Concurrent ordering: pace the no-op heartbeat. When set, an idle
+    primary consults the gate before ordering a heartbeat and holds it
+    while the gate returns [false]. The hosting node points this at
+    its merge sequencer ({!Bftrcc.Sequencer.backlog}) so a stream
+    already running ahead of the round-robin cursor stops emitting
+    heartbeats: each one would queue behind the cursor and add a full
+    merge round of latency to every later real batch of the stream.
+    [None] (the default) never holds. *)
+
+val last_pp_at : t -> Time.t
+(** Instant of the last pre-prepare this replica issued as primary
+    (real batch or no-op heartbeat); [Time.zero] if none yet. *)
+
 val take_span : t -> id:request_id -> int
 (** Collects (and clears) the commit span id recorded for a delivered
     traced request, so the hosting node can parent execution on the

@@ -1,0 +1,37 @@
+(* Client-id -> owning-instance map for concurrent disjoint-partition
+   ordering.
+
+   Every correct node must agree on the owner of a request without
+   communication, so the map is a pure function of the client id and
+   the instance count. A multiplicative bit-mix (splitmix64's
+   finalizer) spreads consecutive client ids across instances; plain
+   [client mod instances] would alias with striped client-id
+   assignment schemes and leave some instance starved. *)
+
+type t = { instances : int }
+
+let create ~instances =
+  if instances <= 0 then
+    invalid_arg "Partitioner.create: instances must be positive";
+  { instances }
+
+let instances t = t.instances
+
+let mix64 z =
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xbf58476d1ce4e5b9L
+  in
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94d049bb133111ebL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let owner t ~client =
+  if t.instances = 1 then 0
+  else
+    let h = mix64 (Int64.add (Int64.of_int client) 0x9e3779b97f4a7c15L) in
+    Int64.to_int (Int64.rem (Int64.logand h Int64.max_int) (Int64.of_int t.instances))

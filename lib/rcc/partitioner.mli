@@ -1,0 +1,18 @@
+(** Deterministic client-id -> owning-instance map.
+
+    In [rbft-concurrent] mode each of the f+1 protocol instances
+    orders only the requests of the clients it owns; the owner must be
+    computable identically at every node with no coordination, so it
+    is a pure hash of the client id. *)
+
+type t
+
+val create : instances:int -> t
+(** [create ~instances] builds a partitioner over [instances] (>= 1)
+    instances. Raises [Invalid_argument] on a non-positive count. *)
+
+val instances : t -> int
+
+val owner : t -> client:int -> int
+(** [owner t ~client] is the instance that orders requests from
+    [client], in [0 .. instances-1]. Stable across nodes and runs. *)

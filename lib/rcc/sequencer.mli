@@ -1,0 +1,49 @@
+(** Deterministic round-robin merge of per-instance committed batch
+    streams into one global execution order.
+
+    The merge is a pure function of the per-instance streams (which
+    PBFT safety makes identical at every correct node): round r emits
+    the r-th committed batch of instance 0, then of instance 1, and so
+    on. Idle instances are kept flowing by consensus-ordered no-op
+    heartbeat batches, so the merge never has to make a node-local
+    skip decision. A stream that genuinely stops (primary crashed, or
+    mid view-change) shows up as a head-of-line stall whose age feeds
+    monitoring, the doctor's seq-stall trigger, and the
+    stall-triggered instance change. *)
+
+type 'a t
+
+type stats = {
+  merged : int;  (** batches emitted so far *)
+  rounds : int;  (** completed full round-robin rounds *)
+  pending : int;  (** batches queued behind the head-of-line instance *)
+  gaps : int;  (** per-instance seqno jumps seen (state transfers) *)
+  stalled_instance : int option;
+      (** the instance the merge is waiting on, if any batch is stuck *)
+}
+
+val create : instances:int -> emit:(instance:int -> seq:int -> 'a -> unit) -> 'a t
+(** [create ~instances ~emit] builds a sequencer over [instances]
+    streams. [emit] is called synchronously from {!push}, in global
+    execution order, once per merged batch. *)
+
+val push : 'a t -> instance:int -> seq:int -> now:Dessim.Time.t -> 'a -> unit
+(** [push t ~instance ~seq ~now payload] appends a committed batch to
+    [instance]'s stream and drains everything the round-robin order
+    now permits. Batches of one instance must be pushed in seqno
+    order (gaps from state transfers are allowed and counted). *)
+
+val stall : 'a t -> now:Dessim.Time.t -> (int * Dessim.Time.t) option
+(** [stall t ~now] is [Some (instance, age)] when a merged-order
+    predecessor is missing: some batch is queued but the round-robin
+    cursor's instance has not committed its next batch for [age]. *)
+
+val backlog : 'a t -> instance:int -> int
+(** [backlog t ~instance] is the number of [instance] batches queued
+    behind the round-robin cursor — how far that stream has run ahead
+    of the merge. An idle primary uses this to pace its no-op
+    heartbeats: emitting one while already ahead only lengthens the
+    queue every later real batch of the stream must sit behind. *)
+
+val stats : 'a t -> stats
+val instances : 'a t -> int

@@ -16,6 +16,8 @@ type t =
   | Batch_wait  (** ordered instance: submit until PRE-PREPARE accepted *)
   | Prepare  (** PRE-PREPARE accepted until prepared (2f PREPAREs) *)
   | Commit  (** prepared until ordered (2f+1 COMMITs) *)
+  | Sequence  (** concurrent ordering: committed until merged into the
+                  global execution order (Bftrcc.Sequencer) *)
   | Execution  (** state-machine execution of the operation *)
   | Reply  (** reply transit back to the client *)
   | Other
@@ -31,6 +33,7 @@ let name = function
   | Batch_wait -> "batch-wait"
   | Prepare -> "prepare"
   | Commit -> "commit"
+  | Sequence -> "sequence"
   | Execution -> "execution"
   | Reply -> "reply"
   | Other -> "other"
@@ -47,6 +50,7 @@ let all =
     Batch_wait;
     Prepare;
     Commit;
+    Sequence;
     Execution;
     Reply;
     Other;

@@ -23,7 +23,12 @@ let sample_pbft_messages =
         last_stable = 256;
         prepared =
           [
-            { Pbftcore.Messages.pseq = 260; pview = 6; pdigest = Bftcrypto.Sha256.digest_string "p" };
+            {
+              Pbftcore.Messages.pseq = 260;
+              pview = 6;
+              pdigest = Bftcrypto.Sha256.digest_string "p";
+              pdescs = [ desc ~client:2 ~rid:9 "cert" ];
+            };
           ];
         replica = 1;
       };
@@ -46,8 +51,21 @@ let strip_ops (msg : Pbftcore.Messages.t) =
   | Pbftcore.Messages.New_view { view; pre_prepares; replica } ->
     Pbftcore.Messages.New_view
       { view; pre_prepares = List.map strip_pp pre_prepares; replica }
+  | Pbftcore.Messages.View_change { new_view; last_stable; prepared; replica }
+    ->
+    Pbftcore.Messages.View_change
+      {
+        new_view;
+        last_stable;
+        prepared =
+          List.map
+            (fun (p : Pbftcore.Messages.prepared_proof) ->
+              { p with pdescs = List.map strip_desc p.pdescs })
+            prepared;
+        replica;
+      }
   | Pbftcore.Messages.Prepare _ | Pbftcore.Messages.Commit _
-  | Pbftcore.Messages.Checkpoint _ | Pbftcore.Messages.View_change _ ->
+  | Pbftcore.Messages.Checkpoint _ ->
     msg
 
 let test_pbft_roundtrip_identifiers () =
@@ -71,9 +89,13 @@ let test_pbft_roundtrip_full () =
               (Pbftcore.Codec.encode ~order_full_requests:true msg)
       with
       | Some decoded ->
-        (* New-view re-proposals always travel as identifiers. *)
+        (* New-view re-proposals and view-change certificate batches
+           always travel as identifiers. *)
         let expected =
-          match msg with Pbftcore.Messages.New_view _ -> strip_ops msg | m -> m
+          match msg with
+          | Pbftcore.Messages.New_view _ | Pbftcore.Messages.View_change _ ->
+            strip_ops msg
+          | m -> m
         in
         Alcotest.(check bool)
           (Pbftcore.Messages.type_tag msg ^ " roundtrip (full)")

@@ -369,6 +369,43 @@ let test_doctor_delta_ratio_near () =
       Alcotest.(check (list string)) "suspicious is not a near miss" []
         (trigger_names d))
 
+let test_doctor_seq_stall () =
+  let triggers =
+    [
+      Trigger.spec (Trigger.Seq_stall { age = Time.ms 125 })
+        ~cooldown:(Time.sec 10);
+    ]
+  in
+  let emit_sample engine at ~waiting_on ~age =
+    ignore
+      (Engine.at engine at (fun () ->
+           Bftaudit.Bus.emit_at at ~node:2 ~instance:(-1)
+             (Bftaudit.Event.Seq_stall { waiting_on; age; pending = 7 })))
+  in
+  (* an un-stalled merge (waiting_on = -1) never fires *)
+  with_doctor ~triggers (fun engine d ->
+      for i = 1 to 8 do
+        emit_sample engine (Time.ms (100 * i)) ~waiting_on:(-1) ~age:Time.zero
+      done;
+      Engine.run ~until:(Time.sec 1) engine;
+      Alcotest.(check (list string)) "flowing merge never arms" []
+        (trigger_names d));
+  (* a young stall stays below the bound *)
+  with_doctor ~triggers (fun engine d ->
+      for i = 1 to 8 do
+        emit_sample engine (Time.ms (100 * i)) ~waiting_on:1 ~age:(Time.ms 50)
+      done;
+      Engine.run ~until:(Time.sec 1) engine;
+      Alcotest.(check (list string)) "young stall stays silent" []
+        (trigger_names d));
+  (* a head-of-line stall past the bound fires once *)
+  with_doctor ~triggers (fun engine d ->
+      emit_sample engine (Time.ms 100) ~waiting_on:1 ~age:(Time.ms 40);
+      emit_sample engine (Time.ms 200) ~waiting_on:1 ~age:(Time.ms 140);
+      Engine.run ~until:(Time.sec 1) engine;
+      Alcotest.(check (list string)) "head-of-line stall fires"
+        [ "seq-stall" ] (trigger_names d))
+
 let test_doctor_max_incidents () =
   let triggers =
     [ Trigger.spec Trigger.Instance_change ~cooldown:(Time.ms 1) ]
@@ -694,6 +731,8 @@ let suites =
         Alcotest.test_case "quiescence is not a stall" `Quick
           test_doctor_no_stall_when_quiescent;
         Alcotest.test_case "slo p99" `Quick test_doctor_slo_p99;
+        Alcotest.test_case "sequencer head-of-line stall" `Quick
+          test_doctor_seq_stall;
         Alcotest.test_case "delta ratio near miss" `Quick
           test_doctor_delta_ratio_near;
         Alcotest.test_case "max incidents cap" `Quick test_doctor_max_incidents;
