@@ -22,7 +22,17 @@
    structurally: cluster shapes, positive headline numbers, and the
    two scaling laws — redundant ordering loses throughput with every
    extra fault tolerated while concurrent (bftrcc) ordering gains it,
-   with f = 3 concurrent at least 1.5x the f = 1 value. *)
+   with f = 3 concurrent at least 1.5x the f = 1 value.
+
+   [--breakdown-check] validates a single BENCH_rbft.json's latency
+   attribution: per-stage shares must sum to ~1.0 for every request
+   size (the tracer accounted for the whole end-to-end path), the 8 B
+   queue-wait share must stay below --queue-wait-max (default 0.5 —
+   the flow-control layer's reason to exist), and the fault-free 8 B
+   throughput must not dip below --min-throughput (backpressure is
+   only allowed to cut waiting, not capacity). Shares are in the
+   default skip list of the two-file diff precisely because they are
+   gated here structurally instead. *)
 
 let default_skips =
   [ "profile"; "metrics_overhead"; "seconds"; "share"; "sample"; "calls" ]
@@ -141,9 +151,95 @@ let scale_check path =
     List.iter (fun p -> Printf.eprintf "  %s\n" p) ps;
     exit 1
 
+(* Structural gate over the latency attribution of one BENCH_rbft.json:
+   the breakdown must cover the whole path (shares sum to ~1) and the
+   queue-wait wall must stay down. Mirrors [scale_check]: every
+   complaint listed, exit 1 on any. *)
+let breakdown_check ~queue_wait_max ~min_throughput path =
+  let v = read_json path in
+  let problems = ref [] in
+  let complain fmt =
+    Printf.ksprintf (fun m -> problems := m :: !problems) fmt
+  in
+  let obj = function Bftdoctor.Jmini.Obj kvs -> Some kvs | _ -> None in
+  let field kvs k = List.assoc_opt k kvs in
+  let num kvs k =
+    match field kvs k with Some (Bftdoctor.Jmini.Num n) -> Some n | _ -> None
+  in
+  let section k =
+    match obj v with
+    | Some kvs -> field kvs k |> Option.map obj |> Option.join
+    | None -> None
+  in
+  (match section "latency_breakdown" with
+   | None -> complain "no latency_breakdown section"
+   | Some sizes ->
+     if sizes = [] then complain "latency_breakdown is empty";
+     List.iter
+       (fun (size, row) ->
+         match obj row with
+         | None -> complain "latency_breakdown.%s is not an object" size
+         | Some row ->
+           (match field row "stages" |> Option.map obj |> Option.join with
+            | None -> complain "latency_breakdown.%s.stages missing" size
+            | Some stages ->
+              let sum =
+                List.fold_left
+                  (fun acc (_, stage) ->
+                    match obj stage with
+                    | Some kvs ->
+                      acc +. Option.value ~default:0.0 (num kvs "share")
+                    | None -> acc)
+                  0.0 stages
+              in
+              if sum < 0.99 || sum > 1.01 then
+                complain
+                  "latency_breakdown.%s stage shares sum to %.4f, want ~1.0"
+                  size sum;
+              let queue_wait =
+                match field stages "queue-wait" |> Option.map obj |> Option.join
+                with
+                | Some kvs -> Option.value ~default:0.0 (num kvs "share")
+                | None -> 0.0
+              in
+              if size = "8B" && queue_wait >= queue_wait_max then
+                complain
+                  "latency_breakdown.8B queue-wait share %.4f, want < %.2f"
+                  queue_wait queue_wait_max))
+       sizes);
+  (if min_throughput > 0.0 then
+     match section "fault_free" with
+     | None -> complain "no fault_free section"
+     | Some sizes ->
+       (match field sizes "8B" |> Option.map obj |> Option.join with
+        | None -> complain "fault_free.8B missing"
+        | Some row ->
+          (match num row "throughput_req_s" with
+           | Some n when n >= min_throughput -> ()
+           | Some n ->
+             complain "fault_free.8B throughput %.0f req/s, want >= %.0f" n
+               min_throughput
+           | None -> complain "fault_free.8B.throughput_req_s missing")));
+  match List.rev !problems with
+  | [] ->
+    Printf.printf
+      "breakdown-check ok: shares sum to ~1.0, 8B queue-wait < %.2f%s\n"
+      queue_wait_max
+      (if min_throughput > 0.0 then
+         Printf.sprintf ", throughput >= %.0f req/s" min_throughput
+       else "")
+  | ps ->
+    Printf.eprintf "breakdown-check: %d problem(s) in %s:\n" (List.length ps)
+      path;
+    List.iter (fun p -> Printf.eprintf "  %s\n" p) ps;
+    exit 1
+
 let () =
   let baseline = ref None and fresh = ref None in
   let scale = ref None in
+  let breakdown = ref None in
+  let queue_wait_max = ref 0.5 in
+  let min_throughput = ref 0.0 in
   let tolerance = ref 0.15 in
   let skips = ref default_skips in
   let list_all = ref false in
@@ -165,6 +261,23 @@ let () =
     | "--scale-check" :: path :: rest ->
       scale := Some path;
       parse rest
+    | "--breakdown-check" :: path :: rest ->
+      breakdown := Some path;
+      parse rest
+    | "--queue-wait-max" :: x :: rest ->
+      (match float_of_string_opt x with
+      | Some x when x > 0.0 -> queue_wait_max := x
+      | _ ->
+        Printf.eprintf "bad --queue-wait-max %S\n" x;
+        exit 2);
+      parse rest
+    | "--min-throughput" :: x :: rest ->
+      (match float_of_string_opt x with
+      | Some x when x >= 0.0 -> min_throughput := x
+      | _ ->
+        Printf.eprintf "bad --min-throughput %S\n" x;
+        exit 2);
+      parse rest
     | path :: rest ->
       (if !baseline = None then baseline := Some path
        else if !fresh = None then fresh := Some path
@@ -180,13 +293,21 @@ let () =
      scale_check path;
      exit 0
    | None -> ());
+  (match !breakdown with
+   | Some path ->
+     breakdown_check ~queue_wait_max:!queue_wait_max
+       ~min_throughput:!min_throughput path;
+     exit 0
+   | None -> ());
   let baseline, fresh =
     match (!baseline, !fresh) with
     | Some b, Some f -> (b, f)
     | _ ->
       Printf.eprintf
         "usage: bench_diff BASELINE.json FRESH.json [--tolerance T] [--skip \
-         SUBSTR] [--list] | bench_diff --scale-check REPORT.json\n";
+         SUBSTR] [--list] | bench_diff --scale-check REPORT.json | bench_diff \
+         --breakdown-check REPORT.json [--queue-wait-max X] [--min-throughput \
+         Y]\n";
       exit 2
   in
   let contains hay needle =

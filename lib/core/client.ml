@@ -8,13 +8,21 @@ type behaviour = {
   mutable mac_invalid_for : int list;
   mutable heavy : bool;
   mutable send_only_to : int list;
+  mutable make_op : (int -> string) option;
 }
 
 type pending = {
   sent_at : Time.t;
   span : int;  (* root span id of the traced request; -1 if unsampled *)
+  req : Messages.request;  (* retained for BUSY-triggered retries *)
   mutable replies : (int * string) list;  (* node, result *)
   mutable done_ : bool;
+  (* Backpressure state: distinct nodes that answered BUSY since the
+     last (re)send, the largest retry hint among them, and how many
+     retries happened (drives the exponential backoff). *)
+  mutable busy_from : int list;
+  mutable busy_hint : Time.t;
+  mutable attempt : int;
 }
 
 type t = {
@@ -34,6 +42,11 @@ type t = {
   latencies : Bftmetrics.Hist.t;
   completions : Bftmetrics.Throughput.t;
   rng : Rng.t;
+  (* Lazily created on the first BUSY so runs that never shed draw
+     exactly the same random streams as before the gate existed. *)
+  mutable backoff : Bftflow.Backoff.t option;
+  mutable busy_replies : int;
+  mutable retries : int;
 }
 
 let id t = t.id
@@ -42,6 +55,19 @@ let sent t = t.sent
 let completed t = t.completed
 let latencies t = t.latencies
 let completion_counter t = t.completions
+let busy_replies t = t.busy_replies
+let retries t = t.retries
+
+let backoff_of t =
+  match t.backoff with
+  | Some b -> b
+  | None ->
+    let b =
+      Bftflow.Backoff.create ~base:t.params.Params.busy_retry_base
+        (Rng.split t.rng)
+    in
+    t.backoff <- Some b;
+    b
 
 let rec on_reply t (id : request_id) ~node ~result =
   match Request_id_table.find_opt t.pending id with
@@ -66,20 +92,9 @@ let rec on_reply t (id : request_id) ~node ~result =
       end
     end
 
-and send_one t =
-  let req = make_request t in
+and transmit t ~span (req : Messages.request) =
   let msg = Messages.Request req in
   let size = Messages.request_wire_size req ~n:(Params.n t.params) in
-  let now = Engine.now t.engine in
-  let span =
-    if Bftspan.Tracer.sampled ~rid:req.Messages.desc.id.rid then
-      Bftspan.Tracer.root ~client:t.id ~rid:req.Messages.desc.id.rid ~node:(-1)
-        ~instance:(-1) ~tag:Bftspan.Tag.Client ~t0:now
-    else -1
-  in
-  Request_id_table.replace t.pending req.Messages.desc.id
-    { sent_at = now; span; replies = []; done_ = false };
-  t.sent <- t.sent + 1;
   let targets =
     match t.behaviour.send_only_to with
     | [] -> List.init (Params.n t.params) (fun i -> i)
@@ -91,12 +106,63 @@ and send_one t =
         ~dst:(Principal.node node) ~size msg)
     targets
 
+(* Retransmit watchdog, armed only when the admission gate exists
+   (zero scheduled events otherwise, so gate-off runs replay
+   identically). BUSY-triggered retries need f+1 distinct refusals,
+   but admission decisions are independent per node: a request can be
+   shed by fewer than f+1 nodes yet still miss its f+1 PROPAGATE
+   quorum when the admitting nodes include faulty non-propagating
+   ones — wedged forever while holding admission slots at every node
+   that accepted it. The watchdog retransmits unanswered requests on a
+   doubling timer; retransmits are idempotent (admitted nodes treat
+   them as duplicates) and a fresh competitor for a slot everywhere
+   the request was shed. *)
+and arm_watchdog t (p : pending) ~rto =
+  ignore
+    (Engine.after t.engine rto (fun () ->
+         if not p.done_ then begin
+           t.retries <- t.retries + 1;
+           transmit t ~span:p.span p.req;
+           let cap = Time.mul_f t.params.Params.busy_retry_base 128.0 in
+           arm_watchdog t p ~rto:(Time.min cap (Time.mul_f rto 2.0))
+         end))
+
+and send_one t =
+  let req = make_request t in
+  let now = Engine.now t.engine in
+  let span =
+    if Bftspan.Tracer.sampled ~rid:req.Messages.desc.id.rid then
+      Bftspan.Tracer.root ~client:t.id ~rid:req.Messages.desc.id.rid ~node:(-1)
+        ~instance:(-1) ~tag:Bftspan.Tag.Client ~t0:now
+    else -1
+  in
+  let p =
+    {
+      sent_at = now;
+      span;
+      req;
+      replies = [];
+      done_ = false;
+      busy_from = [];
+      busy_hint = Time.zero;
+      attempt = 0;
+    }
+  in
+  Request_id_table.replace t.pending req.Messages.desc.id p;
+  t.sent <- t.sent + 1;
+  transmit t ~span req;
+  if t.params.Params.admission_budget > 0 then
+    arm_watchdog t p ~rto:(Time.mul_f t.params.Params.busy_retry_base 16.0)
+
 and make_request t =
   t.rid <- t.rid + 1;
-  let payload = String.make t.payload_size 'x' in
   let op =
-    if t.behaviour.heavy then Bftapp.Null_service.heavy_op ~payload
-    else Bftapp.Null_service.normal_op ~payload
+    match t.behaviour.make_op with
+    | Some f -> f t.rid
+    | None ->
+      let payload = String.make t.payload_size 'x' in
+      if t.behaviour.heavy then Bftapp.Null_service.heavy_op ~payload
+      else Bftapp.Null_service.normal_op ~payload
   in
   let desc = desc_of_op ~client:t.id ~rid:t.rid op in
   {
@@ -104,6 +170,45 @@ and make_request t =
     sig_valid = t.behaviour.sig_valid;
     mac_invalid_for = t.behaviour.mac_invalid_for;
   }
+
+(* BUSY backpressure: a single refusal proves nothing (a Byzantine node
+   can always say BUSY), but f+1 distinct refusals include one from a
+   correct node — the request was genuinely shed somewhere and may
+   never reach the f+1 PROPAGATE quorum, so retry it. The retry reuses
+   the same request id: nodes that admitted the original treat it as a
+   duplicate (or re-reply from the executed table), so retries are
+   idempotent. The wait is the server hint floored exponential backoff
+   of {!Bftflow.Backoff}, drawn from this client's own stream for
+   determinism. *)
+let on_busy t (id : request_id) ~node ~retry_after =
+  match Request_id_table.find_opt t.pending id with
+  | None -> ()
+  | Some p when p.done_ -> ()
+  | Some p ->
+    if not (List.mem node p.busy_from) then begin
+      p.busy_from <- node :: p.busy_from;
+      p.busy_hint <- Time.max p.busy_hint retry_after;
+      t.busy_replies <- t.busy_replies + 1;
+      if List.length p.busy_from >= t.params.Params.f + 1 then begin
+        let delay =
+          Bftflow.Backoff.delay (backoff_of t) ~attempt:p.attempt
+            ~hint:p.busy_hint
+        in
+        p.attempt <- p.attempt + 1;
+        p.busy_from <- [];
+        p.busy_hint <- Time.zero;
+        t.retries <- t.retries + 1;
+        let now = Engine.now t.engine in
+        (* Attribute the idle wait to its own tag so the latency
+           breakdown shows backoff instead of blaming net transit. *)
+        ignore
+          (Bftspan.Tracer.span ~parent:p.span ~tag:Bftspan.Tag.Backoff
+             ~node:(-1) ~instance:(-1) ~t0:now ~t1:(Time.add now delay));
+        ignore
+          (Engine.after t.engine delay (fun () ->
+               if not p.done_ then transmit t ~span:p.span p.req))
+      end
+    end
 
 let send_burst t ~count =
   for _ = 1 to count do
@@ -129,7 +234,13 @@ let create engine net params ~id ?(payload_size = 8) () =
       id;
       payload_size;
       behaviour =
-        { sig_valid = true; mac_invalid_for = []; heavy = false; send_only_to = [] };
+        {
+          sig_valid = true;
+          mac_invalid_for = [];
+          heavy = false;
+          send_only_to = [];
+          make_op = None;
+        };
       rid = 0;
       rate = 0.0;
       rate_epoch = 0;
@@ -140,6 +251,9 @@ let create engine net params ~id ?(payload_size = 8) () =
       latencies = Bftmetrics.Hist.create ();
       completions = Bftmetrics.Throughput.create ();
       rng = Engine.fresh_rng engine;
+      backoff = None;
+      busy_replies = 0;
+      retries = 0;
     }
   in
   Network.register_client net id (fun d ->
@@ -147,6 +261,8 @@ let create engine net params ~id ?(payload_size = 8) () =
       else
       match d.Network.payload with
       | Messages.Reply { id; result; node } -> on_reply t id ~node ~result
+      | Messages.Busy { id; retry_after; node } ->
+        on_busy t id ~node ~retry_after
       | Messages.Request _ | Messages.Propagate _ | Messages.Propagate_batch _
       | Messages.Instance _ | Messages.Instance_change _ ->
         ());

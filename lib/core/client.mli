@@ -21,6 +21,10 @@ type behaviour = {
   mutable heavy : bool;  (** send heavy (10x execution cost) requests *)
   mutable send_only_to : int list;
       (** restrict which nodes receive the request ([[]] = all) *)
+  mutable make_op : (int -> string) option;
+      (** custom operation builder (rid → op), e.g. encoded
+          {!Bftapp.Kvstore} operations; [None] (the default) sends the
+          null-service payload *)
 }
 
 val create :
@@ -60,6 +64,16 @@ val send_burst : t -> count:int -> unit
 val sent : t -> int
 val completed : t -> int
 (** Requests for which f+1 matching replies arrived. *)
+
+val busy_replies : t -> int
+(** BUSY backpressure replies received (each counted once per sending
+    node per attempt). *)
+
+val retries : t -> int
+(** Retries triggered by f+1 distinct BUSY replies: the request was
+    re-sent under the same request id after a backed-off wait
+    ({!Bftflow.Backoff}), never earlier than the servers' retry
+    hints. *)
 
 val latencies : t -> Bftmetrics.Hist.t
 (** End-to-end latency distribution (seconds). *)

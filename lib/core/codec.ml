@@ -7,6 +7,7 @@ let tag_instance = 12
 let tag_instance_change = 13
 let tag_reply = 14
 let tag_propagate_batch = 15
+let tag_busy = 16
 
 let encode_request w (r : Messages.request) =
   Wire.Writer.u32 w r.desc.id.client;
@@ -60,6 +61,13 @@ let encode ~order_full_requests msg =
      Wire.Writer.u32 w id.client;
      Wire.Writer.u64 w id.rid;
      Wire.Writer.string w result;
+     Wire.Writer.u32 w node
+   | Messages.Busy { id; retry_after; node } ->
+     Wire.Writer.u8 w tag_busy;
+     Wire.Writer.u32 w id.client;
+     Wire.Writer.u64 w id.rid;
+     (* Virtual time is an integer nanosecond count. *)
+     Wire.Writer.u64 w retry_after;
      Wire.Writer.u32 w node);
   Wire.Writer.contents w
 
@@ -107,6 +115,13 @@ let decode ~order_full_requests s =
         let result = Wire.Reader.string r in
         let node = Wire.Reader.u32 r in
         Some (Messages.Reply { id = { client; rid }; result; node })
+      end
+      else if tag = tag_busy then begin
+        let client = Wire.Reader.u32 r in
+        let rid = Wire.Reader.u64 r in
+        let retry_after = Wire.Reader.u64 r in
+        let node = Wire.Reader.u32 r in
+        Some (Messages.Busy { id = { client; rid }; retry_after; node })
       end
       else None
     in

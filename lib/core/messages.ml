@@ -18,6 +18,7 @@ type t =
   | Instance of { instance : int; msg : Pbftcore.Messages.t }
   | Instance_change of { cpi : int; node : int }
   | Reply of { id : request_id; result : string; node : int }
+  | Busy of { id : request_id; retry_after : Dessim.Time.t; node : int }
 
 let header = 16
 
@@ -45,6 +46,7 @@ let wire_size msg ~n ~order_full_requests =
   | Instance_change _ -> header + 8 + (n * Bftcrypto.Keys.mac_tag_size)
   | Reply { result; _ } ->
     header + String.length result + Bftcrypto.Keys.mac_tag_size
+  | Busy _ -> header + 8 + Bftcrypto.Keys.mac_tag_size
 
 let type_tag = function
   | Request _ -> "request"
@@ -53,3 +55,4 @@ let type_tag = function
   | Instance { msg; _ } -> "instance." ^ Pbftcore.Messages.type_tag msg
   | Instance_change _ -> "instance-change"
   | Reply _ -> "reply"
+  | Busy _ -> "busy"

@@ -32,6 +32,13 @@ type t =
       (** monitoring protocol (Section IV-D) *)
   | Reply of { id : request_id; result : string; node : int }
       (** node → client (step 6) *)
+  | Busy of { id : request_id; retry_after : Dessim.Time.t; node : int }
+      (** node → client backpressure: the admission gate
+          ({!Bftflow.Admission}) refused the request because the node's
+          in-flight budget is exhausted; [retry_after] hints when a
+          retry can be admitted. Clients treat it as a shed, not a
+          result: f+1 distinct BUSYs trigger a backed-off retry of the
+          same request id *)
 
 val request_wire_size : request -> n:int -> int
 (** Signed request + MAC authenticator for the [n] nodes. *)

@@ -129,6 +129,20 @@ type t = {
   propagation : Resource.t;
   dispatch : Resource.t;
   execution : Resource.t;
+  (* Sharded execution lanes ([params.exec_shards] > 1): requests whose
+     service declares a shard key execute on the key's lane instead of
+     the serial execution thread. Empty in the default configuration. *)
+  execution_shards : Resource.t array;
+  admission : Bftflow.Admission.t;
+  (* Requests holding an admission-gate slot ({!Bftflow.Admission}),
+     keyed at ingress triage time — before any tracking state exists —
+     and released exactly once when the request executes, is dropped,
+     or its client is blacklisted. Empty while the gate is disabled. *)
+  admission_held : unit Request_id_table.t;
+  (* Sharded mode: requests whose execution has been submitted (and
+     whose digest is already chained); the dedup the serial path gets
+     from checking [executed] at completion time. *)
+  exec_started : unit Request_id_table.t;
   replica_threads : Resource.t array;
   mutable replicas : Pbftcore.Replica.t array;
   faults : faults;
@@ -206,7 +220,11 @@ let set_cpu_factor t s =
   List.iter
     (fun r -> Resource.set_speed r s)
     ([ t.verification; t.propagation; t.dispatch; t.execution ]
+    @ Array.to_list t.execution_shards
     @ Array.to_list t.replica_threads)
+
+let admission_inflight t = Bftflow.Admission.inflight t.admission
+let admission_shed t = Bftflow.Admission.shed_total t.admission
 
 let costs t = t.params.Params.costs
 let n_nodes t = Params.n t.params
@@ -250,7 +268,9 @@ let cost_bytes t msg =
   | Messages.Instance { msg = Pbftcore.Messages.Pre_prepare _; _ }
     when t.params.Params.order_full_requests ->
     6 * size
-  | Messages.Instance _ | Messages.Instance_change _ | Messages.Reply _ -> size
+  | Messages.Instance _ | Messages.Instance_change _ | Messages.Reply _
+  | Messages.Busy _ ->
+    size
 
 let send_from ?(span = -1) ?span_tag t thread ~dst msg =
   let size = msg_size t msg in
@@ -433,10 +453,27 @@ let note_invalid_from t peer =
 (* Verification module (step 1)                                       *)
 (* ------------------------------------------------------------------ *)
 
-let reply_to ?(span = -1) t (id : request_id) result =
-  send_from ~span ~span_tag:Bftspan.Tag.Reply t t.execution
+let reply_to ?(span = -1) ?thread t (id : request_id) result =
+  let thread = match thread with Some r -> r | None -> t.execution in
+  send_from ~span ~span_tag:Bftspan.Tag.Reply t thread
     ~dst:(Principal.client id.client)
     (Messages.Reply { id; result; node = t.id })
+
+(* Backpressure reply (admission gate). Charged to the propagation
+   thread, not verification: the whole point of shedding is to keep the
+   verification stage's cycles for admitted traffic, so the refusal
+   path must not consume them generating BUSY authenticators. *)
+let busy_to t (id : request_id) retry_after =
+  send_from t t.propagation
+    ~dst:(Principal.client id.client)
+    (Messages.Busy { id; retry_after; node = t.id })
+
+(* Release the admission slot a request holds, exactly once. *)
+let release_admission t (id : request_id) =
+  if Request_id_table.mem t.admission_held id then begin
+    Request_id_table.remove t.admission_held id;
+    Bftflow.Admission.release t.admission
+  end
 
 (* Schedule the (single) signature verification for a request on the
    verification thread, then resume on the propagation thread. Runs at
@@ -484,23 +521,33 @@ let verify_signature_once t (req : Messages.request) =
                 propagate_request t req;
                 maybe_dispatch t state)
         end
-        else if not (List.mem req.desc.id.client t.blacklist) then begin
-          (* Invalid signature: blacklist the client (Sec. IV-B, step 1). *)
-          if Bftaudit.Bus.active () then
-            audit t (Bftaudit.Event.Blacklisted { client = req.desc.id.client });
-          t.blacklist <- req.desc.id.client :: t.blacklist
+        else begin
+          (* The request will never execute; its admission slot must
+             not leak. *)
+          release_admission t req.desc.id;
+          if not (List.mem req.desc.id.client t.blacklist) then begin
+            (* Invalid signature: blacklist the client (Sec. IV-B, step 1). *)
+            if Bftaudit.Bus.active () then
+              audit t (Bftaudit.Event.Blacklisted { client = req.desc.id.client });
+            t.blacklist <- req.desc.id.client :: t.blacklist
+          end
         end)
   end
 
 (* Runs on the verification thread (MAC cost already charged). *)
 let handle_client_request t ~span (req : Messages.request) =
-  if t.faults.drop_client_requests then ()
-  else if List.mem req.desc.id.client t.blacklist then ()
+  (* Drop paths must release any admission slot ingress triage granted
+     before this handler ran; [release_admission] is a no-op when the
+     request holds none. *)
+  if t.faults.drop_client_requests then release_admission t req.desc.id
+  else if List.mem req.desc.id.client t.blacklist then
+    release_admission t req.desc.id
   else if List.mem t.id req.mac_invalid_for then
     (* The authenticator entry for this node is broken: drop. *)
-    ()
+    release_admission t req.desc.id
   else if Request_id_table.mem t.executed req.desc.id then begin
     (* Already executed: resend the reply (Section IV-B, step 1). *)
+    release_admission t req.desc.id;
     match Request_id_table.find_opt t.executed req.desc.id with
     | Some result -> reply_to t req.desc.id result
     | None -> ()
@@ -645,8 +692,56 @@ let execute_request t ~span (desc : request_desc) =
       Spans.job ~parent:span ~tag:Bftspan.Tag.Execution ~node:t.id
         ~instance:t.master_instance ~now:(Engine.now t.engine)
     in
-    Resource.submit ~span:espan t.execution ~cost (fun () ->
-        if not (Request_id_table.mem t.executed desc.id) then begin
+    if Array.length t.execution_shards = 0 then
+      Resource.submit ~span:espan t.execution ~cost (fun () ->
+          if not (Request_id_table.mem t.executed desc.id) then begin
+            let result = t.service.Service.execute desc.op in
+            Request_id_table.replace t.executed desc.id result;
+            t.exec_count <- t.exec_count + 1;
+            if Bftaudit.Bus.active () then
+              audit t ~instance:t.master_instance
+                (Bftaudit.Event.Executed
+                   {
+                     client = desc.id.client;
+                     rid = desc.id.rid;
+                     digest = desc.digest;
+                   });
+            Bftmetrics.Throughput.record t.exec_counter ~now:(Engine.now t.engine);
+            if Bftmetrics.Registry.active () then begin
+              Bftmetrics.Registry.Counter.inc t.m.nm_executed;
+              match Request_id_table.find_opt t.requests desc.id with
+              | Some state when state.dispatched ->
+                Bftmetrics.Hist.add t.m.nm_execution_latency
+                  (Time.to_sec_f
+                     (Time.sub (Engine.now t.engine) state.dispatch_time))
+              | Some _ | None -> ()
+            end;
+            t.exec_digest <-
+              Sha256.digest_string (t.exec_digest ^ desc.digest);
+            release_admission t desc.id;
+            Resource.charge t.execution
+              (Costmodel.mac_gen (costs t) ~bytes:(String.length result + 16));
+            reply_to ~span:espan t desc.id result
+          end)
+    else if not (Request_id_table.mem t.exec_started desc.id) then begin
+      (* Sharded execution. The digest is chained here, at submission
+         time on the dispatch thread: submissions happen in total order
+         on every correct node, so the chains stay equal across nodes
+         even though completions interleave per shard. Requests without
+         a shard key fall back to the serial execution thread (itself a
+         lane as far as ordering is concerned: per-lane FIFO, total
+         order only per key). *)
+      Request_id_table.replace t.exec_started desc.id ();
+      t.exec_digest <- Sha256.digest_string (t.exec_digest ^ desc.digest);
+      let lane =
+        match t.service.Service.shard_key desc.op with
+        | Some key ->
+          t.execution_shards.(Bftflow.Shard.index
+                                ~shards:(Array.length t.execution_shards)
+                                key)
+        | None -> t.execution
+      in
+      Resource.submit ~span:espan lane ~cost (fun () ->
           let result = t.service.Service.execute desc.op in
           Request_id_table.replace t.executed desc.id result;
           t.exec_count <- t.exec_count + 1;
@@ -668,12 +763,11 @@ let execute_request t ~span (desc : request_desc) =
                    (Time.sub (Engine.now t.engine) state.dispatch_time))
             | Some _ | None -> ()
           end;
-          t.exec_digest <-
-            Sha256.digest_string (t.exec_digest ^ desc.digest);
-          Resource.charge t.execution
+          release_admission t desc.id;
+          Resource.charge lane
             (Costmodel.mac_gen (costs t) ~bytes:(String.length result + 16));
-          reply_to ~span:espan t desc.id result
-        end)
+          reply_to ~span:espan ~thread:lane t desc.id result)
+    end
   end
 
 (* Concurrent ordering: the sequencer's emit callback. Every correct
@@ -817,12 +911,46 @@ let on_delivery t (d : Messages.t Network.delivery) =
   else
   match d.Network.payload with
   | Messages.Request req ->
-    let vspan =
-      Spans.job ~parent:d.Network.span ~tag:Bftspan.Tag.Crypto_verify
-        ~node:t.id ~instance:(-1) ~now:(Engine.now t.engine)
+    (* Admission triage ({!Bftflow.Admission}) runs at ingress, in the
+       NIC poll loop: the decision reads only the request id from the
+       message header, before any worker-core job is queued. The gate
+       exists to protect the verification stage — at saturation that
+       thread is 100% busy on per-request MAC + signature checks, so a
+       refusal must cost it nothing at all (an early drop in the
+       receive path, XDP-style); charging even the receive demux to
+       shed traffic would let a retry storm consume the very cycles
+       the gate is defending. The BUSY reply is charged to the
+       propagation thread, which has slack at saturation. Only
+       requests this node has never seen compete for a slot: a request
+       already tracked, already holding a slot, or already executed is
+       in the pipeline (re-sent by a retrying client) or arrived by
+       PROPAGATE from peers, and refusing it now would deadlock
+       requests half-admitted across the cluster. Refusal creates no
+       tracking state, so a later retry is genuinely fresh. *)
+    let id = req.desc.id in
+    let fresh =
+      Bftflow.Admission.enabled t.admission
+      && (not (Request_id_table.mem t.requests id))
+      && (not (Request_id_table.mem t.admission_held id))
+      && (not (Request_id_table.mem t.executed id))
+      && not (List.mem id.client t.blacklist)
     in
-    Resource.submit ~span:vspan t.verification ~cost:base (fun () ->
-        handle_client_request t ~span:vspan req)
+    let verdict =
+      if not fresh then Ok ()
+      else
+        Bftflow.Admission.admit t.admission
+          ~backlog:(Resource.backlog t.verification)
+    in
+    (match verdict with
+     | Error retry_after -> busy_to t id retry_after
+     | Ok () ->
+       if fresh then Request_id_table.replace t.admission_held id ();
+       let vspan =
+         Spans.job ~parent:d.Network.span ~tag:Bftspan.Tag.Crypto_verify
+           ~node:t.id ~instance:(-1) ~now:(Engine.now t.engine)
+       in
+       Resource.submit ~span:vspan t.verification ~cost:base (fun () ->
+           handle_client_request t ~span:vspan req))
   | Messages.Propagate { req; from; junk } ->
     let pspan =
       Spans.job ~parent:d.Network.span ~tag:Bftspan.Tag.Propagate ~node:t.id
@@ -865,7 +993,7 @@ let on_delivery t (d : Messages.t Network.delivery) =
   | Messages.Instance_change { cpi; node } ->
     Resource.submit t.dispatch ~cost:base (fun () ->
         handle_instance_change t ~from:node ~cpi)
-  | Messages.Reply _ -> (* nodes never receive replies *) ()
+  | Messages.Reply _ | Messages.Busy _ -> (* nodes never receive replies *) ()
 
 (* ------------------------------------------------------------------ *)
 (* Monitoring loop and flooding processes                             *)
@@ -995,6 +1123,16 @@ let create engine net params ~id ~service =
       propagation = mk "propagation";
       dispatch = mk "dispatch";
       execution = mk "execution";
+      execution_shards =
+        (if params.Params.exec_shards > 1 then
+           Array.init params.Params.exec_shards (fun i ->
+               mk (Printf.sprintf "exec%d" i))
+         else [||]);
+      admission_held = Request_id_table.create 256;
+      admission =
+        Bftflow.Admission.create ~budget:params.Params.admission_budget
+          ~retry_base:params.Params.busy_retry_base;
+      exec_started = Request_id_table.create 4096;
       replica_threads =
         Array.init instances (fun i -> mk (Printf.sprintf "replica%d" i));
       replicas = [||];
@@ -1089,6 +1227,44 @@ let create engine net params ~id ~service =
          match Bftrcc.Sequencer.stall sequencer ~now:(Engine.now engine) with
          | Some (_, age) -> Time.to_sec_f age
          | None -> 0.0));
+  (* Adaptive batching ({!Bftflow.Batcher}): each replica's flush asks
+     a planner seeded with the static config point and probing the
+     stage that actually backs up — the verification thread feeding
+     the pipeline, plus the replica's own lane. *)
+  if params.Params.adaptive_batching then begin
+    let planner =
+      Bftflow.Batcher.make ~batch_size:params.Params.batch_size
+        ~batch_delay:params.Params.batch_delay ()
+    in
+    Array.iteri
+      (fun i r ->
+        let lane = t.replica_threads.(i) in
+        Pbftcore.Replica.set_batch_tuner r
+          (Some
+             (fun () ->
+               let backlog =
+                 Time.max
+                   (Resource.backlog t.verification)
+                   (Resource.backlog lane)
+               in
+               let depth =
+                 Resource.depth t.verification + Resource.depth lane
+               in
+               Bftflow.Batcher.plan planner ~backlog ~depth)))
+      t.replicas
+  end;
+  if Bftflow.Admission.enabled t.admission then begin
+    Bftmetrics.Registry.gauge_fn Bftmetrics.Registry.default
+      "bft_admission_inflight"
+      ~help:"Admitted client requests currently in flight"
+      ~labels:[ ("node", string_of_int id) ]
+      (fun () -> float_of_int (Bftflow.Admission.inflight t.admission));
+    Bftmetrics.Registry.gauge_fn Bftmetrics.Registry.default
+      "bft_admission_shed_total"
+      ~help:"Client requests answered BUSY by the admission gate"
+      ~labels:[ ("node", string_of_int id) ]
+      (fun () -> float_of_int (Bftflow.Admission.shed_total t.admission))
+  end;
   (* Queue-depth gauges are callback-backed: read only at sample or
      export time, so the module threads pay nothing. *)
   List.iter
@@ -1097,13 +1273,22 @@ let create engine net params ~id ~service =
         "bft_thread_backlog"
         ~help:"Queued jobs on a node module thread"
         ~labels:[ ("node", string_of_int id); ("thread", name) ]
-        (fun () -> float_of_int (Resource.backlog r)))
+        (fun () -> float_of_int (Resource.backlog r));
+      Bftmetrics.Registry.gauge_fn Bftmetrics.Registry.default
+        "bft_thread_depth"
+        ~help:"Jobs waiting in a node module thread's queue"
+        ~labels:[ ("node", string_of_int id); ("thread", name) ]
+        (fun () -> float_of_int (Resource.depth r)))
     ([
        ("verification", t.verification);
        ("propagation", t.propagation);
        ("dispatch", t.dispatch);
        ("execution", t.execution);
      ]
+    @ Array.to_list
+        (Array.mapi
+           (fun i r -> (Printf.sprintf "exec%d" i, r))
+           t.execution_shards)
     @ Array.to_list
         (Array.mapi
            (fun i r -> (Printf.sprintf "replica%d" i, r))

@@ -95,6 +95,14 @@ val ic_vote_cpi_of : t -> node:int -> int
     Together with {!ic_vote_count} this lets tests pin the vote-set
     rebuild across cpi advances. *)
 
+val admission_inflight : t -> int
+(** Admitted client requests currently holding an admission-gate slot
+    ([0] whenever the gate is disabled — the default). *)
+
+val admission_shed : t -> int
+(** Client requests this node has answered BUSY instead of admitting
+    ({!Bftflow.Admission}); [0] with the gate disabled. *)
+
 (** {1 Concurrent (bftrcc) ordering} *)
 
 val ordering : t -> Params.ordering

@@ -30,6 +30,10 @@ type t = {
   propagate_batch : int;
   propagate_batch_delay : Time.t;
   stall_change : Time.t;
+  admission_budget : int;
+  busy_retry_base : Time.t;
+  adaptive_batching : bool;
+  exec_shards : int;
 }
 
 let default ~f =
@@ -56,6 +60,10 @@ let default ~f =
     propagate_batch = 16;
     propagate_batch_delay = Time.us 300;
     stall_change = Time.ms 250;
+    admission_budget = 0;
+    busy_retry_base = Time.ms 10;
+    adaptive_batching = false;
+    exec_shards = 1;
   }
 
 let n t = (3 * t.f) + 1

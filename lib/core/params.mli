@@ -83,6 +83,28 @@ type t = {
       (** concurrent mode: head-of-line merge stall age after which a
           node votes an instance change (covers a crashed or isolated
           partition owner, which the Δ-ratio check cannot see) *)
+  admission_budget : int;
+      (** flow control ({!Bftflow.Admission}): max fresh client
+          requests a node admits into its pipeline at once; past the
+          budget it answers BUSY with a retry hint instead of letting
+          the verification queue grow without bound. [0] (the default)
+          disables the gate *)
+  busy_retry_base : Time.t;
+      (** floor of the retry hint carried by a BUSY reply, and the base
+          of the client's exponential backoff. Must sit well above the
+          admitted pipeline's turnover time (budget / throughput): a
+          base far below it makes shed clients retry before any slot
+          could have freed, and the re-shed traffic snowballs into a
+          retry storm that starves the very stage the gate protects *)
+  adaptive_batching : bool;
+      (** flow control ({!Bftflow.Batcher}): primaries scale batch
+          size/delay from live verification-stage backlog probes
+          instead of the static [batch_size]/[batch_delay] *)
+  exec_shards : int;
+      (** sharded execution: number of parallel execution lanes for
+          services that declare a shard key ({!Bftapp.Service});
+          [<= 1] (the default) keeps the single serial execution
+          stage *)
 }
 
 val default : f:int -> t

@@ -1,0 +1,13 @@
+(* djb2 over the key bytes, masked to stay non-negative on 63-bit
+   ints. Written out rather than using [Hashtbl.hash] so the key→shard
+   map is pinned by this file alone: execution order within a shard is
+   part of observable replica state (state digests), so the hash must
+   never drift with the compiler's runtime. *)
+let hash key =
+  let h = ref 5381 in
+  String.iter
+    (fun c -> h := ((!h lsl 5) + !h + Char.code c) land max_int)
+    key;
+  !h
+
+let index ~shards key = if shards <= 1 then 0 else hash key mod shards

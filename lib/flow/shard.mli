@@ -1,0 +1,13 @@
+(** Deterministic key → shard placement for sharded execution.
+
+    Every replica must route a given key to the same shard in every
+    run (per-shard execution order feeds the state digest), so the
+    hash is a fixed djb2 over the key bytes — independent of the OCaml
+    runtime's [Hashtbl.hash]. *)
+
+val hash : string -> int
+(** Non-negative djb2 hash of the key bytes. *)
+
+val index : shards:int -> string -> int
+(** [index ~shards key] is the shard in [0, shards) owning [key];
+    always 0 when [shards <= 1]. *)

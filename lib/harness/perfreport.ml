@@ -27,7 +27,8 @@ let duration ~quick = Time.of_sec_f (if quick then 1.0 else 2.0)
    [span_sample] > 0 additionally runs the span tracer at 1/N sampling;
    the caller reads the spans back via [Bftspan.Tracer.to_array]. *)
 let static_run ?(attack = fun _ -> ()) ?(f = 1) ?(span_sample = 0)
-    ?(ordering = Rbft.Params.Redundant) ~with_metrics ~quick ~payload () =
+    ?(ordering = Rbft.Params.Redundant) ?(flow = true) ~with_metrics ~quick
+    ~payload () =
   let module Registry = Bftmetrics.Registry in
   (* Calibrate before touching the registry so the probe runs don't
      pollute this run's counters. *)
@@ -49,7 +50,27 @@ let static_run ?(attack = fun _ -> ()) ?(f = 1) ?(span_sample = 0)
     Loadshape.static ~duration:(duration ~quick) ~clients
       ~rate:(rate /. float_of_int clients)
   in
-  let params = { (Rbft.Params.default ~f) with Rbft.Params.ordering } in
+  (* The bench measures the flow-controlled configuration: bounded
+     admission keeps the saturating open-loop rate from growing an
+     unbounded verification queue (the queue-wait wall), and adaptive
+     batching lets the primary trade batch size against delay from the
+     live backlog. The budget bounds in-flight requests per node at
+     roughly 1.3x the pipe's natural occupancy at peak throughput:
+     large enough that bursty slot turnover (batches free dozens of
+     slots at once) never idles the verification stage, small enough
+     that the queue-wait share of end-to-end latency stays bounded.
+     The scaling sweep passes [~flow:false]: it measures the ordering
+     modes' scaling laws in isolation, and a budget sized for the f=1
+     redundant pipe would throttle concurrent mode's higher capacity
+     at f=3 (inflight cap / latency < peak throughput). *)
+  let params =
+    if flow then
+      { (Rbft.Params.default ~f) with
+        Rbft.Params.ordering;
+        admission_budget = 128;
+        adaptive_batching = true }
+    else { (Rbft.Params.default ~f) with Rbft.Params.ordering }
+  in
   let cluster =
     Rbft.Cluster.create ~clients:(Loadshape.max_clients shape)
       ~payload_size:payload params
@@ -265,7 +286,7 @@ let generate_scale ~quick =
         let n = (3 * f) + 1 and instances = f + 1 in
         let r =
           Profile.time (Printf.sprintf "perfreport:scale-f%d" f) (fun () ->
-              static_run ~f ~with_metrics:true ~quick ~payload ())
+              static_run ~f ~flow:false ~with_metrics:true ~quick ~payload ())
         in
         (* Same cluster size in concurrent (bftrcc) ordering, where the
            f+1 instances order disjoint client partitions instead of
@@ -274,8 +295,8 @@ let generate_scale ~quick =
         let c =
           Profile.time (Printf.sprintf "perfreport:scale-f%d-concurrent" f)
             (fun () ->
-              static_run ~f ~ordering:Rbft.Params.Concurrent ~with_metrics:true
-                ~quick ~payload ())
+              static_run ~f ~ordering:Rbft.Params.Concurrent ~flow:false
+                ~with_metrics:true ~quick ~payload ())
         in
         (f, n, instances, r, c))
       [ 1; 2; 3 ]

@@ -81,6 +81,10 @@ let describe (m : Rbft.Messages.t) =
     Printf.sprintf "ic:%d.n%d" cpi node
   | Rbft.Messages.Reply { id; node; _ } ->
     Printf.sprintf "rep:c%d.%d.n%d" id.client id.rid node
+  | Rbft.Messages.Busy { id; node; _ } ->
+    (* Not reachable in checked configurations (admission is off by
+       default), but labelled for completeness. *)
+    Printf.sprintf "busy:c%d.%d.n%d" id.client id.rid node
 
 let correct_nodes cfg =
   let n = (3 * cfg.f) + 1 in

@@ -143,6 +143,12 @@ type t = {
      cursor stops inflating the queue every later real batch of the
      stream would have to sit behind. *)
   mutable noop_gate : (unit -> bool) option;
+  (* Adaptive batching ({!Bftflow.Batcher}): when set, each flush asks
+     the tuner for the (batch size, flush delay) to use instead of the
+     static config values. Node-owned closure, like [batch_filter], so
+     the policy can probe node-level resources the replica never sees.
+     Timing-only: deliberately absent from [fingerprint]. *)
+  mutable batch_tuner : (unit -> int * Time.t) option;
   mutable last_pp_at : Time.t;
   mutable next_seq : seqno;  (* primary: next seq to assign *)
   mutable next_deliver : seqno;
@@ -199,6 +205,7 @@ let create ?clock engine cfg cb =
     pending_len = 0;
     batch_timer = None;
     batch_filter = None;
+    batch_tuner = None;
     noop_interval = Time.zero;
     noop_gate = None;
     last_pp_at = Time.zero;
@@ -484,23 +491,36 @@ let record_pp t (pp : Messages.pre_prepare) =
   set_entry_digest e (Messages.batch_digest pp.descs);
   e.t_pp <- Engine.now t.engine
 
+(* Effective (batch size, flush delay) for the next flush: the static
+   config values, or the tuner's live plan when one is installed. *)
+let batch_plan t =
+  match t.batch_tuner with
+  | None -> (t.cfg.batch_size, t.cfg.batch_delay)
+  | Some tune ->
+    let size, delay = tune () in
+    (Stdlib.max 1 size, delay)
+
 let rec flush_batch t =
   cancel_batch_timer t;
-  if t.pending_len > 0 && not t.in_vc && in_window t t.next_seq then begin
+  (* [is_primary]: a lingering batch timer on a replica demoted by a
+     completed view change must not flush and broadcast a stale batch. *)
+  if t.pending_len > 0 && (not t.in_vc) && is_primary t && in_window t t.next_seq
+  then begin
+    let batch_size, _ = batch_plan t in
     let descs = List.rev t.pending_batch in
     (* The running [pending_len] replaces the [List.length] walks the
        old accounting performed per flush (and per enqueued request in
        [maybe_batch]). *)
-    let batch_len = Stdlib.min t.pending_len t.cfg.batch_size in
+    let batch_len = Stdlib.min t.pending_len batch_size in
     let batch, rest =
-      if t.pending_len <= t.cfg.batch_size then (descs, [])
+      if t.pending_len <= batch_size then (descs, [])
       else
         let rec split i acc = function
           | [] -> (List.rev acc, [])
           | l when i = 0 -> (List.rev acc, l)
           | x :: tl -> split (i - 1) (x :: acc) tl
         in
-        split t.cfg.batch_size [] descs
+        split batch_size [] descs
     in
     t.pending_batch <- List.rev rest;
     t.pending_len <- t.pending_len - batch_len;
@@ -542,17 +562,26 @@ let rec flush_batch t =
           (Time.add t.pp_release interval)
       in
       t.pp_release <- release;
-      ignore (Engine.at t.engine release (fun () -> if not t.in_vc then issue ()))
+      (* The delayed closure may fire after a completed view change:
+         by then [in_vc] is false again, but issuing would broadcast a
+         stale-view PRE-PREPARE and wrongly mark [sent_prepare] on the
+         new view's entry for the slot. Only issue while the batch's
+         view is still current and this replica is still its primary. *)
+      ignore
+        (Engine.at t.engine release (fun () ->
+             if (not t.in_vc) && pp.Messages.view = t.view && is_primary t then
+               issue ()))
     end;
     if t.pending_len > 0 then flush_batch t
   end
 
 let maybe_batch t =
   if is_primary t && not t.in_vc then begin
-    if t.pending_len >= t.cfg.batch_size then flush_batch t
+    let batch_size, batch_delay = batch_plan t in
+    if t.pending_len >= batch_size then flush_batch t
     else if t.batch_timer = None && t.pending_len > 0 then
       t.batch_timer <-
-        Some (Clock.after t.clock t.cfg.batch_delay (fun () ->
+        Some (Clock.after t.clock batch_delay (fun () ->
                   t.batch_timer <- None;
                   flush_batch t))
   end
@@ -610,6 +639,7 @@ let set_noop_interval t interval =
 
 let set_noop_gate t g = t.noop_gate <- g
 let set_batch_filter t f = t.batch_filter <- f
+let set_batch_tuner t f = t.batch_tuner <- f
 
 (* ------------------------------------------------------------------ *)
 (* Prepares and commits                                               *)
@@ -695,7 +725,38 @@ let accept_pp t ~from (pp : Messages.pre_prepare) =
         e.sent_commit <- false;
         adopt ()
       end
-    | Some _ when e.sent_prepare || e.delivered ->
+    | Some _ when e.delivered ->
+      (* Delivered: the batch is final here. But the PP may be a later
+         view's re-proposal from a replica that could not complete the
+         slot before the view change ([enter_view] clears uncommitted
+         certificates, so a replica that had sent its commit without
+         yet holding 2f+1 of them restarts the slot from scratch).
+         Staying mute would wedge that replica's in-order delivery on
+         this slot forever: everyone who already delivered never votes
+         in the new view, so no fresh certificate can form. Re-announce
+         prepare and commit for the delivered digest in the current
+         view — re-affirming a final batch is always safe, and those
+         votes are exactly what the re-proposer is missing. *)
+      if pp.view > e.pp_view && digest = e.digest then begin
+        e.pp_view <- pp.view;
+        broadcast t
+          (Messages.Prepare
+             {
+               view = t.view;
+               seq = pp.seq;
+               digest = e.digest;
+               replica = t.cfg.replica_id;
+             });
+        broadcast t
+          (Messages.Commit
+             {
+               view = t.view;
+               seq = pp.seq;
+               digest = e.digest;
+               replica = t.cfg.replica_id;
+             })
+      end
+    | Some _ when e.sent_prepare ->
       () (* duplicate of an already-acknowledged batch *)
     | Some _ | None ->
       (* Fresh in this view — possibly a batch retained from an
@@ -774,6 +835,11 @@ and enter_view t v =
       (Bftaudit.Event.View_entered { view = v; primary = t.cfg.primary_of_view v });
   t.view <- v;
   t.in_vc <- false;
+  (* A batch timer armed while this replica was primary of the old
+     view must die with the view: if it survived, its eventual flush
+     on the (now demoted) replica would broadcast a batch the new
+     primary also re-proposes. *)
+  cancel_batch_timer t;
   t.vc_completed <- t.vc_completed + 1;
   if Bftmetrics.Registry.active () then
     Bftmetrics.Registry.Counter.inc t.m.view_changes;
@@ -836,8 +902,16 @@ and new_primary_repropose t v =
       if target = v then
         List.iter
           (fun (p : Messages.prepared_proof) ->
-            if p.pseq > t.last_stable && p.pseq >= t.next_deliver then
-              offer p.pseq p.pview p.pdescs)
+            (* Slots this primary already delivered are re-proposed
+               too when a VIEW-CHANGE proof references them: the proof
+               means some replica prepared the slot but could not
+               finish it, and it needs a fresh certificate in the new
+               view (replicas that delivered re-vote on the
+               re-proposal; see [accept_pp]). Quorum intersection
+               makes the proof's batch the delivered one. Slots at or
+               below the stable checkpoint are GC'd here; the wedged
+               replica recovers those by state transfer instead. *)
+            if p.pseq > t.last_stable then offer p.pseq p.pview p.pdescs)
           proofs)
     t.vc_proofs;
   let reproposed = ref Request_id_set.empty in

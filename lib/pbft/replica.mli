@@ -103,6 +103,16 @@ val set_batch_filter : t -> (request_desc -> bool) option -> unit
     redundant ordering for a degraded partition needs no
     reconfiguration. *)
 
+val set_batch_tuner : t -> (unit -> int * Time.t) option -> unit
+(** Adaptive batching: when set, each flush decision asks the tuner
+    for the (batch size, flush delay) to use instead of the static
+    [batch_size]/[batch_delay] of the config. The hosting node
+    supplies a closure over its live load probes (stage backlogs,
+    queue depths — see {!Bftflow.Batcher}); sizes below 1 are clamped
+    to 1. [None] (the default) keeps the static configuration. The
+    tuner affects timing and batch boundaries only, never which
+    requests are ordered. *)
+
 val set_noop_interval : t -> Time.t -> unit
 (** Concurrent ordering: when primary and idle for this long, order an
     empty no-op heartbeat batch through the normal three-phase

@@ -18,6 +18,9 @@ type t = {
   mutable busy_total : Time.t;
   mutable jobs : int;
   mutable speed : float;
+  mutable queued_cost : Time.t;
+      (* running sum of [job.cost] over [queue], so [backlog] is O(1)
+         on the adaptive batcher's per-flush polling path *)
 }
 
 let create engine ~name =
@@ -30,6 +33,7 @@ let create engine ~name =
     busy_total = Time.zero;
     jobs = 0;
     speed = 1.0;
+    queued_cost = Time.zero;
   }
 
 let name t = t.name
@@ -48,6 +52,7 @@ let rec start_next t =
   match Queue.take_opt t.queue with
   | None -> t.running <- false
   | Some job ->
+    t.queued_cost <- Time.max Time.zero (Time.sub t.queued_cost job.cost);
     t.running <- true;
     let cost = scaled t job.cost in
     let start = Time.max (Engine.now t.engine) t.busy_until in
@@ -66,6 +71,7 @@ let rec start_next t =
 
 let submit ?(span = -1) t ~cost k =
   Queue.add { cost; span; k } t.queue;
+  t.queued_cost <- Time.add t.queued_cost cost;
   if not t.running then start_next t
 
 let charge t extra =
@@ -77,9 +83,17 @@ let charge t extra =
 let busy_until t = t.busy_until
 
 let backlog t =
+  let now = Engine.now t.engine in
+  Time.add (Time.max Time.zero (Time.sub t.busy_until now)) t.queued_cost
+
+(* O(n) reference implementation of [backlog]; the property test pins
+   the incremental [queued_cost] sum to this fold. *)
+let backlog_fold t =
   let queued = Queue.fold (fun acc job -> Time.add acc job.cost) Time.zero t.queue in
   let now = Engine.now t.engine in
   Time.add (Time.max Time.zero (Time.sub t.busy_until now)) queued
+
+let depth t = Queue.length t.queue
 
 let busy_total t = t.busy_total
 let jobs_served t = t.jobs

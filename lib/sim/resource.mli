@@ -53,8 +53,20 @@ val busy_until : t -> Time.t
     work accepted so far. *)
 
 val backlog : t -> Time.t
-(** [backlog t] is [max 0 (busy_until - now)]: how far behind the
-    resource currently is. Used by adversaries and by load probes. *)
+(** [backlog t] is [max 0 (busy_until - now)] plus the total cost of
+    jobs still queued: how far behind the resource currently is. Used
+    by adversaries, load probes and the adaptive batcher — O(1) via a
+    running sum maintained on enqueue/dequeue. *)
+
+val backlog_fold : t -> Time.t
+(** O(n) reference implementation of {!backlog} that folds over the
+    queue; exists so a property test can pin the incremental sum to
+    the fold. Not for hot paths. *)
+
+val depth : t -> int
+(** Number of jobs waiting in the queue (excluding the one in
+    service). The queue-depth gauge and the adaptive batcher's probes
+    read this. *)
 
 val busy_total : t -> Time.t
 (** Cumulative virtual time spent serving jobs; divide by elapsed time

@@ -20,6 +20,9 @@ type t =
                   global execution order (Bftrcc.Sequencer) *)
   | Execution  (** state-machine execution of the operation *)
   | Reply  (** reply transit back to the client *)
+  | Backoff
+      (** client-side wait after BUSY backpressure replies, before the
+          retry of the same request (admission gate, Bftflow) *)
   | Other
 
 let name = function
@@ -36,6 +39,7 @@ let name = function
   | Sequence -> "sequence"
   | Execution -> "execution"
   | Reply -> "reply"
+  | Backoff -> "backoff"
   | Other -> "other"
 
 let all =
@@ -53,6 +57,7 @@ let all =
     Sequence;
     Execution;
     Reply;
+    Backoff;
     Other;
   ]
 

@@ -132,6 +132,8 @@ let sample_rbft_messages =
       };
     Rbft.Messages.Instance_change { cpi = 4; node = 2 };
     Rbft.Messages.Reply { id = { client = 9; rid = 12 }; result = "ok"; node = 1 };
+    Rbft.Messages.Busy
+      { id = { client = 5; rid = 77 }; retry_after = Dessim.Time.ms 10; node = 3 };
   ]
 
 let test_rbft_roundtrip () =
@@ -168,6 +170,32 @@ let test_rbft_junk_propagate_roundtrip () =
   | Some (Rbft.Messages.Propagate { junk = true; from = 3; req }) ->
     Alcotest.(check int) "padding size preserved" 9000 req.Rbft.Messages.desc.op_size
   | Some _ | None -> Alcotest.fail "junk roundtrip failed"
+
+(* BUSY is the admission gate's refusal; it must survive both codec
+   variants byte-exactly (the retry hint drives client backoff, so a
+   lossy hint would desynchronise the retry schedule). *)
+let test_rbft_busy_roundtrip () =
+  List.iter
+    (fun order_full_requests ->
+      List.iter
+        (fun retry_after ->
+          let msg =
+            Rbft.Messages.Busy
+              { id = { client = 2; rid = 41 }; retry_after; node = 1 }
+          in
+          match
+            Rbft.Codec.decode ~order_full_requests
+              (Rbft.Codec.encode ~order_full_requests msg)
+          with
+          | Some decoded ->
+            Alcotest.(check bool)
+              (Printf.sprintf "busy roundtrip (full=%b hint=%s)"
+                 order_full_requests
+                 (Dessim.Time.to_string retry_after))
+              true (decoded = msg)
+          | None -> Alcotest.fail "busy decode failed")
+        [ Dessim.Time.zero; Dessim.Time.us 1; Dessim.Time.ms 10; Dessim.Time.of_sec_f 1.3 ])
+    [ false; true ]
 
 (* Wire sizes used for cost accounting must track encoded lengths for
    the dominant, size-dependent parts (bodies, digests, batches). The
@@ -235,6 +263,7 @@ let suites =
       [
         Alcotest.test_case "roundtrip" `Quick test_rbft_roundtrip;
         Alcotest.test_case "junk propagate" `Quick test_rbft_junk_propagate_roundtrip;
+        Alcotest.test_case "busy roundtrip" `Quick test_rbft_busy_roundtrip;
       ]
       @ qsuite [ prop_rbft_request_roundtrip ] );
   ]

@@ -462,6 +462,116 @@ let test_new_primary_reproposes_inflight () =
     rig.replicas;
   check_agreement rig
 
+(* Regression: a delay-attack primary schedules its PRE-PREPARE
+   broadcasts in closures; a view change completing before a closure
+   fires must kill it. Without the [pp.view = t.view && is_primary]
+   guard the demoted replica would broadcast a stale-view PP and mark
+   [sent_prepare] on the new view's entry for the slot — it then
+   ignores the new primary's batch for that seq and can never commit
+   or deliver it. *)
+let test_stale_delayed_pp_dies_with_view () =
+  let rig = make_rig () in
+  (Replica.adversary rig.replicas.(0)).Replica.pp_extra_delay <-
+    (fun () -> Time.ms 5);
+  let stale_pps = ref 0 in
+  let tok =
+    Bftaudit.Bus.subscribe (fun (e : Bftaudit.Event.t) ->
+        match e.kind with
+        | Bftaudit.Event.Pre_prepare_sent { view = 0; _ } when e.node = 0 ->
+          (* Any view-0 PP broadcast after the 1ms view change is the
+             stale closure firing; none may exist past that point. *)
+          if e.time > Time.ms 1 then incr stale_pps
+        | _ -> ())
+  in
+  for rid = 1 to 8 do
+    submit_all rig (req rid)
+  done;
+  ignore
+    (Engine.after rig.engine (Time.ms 1) (fun () ->
+         Array.iter Replica.force_view_change rig.replicas));
+  Engine.run rig.engine;
+  Bftaudit.Bus.unsubscribe tok;
+  Alcotest.(check int) "no stale-view pre-prepare issued" 0 !stale_pps;
+  Array.iteri
+    (fun i r ->
+      Alcotest.(check int) (Printf.sprintf "replica %d ordered all" i) 8
+        (Replica.ordered_count r))
+    rig.replicas;
+  check_agreement rig
+
+(* Regression: a partial batch armed a flush timer on the primary; a
+   view change demoting the primary must cancel it (and the
+   [is_primary] re-check in [flush_batch] must hold even if a timer
+   survives), so the demoted replica never proposes after demotion. *)
+let test_demoted_primary_batch_timer_cancelled () =
+  let rig =
+    make_rig
+      ~tweak:(fun i c ->
+        if i = 0 then { c with Replica.batch_delay = Time.ms 20 } else c)
+      ()
+  in
+  let late_pps = ref 0 in
+  let tok =
+    Bftaudit.Bus.subscribe (fun (e : Bftaudit.Event.t) ->
+        match e.kind with
+        | Bftaudit.Event.Pre_prepare_sent _ when e.node = 0 && e.time > Time.ms 1
+          ->
+          incr late_pps
+        | _ -> ())
+  in
+  (* Three requests sit in replica 0's pending batch behind the 20ms
+     timer; the view change at 1ms demotes it before any flush. *)
+  for rid = 1 to 3 do
+    submit_all rig (req rid)
+  done;
+  ignore
+    (Engine.after rig.engine (Time.ms 1) (fun () ->
+         Array.iter Replica.force_view_change rig.replicas));
+  Engine.run rig.engine;
+  Bftaudit.Bus.unsubscribe tok;
+  Alcotest.(check int) "demoted primary proposed nothing" 0 !late_pps;
+  Array.iteri
+    (fun i r ->
+      Alcotest.(check int)
+        (Printf.sprintf "replica %d ordered all" i)
+        3 (Replica.ordered_count r))
+    rig.replicas;
+  check_agreement rig
+
+(* Regression for the delivered-slot re-vote: a replica that missed a
+   slot's quorum round re-proposes the batch after becoming primary
+   (or re-batches the request at the same seq). Replicas that already
+   delivered the slot must answer the re-proposal with fresh
+   prepare/commit votes in the new view — staying mute wedges the new
+   primary's in-order delivery on that slot forever, which is exactly
+   what a mid-commit instance change produced under worst1. *)
+let test_delivered_slot_revote_unwedges_new_primary () =
+  let rig = make_rig () in
+  (* Replica 1 hears nothing while the others deliver seq 1. *)
+  rig.drop_to := [ 1 ];
+  submit_all rig (req 1);
+  Engine.run rig.engine;
+  Array.iteri
+    (fun i r ->
+      if i <> 1 then
+        Alcotest.(check int)
+          (Printf.sprintf "replica %d delivered without 1" i)
+          1 (Replica.ordered_count r))
+    rig.replicas;
+  Alcotest.(check int) "replica 1 behind" 0 (Replica.ordered_count rig.replicas.(1));
+  (* Heal the network and rotate: replica 1 becomes the view-1
+     primary and re-proposes the request it still holds at seq 1. *)
+  rig.drop_to := [];
+  Array.iter Replica.force_view_change rig.replicas;
+  Engine.run rig.engine;
+  Array.iteri
+    (fun i r ->
+      Alcotest.(check int)
+        (Printf.sprintf "replica %d delivered after revote" i)
+        1 (Replica.ordered_count r))
+    rig.replicas;
+  check_agreement rig
+
 let prop_agreement_random_order =
   QCheck.Test.make ~name:"replicas agree under random submission orders"
     QCheck.(pair (int_bound 10_000) (int_range 1 60))
@@ -514,6 +624,12 @@ let suites =
         Alcotest.test_case "no duplicate deliveries" `Quick test_view_change_no_duplicates;
         Alcotest.test_case "re-proposes in-flight batches" `Quick
           test_new_primary_reproposes_inflight;
+        Alcotest.test_case "stale delayed pp dies with view" `Quick
+          test_stale_delayed_pp_dies_with_view;
+        Alcotest.test_case "demoted primary batch timer cancelled" `Quick
+          test_demoted_primary_batch_timer_cancelled;
+        Alcotest.test_case "delivered-slot revote unwedges new primary" `Quick
+          test_delivered_slot_revote_unwedges_new_primary;
       ] );
     ( "pbft.checkpoint",
       [

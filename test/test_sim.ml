@@ -452,6 +452,44 @@ let prop_resource_completion_monotonic =
       in
       indices = List.init (List.length costs) (fun i -> i) && sorted times)
 
+(* The O(1) running-sum backlog must agree with the O(n) fold over the
+   queue at every observable instant: before and after each submit,
+   after partial runs that land mid-service, inside handlers (including
+   ones that [charge] extra work), and at drain. *)
+let prop_resource_backlog_matches_fold =
+  QCheck.Test.make ~name:"incremental backlog matches the fold reference"
+    QCheck.(
+      list_of_size
+        Gen.(int_range 1 30)
+        (triple (int_range 0 500) (int_range 0 400) bool))
+    (fun ops ->
+      let e = Engine.create () in
+      let r = Resource.create e ~name:"cpu" in
+      let ok = ref true in
+      let check () =
+        if
+          Resource.backlog r <> Resource.backlog_fold r
+          || Resource.backlog r < Time.zero
+        then ok := false
+      in
+      List.iter
+        (fun (cost, advance, charges) ->
+          check ();
+          Resource.submit r ~cost:(Time.us cost) (fun () ->
+              if charges then Resource.charge r (Time.us 150);
+              check ());
+          check ();
+          Engine.run ~until:(Time.add (Engine.now e) (Time.us advance)) e;
+          check ())
+        ops;
+      (* A trailing [charge] can leave [busy_until] past the last event,
+         so park the clock beyond every possible busy period before
+         asserting the drained backlog is zero. *)
+      ignore (Engine.after e (Time.of_sec_f 1.0) (fun () -> ()));
+      Engine.run e;
+      check ();
+      !ok && Resource.backlog r = Time.zero && Resource.depth r = 0)
+
 (* ------------------------------------------------------------------ *)
 (* Trace                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -560,5 +598,9 @@ let suites =
         Alcotest.test_case "charge pushes back" `Quick test_resource_charge_pushes_back;
         Alcotest.test_case "accounting" `Quick test_resource_accounting;
       ]
-      @ qsuite [ prop_resource_completion_monotonic ] );
+      @ qsuite
+          [
+            prop_resource_completion_monotonic;
+            prop_resource_backlog_matches_fold;
+          ] );
   ]
