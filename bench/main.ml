@@ -12,6 +12,10 @@
                                           -- machine-readable perf report
      dune exec bench/main.exe -- --scale [BENCH_scale.json]
                                           -- f = 1..3 scaling sweep only
+     dune exec bench/main.exe -- --clients [BENCH_clients.json]
+                                          -- client-population capacity
+                                             sweep only (peak live words,
+                                             GC stats, footprint peaks)
      dune exec bench/main.exe -- --prom FILE -- Prometheus dump of the
                                              end-of-run metric registry
      dune exec bench/main.exe -- --seeds 5  -- fault-free baselines across
@@ -283,7 +287,35 @@ let micro_benchmarks () =
       Test.make ~name:"doctor-hook-disabled" (Staged.stage recorder_guarded);
       Test.make ~name:"doctor-span-close-disabled"
         (Staged.stage close_hook_dispatch);
-    ]
+    ];
+  (* Footprint-probe hook cost, same discipline as every other gate:
+     [note] on a registered probe is a ref read and a branch when
+     capacity observability is off — it sits on the request-table
+     insert path, so it must stay in the < ~5 ns disabled-hook
+     ballpark. The enabled case is an int compare and one or two
+     field mutations (peak tracking), no allocation. *)
+  let cap_was_active = Bftcap.Footprint.active () in
+  Bftcap.Footprint.disable ();
+  let bench_tbl = Hashtbl.create 16 in
+  let bench_probe =
+    Bftcap.Footprint.register ~name:"bench.table" ~owner:"bench"
+      ~entries:(fun () -> Hashtbl.length bench_tbl)
+      ~root:(fun () -> Some (Obj.repr bench_tbl))
+      ()
+  in
+  let note_guarded () = Bftcap.Footprint.note bench_probe in
+  let active_check () =
+    if Bftcap.Footprint.active () then ignore (Sys.opaque_identity 0)
+  in
+  run_tests
+    [
+      Test.make ~name:"cap-note-disabled" (Staged.stage note_guarded);
+      Test.make ~name:"cap-active-disabled" (Staged.stage active_check);
+    ];
+  Bftcap.Footprint.enable ();
+  run_tests
+    [ Test.make ~name:"cap-note-enabled" (Staged.stage note_guarded) ];
+  if not cap_was_active then Bftcap.Footprint.disable ()
 
 let want only id = match only with [] -> true | ids -> List.mem id ids
 
@@ -296,6 +328,7 @@ let () =
   let prom = ref None in
   let seeds = ref 0 in
   let scale = ref None in
+  let clients = ref None in
   let rec parse = function
     | [] -> ()
     | "--quick" :: rest ->
@@ -329,6 +362,13 @@ let () =
     | "--scale" :: rest ->
       scale := Some "BENCH_scale.json";
       parse rest
+    | "--clients" :: path :: rest
+      when path = "-" || not (String.length path > 1 && path.[0] = '-') ->
+      clients := Some path;
+      parse rest
+    | "--clients" :: rest ->
+      clients := Some "BENCH_clients.json";
+      parse rest
     | _ :: rest -> parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
@@ -341,7 +381,7 @@ let () =
     Report.print (Experiments.seed_sweep ~quick ~seeds:!seeds);
     Printf.printf "  (seed sweep took %.1fs)\n%!" (Unix.gettimeofday () -. t)
   end
-  else if !scale <> None then
+  else if !scale <> None || !clients <> None then
     (* Dedicated mode: the sweep is written below, after option
        handling; the figure experiments are skipped. *)
     ()
@@ -375,13 +415,18 @@ let () =
     | Some s -> Printf.printf "Safety audit: %s\n%!" s
     | None -> ()
   end;
-  if (not !skip_micro) && !only = [] && !seeds = 0 && !scale = None then
+  if (not !skip_micro) && !only = [] && !seeds = 0 && !scale = None
+     && !clients = None
+  then
     Bftmetrics.Profile.time "micro-benchmarks" micro_benchmarks;
   (match !metrics with
    | Some path -> Perfreport.write ~quick ~path
    | None -> ());
   (match !scale with
    | Some path -> Perfreport.write_scale ~quick ~path
+   | None -> ());
+  (match !clients with
+   | Some path -> Perfreport.write_clients ~quick ~path
    | None -> ());
   (match !prom with
    | Some path ->

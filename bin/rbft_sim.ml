@@ -13,6 +13,7 @@
    Examples:
      rbft_sim run --f 1 --clients 10 --rate 2000 --seconds 2
      rbft_sim run --attack worst2 --payload 4096
+     rbft_sim run --clients 200 --cap-deep   -- memory footprint table
      rbft_sim trace-spans --span-sample 1/8 --attack worst1
      rbft_sim experiment --id fig12
      rbft_sim scenario --file examples/scenarios/flapping_partition.scn
@@ -26,7 +27,7 @@ open Dessim
 (* ------------------------------------------------------------------ *)
 
 let run_cluster f clients rate seconds payload attack mode transport seed trace
-    chrome audit metrics prom doctor =
+    chrome audit metrics prom doctor cap cap_deep cap_chrome =
   (* Structured observability: a capture (for file export and the run
      digest) whenever any trace output is requested, a console printer
      for [--trace -], and an online safety auditor for [--audit]. *)
@@ -70,6 +71,15 @@ let run_cluster f clients rate seconds payload attack mode transport seed trace
      [--metrics] additionally attaches the sim-time sampler so the CSV
      carries a time series rather than only end-of-run totals. *)
   if metrics <> None || prom <> None then Bftmetrics.Registry.enable ();
+  (* Capacity observability: turn on footprint peak tracking before
+     the cluster exists so every probe sees the whole run; deep
+     (reachable-words) measurement stays behind its own gate because
+     it traverses the heap at snapshot time. *)
+  let cap_on = cap || cap_deep || cap_chrome <> None in
+  if cap_on then begin
+    Bftcap.Footprint.enable ();
+    if cap_deep then Bftcap.Footprint.set_deep true
+  end;
   let cluster =
     Rbft.Cluster.create ~seed:(Int64.of_int seed) ~transport ~clients
       ~payload_size:payload params
@@ -92,6 +102,27 @@ let run_cluster f clients rate seconds payload attack mode transport seed trace
           cluster)
       doctor
   in
+  (* GC sampler for --cap: periodic Gc.quick_stat deltas folded with
+     the footprint probe entries, so the end-of-run summary can report
+     peaks and a growth slope. The gauges go to the registry only when
+     an export was asked for (they are wall-runtime state). *)
+  let gcstats =
+    if cap_on then
+      Some
+        (Bftcap.Gcstats.create
+           ~metrics:(metrics <> None || prom <> None)
+           ~window:256 ())
+    else None
+  in
+  (match gcstats with
+   | Some g ->
+     let engine = Rbft.Cluster.engine cluster in
+     let rec tick () =
+       Bftcap.Gcstats.sample g ~now:(Engine.now engine);
+       ignore (Engine.after engine (Time.ms 100) tick)
+     in
+     ignore (Engine.after engine (Time.ms 100) tick)
+   | None -> ());
   (match attack with
    | "none" -> ()
    | "worst1" -> Rbft.Attacks.worst_attack_1 cluster
@@ -123,6 +154,35 @@ let run_cluster f clients rate seconds payload attack mode transport seed trace
     (Rbft.Cluster.agreement_ok cluster ~faulty);
   Printf.printf "events simulated: %d\n"
     (Engine.events_processed (Rbft.Cluster.engine cluster));
+  (match gcstats with
+   | Some g ->
+     Bftcap.Gcstats.sample g ~now:(Engine.now (Rbft.Cluster.engine cluster));
+     print_newline ();
+     print_string (Bftcap.Footprint.table ~deep:cap_deep ());
+     Printf.printf "\nGC over the run (%d samples):\n"
+       (Bftcap.Gcstats.sample_count g);
+     List.iter
+       (fun (k, v) -> Printf.printf "  %-24s %14.0f\n" k v)
+       (Bftcap.Gcstats.deltas g);
+     Printf.printf "  %-24s %14d\n" "peak_live_words"
+       (Bftcap.Gcstats.peak_live_words g);
+     Printf.printf "  %-24s %14d\n" "peak_heap_words"
+       (Bftcap.Gcstats.peak_heap_words g);
+     (match Bftcap.Gcstats.growth g with
+      | Some gr ->
+        Printf.printf "  %-24s %14.0f words/s%s\n" "live_growth_slope"
+          gr.Bftcap.Gcstats.g_live_slope
+          (match gr.Bftcap.Gcstats.g_culprit with
+           | Some (name, per_s) ->
+             Printf.sprintf "  (fastest probe: %s, %+.0f entries/s)" name per_s
+           | None -> "")
+      | None -> ());
+     (match cap_chrome with
+      | Some path ->
+        Bftcap.Gcstats.write_chrome_counters g path;
+        Printf.printf "gc counter trace -> %s\n" path
+      | None -> ())
+   | None -> ());
   (match sampler with
    | Some s ->
      Bftmetrics.Sampler.detach s;
@@ -280,11 +340,41 @@ let run_cmd =
              miss) and write incident bundles under $(docv). Analyze them \
              with $(b,rbft_sim doctor).")
   in
+  let cap =
+    Arg.(
+      value & flag
+      & info [ "cap" ]
+          ~doc:
+            "Capacity observability: track per-structure footprint peaks and \
+             sample GC statistics every 100 ms of virtual time; print the \
+             footprint table and a GC summary (with the live-heap growth \
+             slope and the fastest-growing structure) at the end.")
+  in
+  let cap_deep =
+    Arg.(
+      value & flag
+      & info [ "cap-deep" ]
+          ~doc:
+            "Like $(b,--cap), but also measure each probed structure's \
+             approximate exclusive bytes with Obj.reachable_words at snapshot \
+             time (heap traversal — slower, never on a hot path).")
+  in
+  let cap_chrome =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cap-chrome" ] ~docv:"FILE"
+          ~doc:
+            "Write the GC sample window (live words, heap words, collection \
+             counts) as Chrome trace_event counter series to $(docv) (open \
+             in Perfetto). Implies $(b,--cap).")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate an RBFT cluster")
     Term.(
       const run_cluster $ f $ clients $ rate $ seconds $ payload $ attack $ mode
-      $ transport $ seed $ trace $ chrome $ audit $ metrics $ prom $ doctor)
+      $ transport $ seed $ trace $ chrome $ audit $ metrics $ prom $ doctor
+      $ cap $ cap_deep $ cap_chrome)
 
 (* ------------------------------------------------------------------ *)
 (* trace-spans                                                        *)

@@ -11,6 +11,7 @@
      bench_diff BASELINE.json FRESH.json [--tolerance 0.15]
                 [--skip SUBSTR] [--list]
      bench_diff --scale-check BENCH_scale.json
+     bench_diff --clients-check BENCH_clients.json
 
    Every numeric leaf present in the baseline must exist in the fresh
    report and agree within the relative tolerance; missing keys and
@@ -23,6 +24,16 @@
    two scaling laws — redundant ordering loses throughput with every
    extra fault tolerated while concurrent (bftrcc) ordering gains it,
    with f = 3 concurrent at least 1.5x the f = 1 value.
+
+   [--clients-check] validates a single BENCH_clients.json
+   structurally: at least three sweep points with strictly increasing
+   population sizes reaching 10^4 clients, each reporting positive
+   throughput, GC statistics with a positive peak live-words figure,
+   and a non-empty per-structure footprint-peak table — plus the
+   capacity law the sweep exists to watch: peak live words must grow
+   with the population (client endpoints cost memory), while no
+   per-structure footprint peak may grow proportionally with it
+   (that would be an unbounded per-client table).
 
    [--breakdown-check] validates a single BENCH_rbft.json's latency
    attribution: per-stage shares must sum to ~1.0 for every request
@@ -151,6 +162,125 @@ let scale_check path =
     List.iter (fun p -> Printf.eprintf "  %s\n" p) ps;
     exit 1
 
+(* Structural gate over the client-population capacity sweep. Numbers
+   are virtual-time deterministic, so the structural laws hold exactly
+   on every machine; the absolute values are gated by the committed
+   baseline through the ordinary two-file diff. *)
+let clients_check path =
+  let v = read_json path in
+  let problems = ref [] in
+  let complain fmt =
+    Printf.ksprintf (fun m -> problems := m :: !problems) fmt
+  in
+  let obj = function Bftdoctor.Jmini.Obj kvs -> Some kvs | _ -> None in
+  let field kvs k = List.assoc_opt k kvs in
+  let num kvs k =
+    match field kvs k with Some (Bftdoctor.Jmini.Num n) -> Some n | _ -> None
+  in
+  let sweep =
+    match obj v with
+    | Some kvs ->
+      (match field kvs "sweep" with
+       | Some (Bftdoctor.Jmini.Arr points) -> Some points
+       | _ -> None)
+    | None -> None
+  in
+  (match sweep with
+   | None -> complain "no sweep array"
+   | Some points ->
+     if List.length points < 3 then
+       complain "sweep has %d point(s), need >= 3" (List.length points);
+     let prev_clients = ref 0.0 in
+     let max_clients = ref 0.0 in
+     let first_live = ref None and last_live = ref None in
+     (* name -> (clients, peak) of first and last sightings, for the
+        proportional-growth check. *)
+     let fp_first = Hashtbl.create 16 and fp_last = Hashtbl.create 16 in
+     List.iteri
+       (fun i point ->
+         let label = Printf.sprintf "sweep.%d" i in
+         match obj point with
+         | None -> complain "%s is not an object" label
+         | Some row ->
+           let clients = Option.value ~default:0.0 (num row "clients") in
+           if clients <= !prev_clients then
+             complain "%s.clients %g not increasing (prev %g)" label clients
+               !prev_clients;
+           prev_clients := clients;
+           if clients > !max_clients then max_clients := clients;
+           List.iter
+             (fun k ->
+               match num row k with
+               | Some n when n > 0.0 -> ()
+               | Some n -> complain "%s.%s non-positive: %g" label k n
+               | None -> complain "%s.%s missing" label k)
+             [ "active"; "offered_req"; "throughput_req_s";
+               "latency_p50_ms"; "latency_p99_ms" ];
+           (match field row "gc" |> Option.map obj |> Option.join with
+            | None -> complain "%s.gc missing" label
+            | Some gc ->
+              (match num gc "peak_live_words" with
+               | Some n when n > 0.0 ->
+                 if !first_live = None then first_live := Some n;
+                 last_live := Some n
+               | Some n -> complain "%s.gc.peak_live_words non-positive: %g" label n
+               | None -> complain "%s.gc.peak_live_words missing" label);
+              List.iter
+                (fun k ->
+                  if num gc k = None then complain "%s.gc.%s missing" label k)
+                [ "minor_collections"; "major_collections"; "minor_words";
+                  "promoted_words"; "peak_heap_words" ]);
+           (match field row "footprint_peak" |> Option.map obj |> Option.join
+            with
+            | None -> complain "%s.footprint_peak missing" label
+            | Some fps ->
+              if fps = [] then complain "%s.footprint_peak is empty" label;
+              List.iter
+                (fun (name, v) ->
+                  match v with
+                  | Bftdoctor.Jmini.Num peak ->
+                    if not (Hashtbl.mem fp_first name) then
+                      Hashtbl.replace fp_first name (clients, peak);
+                    Hashtbl.replace fp_last name (clients, peak)
+                  | _ -> complain "%s.footprint_peak.%s not a number" label name)
+                fps))
+       points;
+     if !max_clients < 10_000.0 then
+       complain "largest sweep point is %g clients, need >= 10000" !max_clients;
+     (* Capacity law 1: memory grows with the population. *)
+     (match (!first_live, !last_live) with
+      | Some a, Some b when b <= a ->
+        complain
+          "peak live words %g at the largest population <= %g at the \
+           smallest — population size should cost memory"
+          b a
+      | _ -> ());
+     (* Capacity law 2: no per-structure peak may scale with the
+        population — growing half as fast as clients (or worse) over
+        a >= 10x population spread means an unbounded per-client
+        table slipped back in. *)
+     Hashtbl.iter
+       (fun name (c1, p1) ->
+         let c0, p0 = Hashtbl.find fp_first name in
+         if c1 >= 10.0 *. c0 && p0 > 0.0 && p1 /. p0 >= 0.5 *. (c1 /. c0)
+         then
+           complain
+             "footprint %s peak grew %.0fx over a %.0fx population spread — \
+              unbounded per-client structure?"
+             name (p1 /. p0) (c1 /. c0))
+       fp_last);
+  match List.rev !problems with
+  | [] ->
+    Printf.printf
+      "clients-check ok: >= 3 increasing population points reaching >= 10^4 \
+       clients, GC and footprint series present, no structure scaling with \
+       the population\n"
+  | ps ->
+    Printf.eprintf "clients-check: %d problem(s) in %s:\n" (List.length ps)
+      path;
+    List.iter (fun p -> Printf.eprintf "  %s\n" p) ps;
+    exit 1
+
 (* Structural gate over the latency attribution of one BENCH_rbft.json:
    the breakdown must cover the whole path (shares sum to ~1) and the
    queue-wait wall must stay down. Mirrors [scale_check]: every
@@ -237,6 +367,7 @@ let breakdown_check ~queue_wait_max ~min_throughput path =
 let () =
   let baseline = ref None and fresh = ref None in
   let scale = ref None in
+  let clients = ref None in
   let breakdown = ref None in
   let queue_wait_max = ref 0.5 in
   let min_throughput = ref 0.0 in
@@ -260,6 +391,9 @@ let () =
       parse rest
     | "--scale-check" :: path :: rest ->
       scale := Some path;
+      parse rest
+    | "--clients-check" :: path :: rest ->
+      clients := Some path;
       parse rest
     | "--breakdown-check" :: path :: rest ->
       breakdown := Some path;
@@ -293,6 +427,11 @@ let () =
      scale_check path;
      exit 0
    | None -> ());
+  (match !clients with
+   | Some path ->
+     clients_check path;
+     exit 0
+   | None -> ());
   (match !breakdown with
    | Some path ->
      breakdown_check ~queue_wait_max:!queue_wait_max
@@ -306,8 +445,8 @@ let () =
       Printf.eprintf
         "usage: bench_diff BASELINE.json FRESH.json [--tolerance T] [--skip \
          SUBSTR] [--list] | bench_diff --scale-check REPORT.json | bench_diff \
-         --breakdown-check REPORT.json [--queue-wait-max X] [--min-throughput \
-         Y]\n";
+         --clients-check REPORT.json | bench_diff --breakdown-check \
+         REPORT.json [--queue-wait-max X] [--min-throughput Y]\n";
       exit 2
   in
   let contains hay needle =

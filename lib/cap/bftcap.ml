@@ -1,0 +1,6 @@
+(** Memory & capacity observability: per-structure footprint probes
+    and GC/heap telemetry. Zero-cost when disabled, like the audit
+    bus, the metrics registry and the span tracer. *)
+
+module Footprint = Footprint
+module Gcstats = Gcstats

@@ -54,6 +54,7 @@ let behaviour t = t.behaviour
 let sent t = t.sent
 let completed t = t.completed
 let latencies t = t.latencies
+let pending_count t = Request_id_table.length t.pending
 let completion_counter t = t.completions
 let busy_replies t = t.busy_replies
 let retries t = t.retries
@@ -245,7 +246,7 @@ let create engine net params ~id ?(payload_size = 8) () =
       rate = 0.0;
       rate_epoch = 0;
       closed_loop = 0;
-      pending = Request_id_table.create 256;
+      pending = Request_id_table.create 8;  (* grows on demand; 10^5-client populations exist *)
       sent = 0;
       completed = 0;
       latencies = Bftmetrics.Hist.create ();

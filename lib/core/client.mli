@@ -75,6 +75,10 @@ val retries : t -> int
     ({!Bftflow.Backoff}), never earlier than the servers' retry
     hints. *)
 
+val pending_count : t -> int
+(** Requests sent and not yet completed (the client's reply-collection
+    table; capacity probes sum it across the population). *)
+
 val latencies : t -> Bftmetrics.Hist.t
 (** End-to-end latency distribution (seconds). *)
 

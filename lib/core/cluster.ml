@@ -40,6 +40,21 @@ let create ?(seed = 42L) ?(transport = Bftnet.Network.Tcp) ?net_config
   Bftmetrics.Registry.gauge_fn Bftmetrics.Registry.default "dessim_queue_size"
     ~help:"Pending events in the simulation engine queue" ~labels:[]
     (fun () -> float_of_int (Engine.queue_size engine));
+  (* Cluster-level capacity probes: the engine's event heap and the
+     population's aggregate reply-collection tables. Entries-only (no
+     deep root) — both are spread across structures the per-node
+     probes already cover or the engine owns privately. *)
+  ignore
+    (Bftcap.Footprint.register ~owner:"cluster" ~name:"engine.queue"
+       ~entries:(fun () -> Engine.queue_size engine)
+       ~root:(fun () -> None)
+       ());
+  ignore
+    (Bftcap.Footprint.register ~owner:"cluster" ~name:"clients.pending"
+       ~entries:(fun () ->
+         Array.fold_left (fun acc c -> acc + Client.pending_count c) 0 clients)
+       ~root:(fun () -> None)
+       ());
   { engine; net; params; nodes; clients; seed; transport }
 
 let engine t = t.engine

@@ -12,6 +12,11 @@ type t = {
   mutable window_start : Time.t;
   (* client -> per-instance EMA latency in seconds *)
   client_lat : (int, float array) Hashtbl.t;
+  (* Idle pruning ({!Params.monitoring_idle_prune} > 0): tick number of
+     each client's last latency sample, so churned-away clients do not
+     hold their EMA rows forever. Unused (empty) when pruning is off. *)
+  client_seen : (int, int) Hashtbl.t;
+  mutable tick_no : int;
   (* Bounded ring of past measurements: long-lived nodes tick every
      100 ms, so an unbounded list grows without limit. *)
   hist : (Time.t * float array) array;
@@ -31,6 +36,8 @@ let create ?(history_cap = default_history_cap) params =
     offered = Array.make (Params.instances params) 0;
     window_start = Time.zero;
     client_lat = Hashtbl.create 64;
+    client_seen = Hashtbl.create 64;
+    tick_no = 0;
     hist = Array.make (Stdlib.max 1 history_cap) (Time.zero, [||]);
     hist_start = 0;
     hist_len = 0;
@@ -74,6 +81,8 @@ let client_slot t client =
     arr
 
 let note_latency t ~instance ~client lat =
+  if t.params.Params.monitoring_idle_prune > Time.zero then
+    Hashtbl.replace t.client_seen client t.tick_no;
   let arr = client_slot t client in
   let l = Time.to_sec_f lat in
   arr.(instance) <-
@@ -101,7 +110,30 @@ let min_weight_share = 0.05
    with no meaningful traffic the ratio is noise. *)
 let min_meaningful_rate = 50.0
 
+let prune_idle_clients t =
+  let prune = t.params.Params.monitoring_idle_prune in
+  if prune > Time.zero then begin
+    let period = Time.to_sec_f t.params.Params.monitoring_period in
+    let keep_ticks =
+      if period <= 0.0 then 1
+      else Stdlib.max 1 (int_of_float (ceil (Time.to_sec_f prune /. period)))
+    in
+    let stale =
+      Hashtbl.fold
+        (fun client seen acc ->
+          if t.tick_no - seen > keep_ticks then client :: acc else acc)
+        t.client_seen []
+    in
+    List.iter
+      (fun client ->
+        Hashtbl.remove t.client_lat client;
+        Hashtbl.remove t.client_seen client)
+      stale
+  end
+
 let tick t ~now =
+  t.tick_no <- t.tick_no + 1;
+  prune_idle_clients t;
   let window = Time.to_sec_f (Time.sub now t.window_start) in
   let per_window counters =
     Array.map
@@ -238,3 +270,17 @@ let history t =
 let latest t =
   if t.hist_len = 0 then None
   else Some t.hist.((t.hist_start + t.hist_len - 1) mod Array.length t.hist)
+
+let client_count t = Hashtbl.length t.client_lat
+
+let register_probes t ~owner =
+  ignore
+    (Bftcap.Footprint.register ~owner ~name:"monitoring.client_lat"
+       ~entries:(fun () -> Hashtbl.length t.client_lat)
+       ~root:(fun () -> Some (Obj.repr t.client_lat))
+       ());
+  ignore
+    (Bftcap.Footprint.register ~owner ~name:"monitoring.history"
+       ~entries:(fun () -> t.hist_len)
+       ~root:(fun () -> Some (Obj.repr t.hist))
+       ())

@@ -81,3 +81,12 @@ val history : t -> (Time.t * float array) list
 
 val latest : t -> (Time.t * float array) option
 (** The most recent measurement, if any. *)
+
+val client_count : t -> int
+(** Clients currently holding per-instance latency EMAs. With
+    {!Params.monitoring_idle_prune} > 0, {!tick} drops clients idle
+    past the threshold, bounding this under client churn. *)
+
+val register_probes : t -> owner:string -> unit
+(** Register {!Bftcap.Footprint} probes over the monitor's
+    O(clients) latency table and its measurement-history ring. *)

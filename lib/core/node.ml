@@ -148,7 +148,10 @@ type t = {
   faults : faults;
   monitoring : Monitoring.t;
   requests : request_state Request_id_table.t;
-  executed : string Request_id_table.t;  (* results, for re-replies *)
+  executed : Replycache.t;  (* last-window results per client, for re-replies *)
+  (* Footprint probe over [requests], noted on insertion so peaks are
+     exact between sampler ticks; bound in [create]. *)
+  mutable fp_requests : Bftcap.Footprint.t option;
   exec_counter : Bftmetrics.Throughput.t;
   mutable exec_count : int;
   mutable exec_digest : string;
@@ -311,6 +314,7 @@ let request_state t rid =
       }
     in
     Request_id_table.add t.requests rid state;
+    (match t.fp_requests with Some p -> Bftcap.Footprint.note p | None -> ());
     state
 
 (* ------------------------------------------------------------------ *)
@@ -545,10 +549,17 @@ let handle_client_request t ~span (req : Messages.request) =
   else if List.mem t.id req.mac_invalid_for then
     (* The authenticator entry for this node is broken: drop. *)
     release_admission t req.desc.id
-  else if Request_id_table.mem t.executed req.desc.id then begin
-    (* Already executed: resend the reply (Section IV-B, step 1). *)
+  else if
+    Replycache.seen t.executed ~client:req.desc.id.client ~rid:req.desc.id.rid
+  then begin
+    (* Already executed: resend the reply (Section IV-B, step 1). A rid
+       old enough to have left the client's reply ring is dropped
+       silently — that client long since received its reply and moved
+       on (classic PBFT last-reply semantics). *)
     release_admission t req.desc.id;
-    match Request_id_table.find_opt t.executed req.desc.id with
+    match
+      Replycache.find t.executed ~client:req.desc.id.client ~rid:req.desc.id.rid
+    with
     | Some result -> reply_to t req.desc.id result
     | None -> ()
   end
@@ -583,6 +594,17 @@ let handle_client_request t ~span (req : Messages.request) =
 (* Runs on the propagation thread (MAC cost already charged). *)
 let handle_propagate t ~span ~from (req : Messages.request) ~junk =
   if junk then note_invalid_from t from
+  else if
+    (* With the request-GC sweep on, a straggler PROPAGATE for a
+       request whose tracking state was already swept must not
+       resurrect it — the fresh state would never dispatch and so
+       never be swept again. Gated on the sweep so default-config
+       behaviour (and model-checker fingerprints) are untouched. *)
+    t.params.Params.request_gc_age > Time.zero
+    && (not (Request_id_table.mem t.requests req.desc.id))
+    && Replycache.seen t.executed ~client:req.desc.id.client
+         ~rid:req.desc.id.rid
+  then ()
   else begin
     let state = request_state t req.desc.id in
     if state.span < 0 && span >= 0 then state.span <- span;
@@ -686,7 +708,10 @@ let handle_instance_change t ~from ~cpi =
 (* ------------------------------------------------------------------ *)
 
 let execute_request t ~span (desc : request_desc) =
-  if not (Request_id_table.mem t.executed desc.id) then begin
+  let seen () =
+    Replycache.seen t.executed ~client:desc.id.client ~rid:desc.id.rid
+  in
+  if not (seen ()) then begin
     let cost = Time.max t.params.Params.exec_cost (t.service.Service.exec_cost desc.op) in
     let espan =
       Spans.job ~parent:span ~tag:Bftspan.Tag.Execution ~node:t.id
@@ -694,9 +719,10 @@ let execute_request t ~span (desc : request_desc) =
     in
     if Array.length t.execution_shards = 0 then
       Resource.submit ~span:espan t.execution ~cost (fun () ->
-          if not (Request_id_table.mem t.executed desc.id) then begin
+          if not (seen ()) then begin
             let result = t.service.Service.execute desc.op in
-            Request_id_table.replace t.executed desc.id result;
+            Replycache.mark t.executed ~client:desc.id.client
+              ~rid:desc.id.rid ~result;
             t.exec_count <- t.exec_count + 1;
             if Bftaudit.Bus.active () then
               audit t ~instance:t.master_instance
@@ -743,7 +769,12 @@ let execute_request t ~span (desc : request_desc) =
       in
       Resource.submit ~span:espan lane ~cost (fun () ->
           let result = t.service.Service.execute desc.op in
-          Request_id_table.replace t.executed desc.id result;
+          Replycache.mark t.executed ~client:desc.id.client ~rid:desc.id.rid
+            ~result;
+          (* The reply cache now answers post-completion duplicates, so
+             the started-marker is dead weight: drop it to keep the
+             table O(in-flight) instead of O(ever-executed). *)
+          Request_id_table.remove t.exec_started desc.id;
           t.exec_count <- t.exec_count + 1;
           if Bftaudit.Bus.active () then
             audit t ~instance:t.master_instance
@@ -932,7 +963,7 @@ let on_delivery t (d : Messages.t Network.delivery) =
       Bftflow.Admission.enabled t.admission
       && (not (Request_id_table.mem t.requests id))
       && (not (Request_id_table.mem t.admission_held id))
-      && (not (Request_id_table.mem t.executed id))
+      && (not (Replycache.seen t.executed ~client:id.client ~rid:id.rid))
       && not (List.mem id.client t.blacklist)
     in
     let verdict =
@@ -1002,6 +1033,26 @@ let on_delivery t (d : Messages.t Network.delivery) =
 let monitoring_tick t =
   let verdict = Monitoring.tick t.monitoring ~now:(Engine.now t.engine) in
   Array.fill t.invalid_counts 0 (Array.length t.invalid_counts) 0;
+  (* Request-table GC ({!Params.request_gc_age} > 0): tracking state
+     for a request that was dispatched, executed and has sat past the
+     age is pure history — sweep it so the table stays O(in-flight)
+     under population-scale load instead of O(ever-received). *)
+  (let age = t.params.Params.request_gc_age in
+   if age > Time.zero then begin
+     let now = Engine.now t.engine in
+     let stale =
+       Request_id_table.fold
+         (fun id rs acc ->
+           if
+             rs.dispatched
+             && Replycache.seen t.executed ~client:id.client ~rid:id.rid
+             && Time.sub now rs.first_seen >= age
+           then id :: acc
+           else acc)
+         t.requests []
+     in
+     List.iter (fun id -> Request_id_table.remove t.requests id) stale
+   end);
   if Bftmetrics.Registry.active () then begin
     Bftmetrics.Registry.Gauge.set t.m.nm_master_rate
       verdict.Monitoring.master_rate;
@@ -1146,7 +1197,8 @@ let create engine net params ~id ~service =
         };
       monitoring = Monitoring.create params;
       requests = Request_id_table.create 4096;
-      executed = Request_id_table.create 4096;
+      executed = Replycache.create ~window:params.Params.reply_cache_window ();
+      fp_requests = None;
       exec_counter = Bftmetrics.Throughput.create ();
       exec_count = 0;
       exec_digest = "genesis";
@@ -1293,6 +1345,37 @@ let create engine net params ~id ~service =
         (Array.mapi
            (fun i r -> (Printf.sprintf "replica%d" i, r))
            t.replica_threads));
+  (* Capacity probes ({!Bftcap.Footprint}) over every O(clients) /
+     O(history) table this node owns. Entries closures are O(1); deep
+     byte measurement only ever happens at snapshot time. *)
+  (let owner = Printf.sprintf "node-%d" id in
+   t.fp_requests <-
+     Some
+       (Bftcap.Footprint.register ~owner ~name:"node.requests"
+          ~entries:(fun () -> Request_id_table.length t.requests)
+          ~root:(fun () -> Some (Obj.repr t.requests))
+          ());
+   ignore
+     (Bftcap.Footprint.register ~owner ~name:"node.reply_cache"
+        ~entries:(fun () -> Replycache.clients t.executed)
+        ~root:(fun () -> Some (Obj.repr t.executed))
+        ());
+   ignore
+     (Bftcap.Footprint.register ~owner ~name:"node.admission_held"
+        ~entries:(fun () -> Request_id_table.length t.admission_held)
+        ~root:(fun () -> Some (Obj.repr t.admission_held))
+        ());
+   ignore
+     (Bftcap.Footprint.register ~owner ~name:"node.exec_started"
+        ~entries:(fun () -> Request_id_table.length t.exec_started)
+        ~root:(fun () -> Some (Obj.repr t.exec_started))
+        ());
+   Monitoring.register_probes t.monitoring ~owner;
+   Array.iteri
+     (fun i r ->
+       Pbftcore.Replica.register_probes r
+         ~owner:(Printf.sprintf "%s/i%d" owner i))
+     t.replicas);
   Network.register_node net id (fun d -> on_delivery t d);
   t
 
@@ -1350,9 +1433,11 @@ let mc_fingerprint t =
               (List.map string_of_int (Pbftcore.Voteset.to_list rs.senders)))
            rs.propagated rs.sig_checked rs.sig_inflight rs.dispatched
            (rs.req <> None));
-  Request_id_table.fold (fun id _ acc -> (id, ()) :: acc) t.executed []
-  |> List.sort (fun (a, _) (b, _) -> compare_request_id a b)
-  |> List.iter (fun (id, ()) -> add "x%d/%d;" id.client id.rid);
+  Replycache.fold_ids
+    (fun ~client ~rid acc -> { client; rid } :: acc)
+    t.executed []
+  |> List.sort compare_request_id
+  |> List.iter (fun id -> add "x%d/%d;" id.client id.rid);
   Array.iteri
     (fun i r -> add "I%d[%s]" i (Pbftcore.Replica.fingerprint r))
     t.replicas;

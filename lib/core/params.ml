@@ -34,6 +34,9 @@ type t = {
   busy_retry_base : Time.t;
   adaptive_batching : bool;
   exec_shards : int;
+  reply_cache_window : int;
+  request_gc_age : Time.t;
+  monitoring_idle_prune : Time.t;
 }
 
 let default ~f =
@@ -64,6 +67,9 @@ let default ~f =
     busy_retry_base = Time.ms 10;
     adaptive_batching = false;
     exec_shards = 1;
+    reply_cache_window = 4;
+    request_gc_age = Time.zero;
+    monitoring_idle_prune = Time.zero;
   }
 
 let n t = (3 * t.f) + 1

@@ -105,6 +105,22 @@ type t = {
           services that declare a shard key ({!Bftapp.Service});
           [<= 1] (the default) keeps the single serial execution
           stage *)
+  reply_cache_window : int;
+      (** replies remembered per client ({!Replycache}): the last
+          [window] (rid, result) pairs. Per-connection FIFO delivery
+          makes per-client execution in-order, so a small window
+          (default 4) gives exact duplicate suppression at O(clients)
+          memory instead of O(total requests ever executed) *)
+  request_gc_age : Time.t;
+      (** age after which an executed request's tracking state
+          (PROPAGATE dedup votes, span ids) is swept from the request
+          table on the monitoring tick. [0] (the default) disables the
+          sweep, keeping the table append-only as before; population-
+          scale runs enable it to bound the table at O(in-flight) *)
+  monitoring_idle_prune : Time.t;
+      (** drop a client's per-instance latency EMAs after this much
+          inactivity, bounding the monitoring table under client churn.
+          [0] (the default) disables pruning *)
 }
 
 val default : f:int -> t

@@ -12,6 +12,7 @@
 module Params = Params
 module Messages = Messages
 module Monitoring = Monitoring
+module Replycache = Replycache
 module Node = Node
 module Client = Client
 module Cluster = Cluster

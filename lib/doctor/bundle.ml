@@ -9,12 +9,13 @@
       audit.jsonl      recent audit events (canonical Event.to_json)
       spans.jsonl      recent closed spans (canonical Span.write_json)
       metrics.json     ring of timestamped registry snapshots
+      footprint.json   sorted per-structure memory footprint table
       scenario.scn     the active chaos scenario, when there is one
     v}
 
     The digest chains SHA-256 over a canonical header line followed by
-    each section's exact bytes (audit, spans, metrics, scenario),
-    seeded with ["bftdoctor-bundle-v1"]. Every byte of every section
+    each section's exact bytes (audit, spans, metrics, footprint,
+    scenario), seeded with ["bftdoctor-bundle-v2"]. Every byte of every section
     is derived from sim state only — no wall clock, no environment —
     so a same-seed replay that fires the same trigger produces a
     byte-identical bundle with an identical digest. The manifest
@@ -34,6 +35,7 @@ type incident = {
   events : Event.t list;  (** oldest first *)
   spans : Span.t list;  (** oldest first *)
   snapshots : Recorder.snapshot list;  (** oldest first *)
+  footprint : Bftcap.Footprint.row list;  (** sorted worst-first *)
 }
 
 (* --- section rendering --------------------------------------------- *)
@@ -73,33 +75,51 @@ let metrics_json inc =
 (* Canonical header: the non-file manifest fields that must also be
    digest-protected. One line, fixed field order. *)
 let header inc =
-  Printf.sprintf "bftdoctor-bundle-v1|%s|%d|%s|%Ld|%s|%s\n" inc.trigger
+  Printf.sprintf "bftdoctor-bundle-v2|%s|%d|%s|%Ld|%s|%s\n" inc.trigger
     (inc.fired_at : Time.t)
     inc.reason inc.seed
     (String.concat ";" (List.map (fun (k, v) -> k ^ "=" ^ v) inc.config))
     (match inc.scenario with Some _ -> "scn" | None -> "-")
 
-let chain_digest ~header:hdr ~audit ~spans ~metrics ~scenario =
-  let chain = ref (Bftcrypto.Sha256.digest_string "bftdoctor-bundle-v1") in
+let chain_digest ~header:hdr ~audit ~spans ~metrics ~footprint ~scenario =
+  let chain = ref (Bftcrypto.Sha256.digest_string "bftdoctor-bundle-v2") in
   let feed s = chain := Bftcrypto.Sha256.digest_string (!chain ^ s) in
   feed hdr;
   feed audit;
   feed spans;
   feed metrics;
+  feed footprint;
   feed (Option.value ~default:"" scenario);
   Bftcrypto.Sha256.to_hex !chain
+
+let json_escape = Event.json_escape
+
+let footprint_json inc =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "[";
+  List.iteri
+    (fun i (r : Bftcap.Footprint.row) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           {|{"structure":"%s","owner":"%s","entries":%d,"peak":%d,"bytes":%d}|}
+           (json_escape r.Bftcap.Footprint.r_name)
+           (json_escape r.Bftcap.Footprint.r_owner)
+           r.Bftcap.Footprint.r_entries r.Bftcap.Footprint.r_peak
+           r.Bftcap.Footprint.r_bytes))
+    inc.footprint;
+  Buffer.add_string buf "]\n";
+  Buffer.contents buf
 
 let digest inc =
   chain_digest ~header:(header inc) ~audit:(audit_jsonl inc)
     ~spans:(spans_jsonl inc) ~metrics:(metrics_json inc)
-    ~scenario:inc.scenario
-
-let json_escape = Event.json_escape
+    ~footprint:(footprint_json inc) ~scenario:inc.scenario
 
 let manifest_json inc ~digest:dg =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf {|  "bundle": "bftdoctor-v1",|};
+  Buffer.add_string buf {|  "bundle": "bftdoctor-v2",|};
   Buffer.add_string buf "\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"trigger\": \"%s\",\n" (json_escape inc.trigger));
@@ -120,9 +140,11 @@ let manifest_json inc ~digest:dg =
   Buffer.add_string buf "},\n";
   Buffer.add_string buf
     (Printf.sprintf
-       "  \"counts\": {\"events\":%d,\"spans\":%d,\"snapshots\":%d},\n"
+       "  \"counts\": \
+        {\"events\":%d,\"spans\":%d,\"snapshots\":%d,\"footprint\":%d},\n"
        (List.length inc.events) (List.length inc.spans)
-       (List.length inc.snapshots));
+       (List.length inc.snapshots)
+       (List.length inc.footprint));
   Buffer.add_string buf (Printf.sprintf "  \"digest\": \"%s\"\n" dg);
   Buffer.add_string buf "}\n";
   Buffer.contents buf
@@ -136,6 +158,7 @@ let render inc =
       ("audit.jsonl", audit_jsonl inc);
       ("spans.jsonl", spans_jsonl inc);
       ("metrics.json", metrics_json inc);
+      ("footprint.json", footprint_json inc);
     ]
   in
   ( dg,
@@ -186,6 +209,8 @@ type loaded = {
   l_spans : Span.t array;
   l_snapshots : (Time.t * Jmini.v) list;
       (** raw snapshot objects; see {!samples_of_snapshot} *)
+  l_footprint : (string * string * int * int * int) list;
+      (** (structure, owner, entries, peak, bytes), table order *)
 }
 
 let read_file path =
@@ -244,6 +269,27 @@ let load ~dir =
         snaps
     | _ -> []
   in
+  let footprint =
+    match
+      Option.bind
+        (read_file_opt (Filename.concat dir "footprint.json"))
+        Jmini.parse_opt
+    with
+    | Some (Jmini.Arr rows) ->
+      List.filter_map
+        (fun r ->
+          match
+            ( Jmini.get_str "structure" r,
+              Jmini.get_str "owner" r,
+              Jmini.get_int "entries" r,
+              Jmini.get_int "peak" r,
+              Jmini.get_int "bytes" r )
+          with
+          | Some s, Some o, Some e, Some p, Some b -> Some (s, o, e, p, b)
+          | _ -> None)
+        rows
+    | _ -> []
+  in
   {
     l_dir = dir;
     l_trigger = field "trigger";
@@ -257,6 +303,7 @@ let load ~dir =
     l_events = events;
     l_spans = spans;
     l_snapshots = snapshots;
+    l_footprint = footprint;
   }
 
 (** Flatten one raw snapshot object into (name, labels, numeric value)
@@ -298,7 +345,7 @@ let verify ~dir =
   try
     let l = load ~dir in
     let inc_header =
-      Printf.sprintf "bftdoctor-bundle-v1|%s|%d|%s|%s|%s|%s\n" l.l_trigger
+      Printf.sprintf "bftdoctor-bundle-v2|%s|%d|%s|%s|%s|%s\n" l.l_trigger
         (l.l_fired : Time.t)
         l.l_reason l.l_seed
         (String.concat ";" (List.map (fun (k, v) -> k ^ "=" ^ v) l.l_config))
@@ -309,6 +356,9 @@ let verify ~dir =
         ~audit:(read_file (Filename.concat dir "audit.jsonl"))
         ~spans:(read_file (Filename.concat dir "spans.jsonl"))
         ~metrics:(read_file (Filename.concat dir "metrics.json"))
+        ~footprint:
+          (Option.value ~default:""
+             (read_file_opt (Filename.concat dir "footprint.json")))
         ~scenario:l.l_scenario
     in
     if recomputed = l.l_digest then Ok l.l_digest

@@ -28,6 +28,10 @@ type config = {
   context : (unit -> (string * string) list) option;
       (** sampled at dump time (e.g. current master primary) *)
   scenario : string option;  (** active [.scn] text under chaos *)
+  read_gc : (unit -> Gc.stat) option;
+      (** GC stat source for the mem-growth trigger; [None] =
+          [Gc.quick_stat]. Injectable so the synthetic-leak self-test
+          can fabricate a deterministic heap trajectory. *)
   triggers : Trigger.spec list;
   audit_cap : int;
   span_cap : int;
@@ -44,13 +48,15 @@ let default_triggers =
   ]
 
 let default_config ?(dir = None) ?(seed = 1L) ?(config_fields = [])
-    ?(context = None) ?(scenario = None) ?(triggers = default_triggers) () =
+    ?(context = None) ?(scenario = None) ?(read_gc = None)
+    ?(triggers = default_triggers) () =
   {
     dir;
     seed;
     config_fields;
     context;
     scenario;
+    read_gc;
     triggers;
     audit_cap = 4096;
     span_cap = 4096;
@@ -72,6 +78,7 @@ type incident_ref = {
 type t = {
   config : config;
   recorder : Recorder.t;
+  gcstats : Bftcap.Gcstats.t;
   triggers : Trigger.t list;
   mutable incidents : incident_ref list;  (* newest first *)
   mutable fires_suppressed : int;
@@ -104,6 +111,7 @@ let dump t (fire : Trigger.fire) =
         events = Recorder.audit_events t.recorder;
         spans = Recorder.spans t.recorder;
         snapshots = Recorder.snapshots t.recorder;
+        footprint = Bftcap.Footprint.snapshot ();
       }
     in
     let dir, digest =
@@ -171,6 +179,7 @@ let on_violation t (v : Bftaudit.Auditor.violation) =
     t.triggers
 
 let on_tick t (r : Recorder.t) now =
+  Bftcap.Gcstats.sample t.gcstats ~now;
   List.iter
     (fun trig ->
       match Trigger.kind trig with
@@ -211,6 +220,29 @@ let on_tick t (r : Recorder.t) now =
                     (Time.to_string s.Recorder.s_age)
                     s.Recorder.s_waiting_on s.Recorder.s_pending))
         | None -> fire_opt t (Trigger.level trig ~now ~cond:false ~reason:""))
+      | Trigger.Mem_growth { slope; min_span } -> (
+        match Bftcap.Gcstats.growth t.gcstats with
+        | Some g ->
+          let cond =
+            g.Bftcap.Gcstats.g_span >= min_span
+            && g.Bftcap.Gcstats.g_live_slope >= slope
+          in
+          let culprit =
+            match g.Bftcap.Gcstats.g_culprit with
+            | Some (key, rate) ->
+              Printf.sprintf "; fastest-growing structure %s (+%.0f entries/s)"
+                key rate
+            | None -> ""
+          in
+          fire_opt t
+            (Trigger.level trig ~now ~cond
+               ~reason:
+                 (Printf.sprintf
+                    "live heap growing %.0f words/s over %s (threshold %.0f words/s)%s"
+                    g.Bftcap.Gcstats.g_live_slope
+                    (Time.to_string g.Bftcap.Gcstats.g_span)
+                    slope culprit))
+        | None -> fire_opt t (Trigger.level trig ~now ~cond:false ~reason:""))
       | Trigger.Delta_ratio_near { delta; epsilon } -> (
         match Recorder.last_verdict r with
         | Some v ->
@@ -247,6 +279,10 @@ let attach config engine =
     {
       config;
       recorder;
+      gcstats =
+        (match config.read_gc with
+        | Some f -> Bftcap.Gcstats.create ~read_stat:f ()
+        | None -> Bftcap.Gcstats.create ());
       triggers = List.map Trigger.make config.triggers;
       incidents = [];
       fires_suppressed = 0;
@@ -271,6 +307,7 @@ let detach t =
   end
 
 let recorder t = t.recorder
+let gcstats t = t.gcstats
 
 (** Oldest first. *)
 let incidents t = List.rev t.incidents

@@ -183,6 +183,26 @@ let attach ?(audit_cap = 4096) ?(span_cap = 4096) ?(metrics_cap = 16)
       detached = false;
     }
   in
+  ignore
+    (Bftcap.Footprint.register ~owner:"recorder" ~name:"doctor.audit_ring"
+       ~entries:(fun () -> Ring.length t.audit)
+       ~root:(fun () -> Some (Obj.repr t.audit))
+       ());
+  ignore
+    (Bftcap.Footprint.register ~owner:"recorder" ~name:"doctor.span_ring"
+       ~entries:(fun () -> Ring.length t.spans)
+       ~root:(fun () -> Some (Obj.repr t.spans))
+       ());
+  ignore
+    (Bftcap.Footprint.register ~owner:"recorder" ~name:"doctor.metrics_ring"
+       ~entries:(fun () -> Ring.length t.metrics)
+       ~root:(fun () -> Some (Obj.repr t.metrics))
+       ());
+  ignore
+    (Bftcap.Footprint.register ~owner:"recorder" ~name:"doctor.roots_ring"
+       ~entries:(fun () -> Ring.length t.roots)
+       ~root:(fun () -> Some (Obj.repr t.roots))
+       ());
   t.token <- Some (Bftaudit.Bus.subscribe (handle_event t));
   t.saved_close_hook <- Bftspan.Tracer.close_hook ();
   Bftspan.Tracer.set_close_hook

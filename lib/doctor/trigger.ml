@@ -51,6 +51,12 @@ type kind =
           below [Params.stall_change] to freeze a bundle while the
           stall is still live, before the stall-driven instance change
           re-homes the partition and clears it. *)
+  | Mem_growth of { slope : float; min_span : Time.t }
+      (** The live-heap watermark is growing at [slope] words per
+          sim-second or faster, sustained over a {!Bftcap.Gcstats}
+          sampling window spanning at least [min_span] — the leak
+          signature. The fire reason names the fastest-growing
+          footprint probe as the culprit structure. *)
 
 (* Mirrors Rbft.Monitoring.min_meaningful_rate: below this backup
    rate the ratio is noise, not evidence. *)
@@ -64,6 +70,7 @@ let kind_name = function
   | Slo_p99 _ -> "slo-p99"
   | Delta_ratio_near _ -> "delta-ratio-near"
   | Seq_stall _ -> "seq-stall"
+  | Mem_growth _ -> "mem-growth"
 
 type spec = { kind : kind; debounce : Time.t; cooldown : Time.t }
 

@@ -331,3 +331,171 @@ let write_scale ~quick ~path =
   let json = generate_scale ~quick in
   Bftmetrics.Export.to_channel_or_file ~path json;
   if path <> "-" then Printf.printf "scaling report -> %s\n%!" path
+
+(* ------------------------------------------------------------------ *)
+(* Client-population sweep (BENCH_clients.json)                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Aggregate footprint peaks per structure name: the per-owner detail
+   (4 nodes x ~12 probes) is incident-bundle material; the bench
+   records the worst owner of each structure. *)
+let footprint_peaks_by_name () =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (key, peak) ->
+      let name =
+        match String.index_opt key '/' with
+        | Some i -> String.sub key 0 i
+        | None -> key
+      in
+      let prev = Option.value ~default:0 (Hashtbl.find_opt tbl name) in
+      if peak > prev then Hashtbl.replace tbl name peak)
+    (Bftcap.Footprint.peak_entries ());
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+type clients_point = {
+  cp_clients : int;
+  cp_active : int;
+  cp_offered : float;
+  cp_throughput : float;
+  cp_p50_ms : float;
+  cp_p99_ms : float;
+  cp_gc : (string * float) list;
+  cp_peak_live : int;
+  cp_peak_heap : int;
+  cp_footprint : (string * int) list;
+}
+
+let clients_run ~quick ~population =
+  let module Registry = Bftmetrics.Registry in
+  Registry.disable ();
+  Bftcap.Footprint.clear ();
+  Bftcap.Footprint.enable ();
+  let duration = Time.of_sec_f (if quick then 0.6 else 1.5) in
+  (* Fixed aggregate load well under saturation: the sweep variable is
+     the population, and what it measures is what O(clients) state
+     costs — not another throughput ceiling. The capacity knobs are
+     on: bounded reply cache (default), executed-request sweeping and
+     idle-client pruning, so the curve reports the bounded design. *)
+  let params =
+    { (Rbft.Params.default ~f:1) with
+      Rbft.Params.request_gc_age = Time.ms 300;
+      monitoring_idle_prune = Time.ms 500 }
+  in
+  let pop =
+    Population.create ~active:(Stdlib.min population 200)
+      ~churn_fraction:0.1 ~clients:population ~aggregate_rate:4000.0
+      ~duration ()
+  in
+  let cluster =
+    Rbft.Cluster.create ~clients:(Population.clients pop) ~payload_size:8
+      params
+  in
+  let engine = Rbft.Cluster.engine cluster in
+  let gcs = Bftcap.Gcstats.create ~window:128 () in
+  (* Periodic GC/footprint sampling on virtual time. *)
+  let tick = Time.mul_f duration (1.0 /. 24.0) in
+  let rec sampler_until stop =
+    ignore
+      (Engine.at engine
+         (Time.add (Engine.now engine) tick)
+         (fun () ->
+           Bftcap.Gcstats.sample gcs ~now:(Engine.now engine);
+           if Engine.now engine < stop then sampler_until stop))
+  in
+  sampler_until (Time.add (Engine.now engine) duration);
+  Population.apply engine pop ~set_rate:(fun c r ->
+      Rbft.Client.set_rate (Rbft.Cluster.client cluster c) r);
+  Rbft.Cluster.run_for cluster (Time.add duration (Time.ms 200));
+  Bftcap.Gcstats.sample gcs ~now:(Engine.now engine);
+  let counter = Rbft.Node.executed_counter (Rbft.Cluster.node cluster 1) in
+  let throughput =
+    Bftmetrics.Throughput.rate_between counter (Time.ms 100) duration
+  in
+  let merged =
+    Array.fold_left
+      (fun acc c ->
+        let h = Rbft.Client.latencies c in
+        if Bftmetrics.Hist.count h = 0 then acc
+        else
+          match acc with
+          | None -> Some (Bftmetrics.Hist.copy h)
+          | Some m -> Some (Bftmetrics.Hist.merge m h))
+      None (Rbft.Cluster.clients cluster)
+  in
+  let pctl p =
+    match merged with
+    | None -> 0.0
+    | Some h -> 1e3 *. Bftmetrics.Hist.percentile h p
+  in
+  let point =
+    {
+      cp_clients = population;
+      cp_active = Population.active pop;
+      cp_offered = Population.offered_total pop;
+      cp_throughput = throughput;
+      cp_p50_ms = pctl 50.0;
+      cp_p99_ms = pctl 99.0;
+      cp_gc = Bftcap.Gcstats.deltas gcs;
+      cp_peak_live = Bftcap.Gcstats.peak_live_words gcs;
+      cp_peak_heap = Bftcap.Gcstats.peak_heap_words gcs;
+      cp_footprint = footprint_peaks_by_name ();
+    }
+  in
+  Bftcap.Footprint.disable ();
+  Bftcap.Footprint.clear ();
+  point
+
+let json_of_clients_point p =
+  Printf.sprintf
+    {|    {"clients":%d,"active":%d,"offered_req":%s,"throughput_req_s":%s,"latency_p50_ms":%s,"latency_p99_ms":%s,
+     "gc":{%s,"peak_live_words":%d,"peak_heap_words":%d},
+     "footprint_peak":{%s}}|}
+    p.cp_clients p.cp_active
+    (Bftmetrics.Export.json_float p.cp_offered)
+    (Bftmetrics.Export.json_float p.cp_throughput)
+    (Bftmetrics.Export.json_float p.cp_p50_ms)
+    (Bftmetrics.Export.json_float p.cp_p99_ms)
+    (String.concat ","
+       (List.map
+          (fun (k, v) ->
+            Printf.sprintf {|"%s":%s|} k (Bftmetrics.Export.json_float v))
+          p.cp_gc))
+    p.cp_peak_live p.cp_peak_heap
+    (String.concat ","
+       (List.map
+          (fun (k, v) -> Printf.sprintf {|"%s":%d|} k v)
+          p.cp_footprint))
+
+let generate_clients ~quick =
+  let module Profile = Bftmetrics.Profile in
+  let points = if quick then [ 100; 1_000; 10_000 ] else [ 1_000; 10_000; 50_000 ] in
+  let rows =
+    List.map
+      (fun population ->
+        Profile.time (Printf.sprintf "perfreport:clients-%d" population)
+          (fun () -> clients_run ~quick ~population))
+      points
+  in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       {|  "bench": "rbft-clients",%s  "schema": "bftcap-clients-v1",%s  "mode": "%s",%s|}
+       "\n" "\n"
+       (if quick then "quick" else "full")
+       "\n");
+  Buffer.add_string buf "  \"sweep\": [\n";
+  Buffer.add_string buf
+    (String.concat ",\n" (List.map json_of_clients_point rows));
+  Buffer.add_string buf "\n  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf {|  "profile": %s%s|} (Bftmetrics.Profile.json ()) "\n");
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_clients ~quick ~path =
+  let json = generate_clients ~quick in
+  Bftmetrics.Export.to_channel_or_file ~path json;
+  if path <> "-" then Printf.printf "client-population report -> %s\n%!" path

@@ -1078,6 +1078,27 @@ let debug_live_seqs t =
    Deliberately excluded: wall-clock-relative values ([pp_release],
    span/timing bookkeeping, metric handles) — they do not influence
    which protocol actions are possible next. *)
+(* Capacity probes ({!Bftcap.Footprint}) over the replica's ordering
+   state: the per-seqno log (checkpoint-pruned), the submitted-request
+   pool and the delivered-id set (both still append-only — the probes
+   exist to make that growth visible per structure). *)
+let register_probes t ~owner =
+  ignore
+    (Bftcap.Footprint.register ~owner ~name:"replica.log"
+       ~entries:(fun () -> Hashtbl.length t.entries)
+       ~root:(fun () -> Some (Obj.repr t.entries))
+       ());
+  ignore
+    (Bftcap.Footprint.register ~owner ~name:"replica.known"
+       ~entries:(fun () -> Request_id_table.length t.known)
+       ~root:(fun () -> Some (Obj.repr t.known))
+       ());
+  ignore
+    (Bftcap.Footprint.register ~owner ~name:"replica.delivered_ids"
+       ~entries:(fun () -> Request_id_table.length t.delivered_ids)
+       ~root:(fun () -> Some (Obj.repr t.delivered_ids))
+       ())
+
 let fingerprint t =
   let buf = Buffer.create 512 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in

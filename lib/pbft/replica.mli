@@ -190,3 +190,8 @@ val fingerprint : t -> string
     metric state. Two replicas with equal fingerprints behave
     identically under any future schedule; the model checker
     ({!Bftmc}) hashes this into its visited-state set. *)
+
+val register_probes : t -> owner:string -> unit
+(** Register {!Bftcap.Footprint} probes over the replica's per-seqno
+    ordering log, its submitted-request pool and its delivered-id set,
+    labelled with [owner] (e.g. ["node-1/i0"]). *)

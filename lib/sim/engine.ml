@@ -140,3 +140,4 @@ let run ?until t =
 let stop t = t.stopped <- true
 let events_processed t = t.processed
 let queue_size t = Heap.size t.queue
+let queue_capacity t = Heap.capacity t.queue

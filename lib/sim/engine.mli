@@ -111,3 +111,7 @@ val events_processed : t -> int
     cost metric for the simulation itself. *)
 
 val queue_size : t -> int
+
+val queue_capacity : t -> int
+(** Allocated slots in the event-queue backing array ([>= queue_size]);
+    the heap's real memory footprint for capacity probes. *)

@@ -325,8 +325,10 @@ let read_jsonl path =
    timeline as instant ("i") events with the identical pid = node /
    tid = instance mapping, so nested spans and flat audit marks align.
    Client-side spans (node = -1) keep pid = -1 and use tid = client so
-   each client gets its own lane. *)
-let write_chrome ?audit spans path =
+   each client gets its own lane. [counters] adds named counter ("C")
+   series — GC/heap telemetry from {!Bftcap.Gcstats.counter_series} —
+   on pid 0 so heap growth lines up with the span timeline. *)
+let write_chrome ?audit ?(counters = []) spans path =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
@@ -358,4 +360,14 @@ let write_chrome ?audit spans path =
               (Time.to_us_f ev.Bftaudit.Event.time)
               ev.Bftaudit.Event.node ev.Bftaudit.Event.instance
               (Bftaudit.Event.args_json ev.Bftaudit.Event.kind)));
+      List.iter
+        (fun (name, points) ->
+          List.iter
+            (fun (at, v) ->
+              sep ();
+              Printf.fprintf oc
+                {|{"name":"%s","ph":"C","ts":%.3f,"pid":0,"tid":0,"args":{"value":%.0f}}|}
+                name (Time.to_us_f at) v)
+            points)
+        counters;
       output_string oc "]}")

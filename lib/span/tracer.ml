@@ -116,6 +116,11 @@ let on_job_start id ~start ~finish =
 let enable ?(sample = 1) () =
   sample_every := max 1 sample;
   Resource.set_span_hook (Some on_job_start);
+  ignore
+    (Bftcap.Footprint.register ~owner:"tracer" ~name:"span.buffer"
+       ~entries:(fun () -> !len)
+       ~root:(fun () -> Some (Obj.repr !spans))
+       ());
   enabled := true
 
 let disable () = enabled := false

@@ -1,4 +1,6 @@
 (** Workload generation: the paper's static and dynamic open-loop load
-    shapes. *)
+    shapes ({!Loadshape}), and the client-population model for
+    capacity experiments ({!Population}). *)
 
 module Loadshape = Loadshape
+module Population = Population

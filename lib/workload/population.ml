@@ -1,0 +1,175 @@
+open Dessim
+
+type profile = Steady | Diurnal | Flash
+
+let profile_name = function
+  | Steady -> "steady"
+  | Diurnal -> "diurnal"
+  | Flash -> "flash"
+
+type t = {
+  clients : int;
+  active : int;
+  aggregate_rate : float;
+  zipf_s : float;
+  churn_interval : Time.t;
+  churn_fraction : float;
+  profile : profile;
+  duration : Time.t;
+  seed : int64;
+  zipf : float array;  (* per-slot rates at multiplier 1, heaviest first *)
+}
+
+let create ?(zipf_s = 1.0) ?active ?churn_interval ?(churn_fraction = 0.1)
+    ?(profile = Steady) ?(seed = 7L) ~clients ~aggregate_rate ~duration () =
+  let clients = Stdlib.max 1 clients in
+  let active =
+    match active with
+    | Some a -> Stdlib.max 1 (Stdlib.min a clients)
+    | None -> clients
+  in
+  let churn_interval =
+    match churn_interval with
+    | Some i -> i
+    | None -> Time.mul_f duration (1.0 /. 16.0)
+  in
+  (* Zipf weights over the active slots, normalized to the aggregate:
+     slot j carries weight (j+1)^-s. *)
+  let zipf = Array.init active (fun j -> (float_of_int (j + 1)) ** -.zipf_s) in
+  let total = Array.fold_left ( +. ) 0.0 zipf in
+  Array.iteri (fun j w -> zipf.(j) <- aggregate_rate *. w /. total) zipf;
+  {
+    clients;
+    active;
+    aggregate_rate;
+    zipf_s;
+    churn_interval;
+    churn_fraction;
+    profile;
+    duration;
+    seed;
+    zipf;
+  }
+
+let clients t = t.clients
+let active t = t.active
+let duration t = t.duration
+let profile t = t.profile
+let rates t = Array.copy t.zipf
+
+(* Rate multiplier at fraction [x] in [0, 1] of the run. *)
+let multiplier t x =
+  match t.profile with
+  | Steady -> 1.0
+  | Diurnal -> 0.3 +. (0.7 *. sin (Float.pi *. x))
+  | Flash -> if x >= 0.45 && x < 0.55 then 3.0 else 1.0
+
+(* During the flash the whole population connects, not just [active]. *)
+let flash_on t x = t.profile = Flash && x >= 0.45 && x < 0.55
+
+let avg_multiplier t =
+  (* Exact integrals of [multiplier] over [0, 1]. *)
+  match t.profile with
+  | Steady -> 1.0
+  | Diurnal -> 0.3 +. (0.7 *. 2.0 /. Float.pi)
+  | Flash -> 1.2
+
+let offered_total t =
+  t.aggregate_rate *. Time.to_sec_f t.duration *. avg_multiplier t
+
+let describe t =
+  [
+    ("population", string_of_int t.clients);
+    ("active", string_of_int t.active);
+    ("aggregate_rate", Printf.sprintf "%.0f" t.aggregate_rate);
+    ("zipf_s", Printf.sprintf "%.2f" t.zipf_s);
+    ("churn_interval", Printf.sprintf "%.3fs" (Time.to_sec_f t.churn_interval));
+    ("churn_fraction", Printf.sprintf "%.2f" t.churn_fraction);
+    ("profile", profile_name t.profile);
+    ("duration", Printf.sprintf "%.3fs" (Time.to_sec_f t.duration));
+  ]
+
+let apply engine t ~set_rate =
+  let rng = Rng.create t.seed in
+  let start = Engine.now engine in
+  (* slot j -> client id currently connected there *)
+  let slot_client = Array.init t.active (fun j -> j) in
+  (* Next population member that has never been connected; wraps when
+     the whole population has been seen. *)
+  let next_fresh = ref (Stdlib.min t.active t.clients) in
+  let rates_dirty = ref true in
+  let last_mult = ref nan in
+  let prev_flash = ref false in
+  let apply_rates () =
+    let x =
+      let d = Time.to_sec_f t.duration in
+      if d <= 0.0 then 1.0
+      else Time.to_sec_f (Time.sub (Engine.now engine) start) /. d
+    in
+    let m = multiplier t x in
+    let flash = flash_on t x in
+    if !rates_dirty || m <> !last_mult || flash <> !prev_flash then begin
+      last_mult := m;
+      rates_dirty := false;
+      Array.iteri (fun j c -> set_rate c (t.zipf.(j) *. m)) slot_client;
+      if flash <> !prev_flash then begin
+        prev_flash := flash;
+        (* Flash edge: connect (or drop) everyone outside the slots at
+           the mean active rate. *)
+        let extra_rate =
+          if flash then m *. t.aggregate_rate /. float_of_int t.active else 0.0
+        in
+        let in_slots = Array.make t.clients false in
+        Array.iter (fun c -> in_slots.(c) <- true) slot_client;
+        for c = 0 to t.clients - 1 do
+          if not in_slots.(c) then set_rate c extra_rate
+        done
+      end
+    end
+  in
+  let churn () =
+    if t.churn_interval > Time.zero && t.churn_fraction > 0.0
+       && t.clients > t.active
+    then begin
+      let k =
+        Stdlib.max 1
+          (int_of_float (t.churn_fraction *. float_of_int t.active))
+      in
+      for _ = 1 to k do
+        let j = Rng.int rng t.active in
+        set_rate slot_client.(j) 0.0;
+        slot_client.(j) <- !next_fresh;
+        next_fresh := (!next_fresh + 1) mod t.clients
+      done;
+      rates_dirty := true
+    end
+  in
+  (* Model tick: fine enough to trace the diurnal curve and catch the
+     flash edges; churn runs on its own (usually coarser) period. *)
+  let tick_period =
+    let candidate = Time.mul_f t.duration (1.0 /. 64.0) in
+    if candidate > Time.zero then candidate else Time.ms 1
+  in
+  let stop_at = Time.add start t.duration in
+  let rec tick () =
+    if Engine.now engine >= stop_at then
+      for c = 0 to t.clients - 1 do
+        set_rate c 0.0
+      done
+    else begin
+      apply_rates ();
+      ignore (Engine.at engine (Time.add (Engine.now engine) tick_period) tick)
+    end
+  in
+  let rec churn_tick () =
+    if t.churn_interval > Time.zero && Engine.now engine < stop_at then begin
+      churn ();
+      ignore
+        (Engine.at engine (Time.add (Engine.now engine) t.churn_interval)
+           churn_tick)
+    end
+  in
+  ignore (Engine.at engine start tick);
+  if t.churn_interval > Time.zero then
+    ignore
+      (Engine.at engine (Time.add start t.churn_interval) churn_tick)

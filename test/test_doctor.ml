@@ -468,6 +468,16 @@ let synthetic_incident () =
             ];
         };
       ];
+    footprint =
+      [
+        {
+          Bftcap.Footprint.r_name = "node.requests";
+          r_owner = "node-1";
+          r_entries = 12;
+          r_peak = 15;
+          r_bytes = 0;
+        };
+      ];
   }
 
 let test_bundle_roundtrip () =
